@@ -1,0 +1,46 @@
+"""Figure 4: data augmentation versus active learning as loops increase.
+
+The paper varies active-learning loops k ∈ {5, 10, 20, 100} with 5% training
+data; AUG is a flat line (it uses no extra labels).  Bench scale uses
+k ∈ {1, 2, 4} — the *shape* is the point: ActiveL approaches AUG only with
+many additional labelled cells (50 per loop), while AUG needs none.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_config, print_table
+from methods import activel_method, aug_method
+
+from repro.evaluation import run_trials
+
+LOOPS = [1, 2]
+
+
+@pytest.mark.parametrize("dataset_name", ["hospital", "soccer", "adult"])
+def test_fig4_active_learning(benchmark, core_bundles, dataset_name):
+    bundle = core_bundles[dataset_name]
+    cfg = bench_config()
+
+    def run():
+        aug_f1 = run_trials(aug_method(cfg), bundle, 0.05, num_trials=1, seed=21).median.f1
+        rows = []
+        for k in LOOPS:
+            al = run_trials(
+                activel_method(cfg, loops=k), bundle, 0.05, num_trials=1, seed=21
+            ).median.f1
+            rows.append([k, f"{al:.3f}", f"{aug_f1:.3f}", 50 * k])
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print_table(
+        f"Figure 4 — {dataset_name} (5% training data)",
+        ["k (loops)", "ActiveL F1", "AUG F1", "extra labels"],
+        rows,
+    )
+    # Shape: AUG at zero extra labels stays within reach of low-loop
+    # ActiveL.  (At bench scale 50 oracle labels per loop is a far larger
+    # *relative* label boost than at paper scale — |T| here is only a few
+    # hundred cells — so the paper's strict dominance is not asserted.)
+    assert float(rows[0][2]) >= float(rows[0][1]) - 0.3

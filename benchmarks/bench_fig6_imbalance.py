@@ -1,0 +1,54 @@
+"""Figure 6: the effect of the post-augmentation error/correct ratio.
+
+Algorithm 4's balance target is overridden to materialise ratios in
+{0.1 … 0.9}; P, R, and F1 are reported per ratio.
+
+Expected shape (§6.5): peak performance near a balanced training set
+(ratio ≈ 0.5, not necessarily exactly), degrading toward both extremes —
+too few synthetic errors starves recall, too many starves precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from conftest import bench_config, print_table
+
+from repro.core import HoloDetect
+from repro.evaluation import evaluate_predictions, make_split
+
+RATIOS = [0.1, 0.3, 0.5, 0.7, 0.9]
+
+
+@pytest.mark.parametrize("dataset_name", ["hospital", "soccer", "adult"])
+def test_fig6_imbalance(benchmark, core_bundles, dataset_name):
+    bundle = core_bundles[dataset_name]
+    split = make_split(bundle, 0.10, rng=5)
+
+    def run():
+        rows = []
+        for ratio in RATIOS:
+            config = replace(bench_config(), target_ratio=ratio)
+            detector = HoloDetect(config)
+            detector.fit(bundle.dirty, split.training, bundle.constraints)
+            m = evaluate_predictions(
+                detector.predict_error_cells(split.test_cells),
+                bundle.error_cells,
+                split.test_cells,
+            )
+            rows.append(
+                [f"{ratio:.1f}", f"{m.precision:.3f}", f"{m.recall:.3f}", f"{m.f1:.3f}"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print_table(
+        f"Figure 6 — {dataset_name} (errors/correct after augmentation)",
+        ["Ratio", "P", "R", "F1"],
+        rows,
+    )
+    # Shape: some mid ratio is at least as good as the most extreme ones.
+    f1s = [float(r[3]) for r in rows]
+    assert max(f1s[1:4]) >= max(f1s[0], f1s[4]) - 0.05

@@ -1,0 +1,62 @@
+"""Table 3: data augmentation versus resampling (and SuperL) across
+training sizes.
+
+Expected shape (§6.5): AUG dominates resampling at every size — duplicating
+the few observed errors cannot cover unseen error types — and SuperL trails
+AUG, most visibly at small sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from conftest import bench_config, print_table
+from methods import aug_method, superl_method
+
+from repro.baselines import ResamplingDetector
+from repro.evaluation import run_trials
+
+SIZES = [0.02, 0.05, 0.10]
+
+
+def resampling_method(config):
+    def run(bundle, split, rng):
+        det = ResamplingDetector(replace(config, seed=int(rng.integers(0, 2**31))))
+        det.fit(bundle.dirty, split.training, bundle.constraints)
+        return det.predict_error_cells(split.test_cells)
+
+    return run
+
+
+@pytest.mark.parametrize("dataset_name", ["hospital", "soccer", "adult"])
+def test_table3_resampling(benchmark, core_bundles, dataset_name):
+    bundle = core_bundles[dataset_name]
+    cfg = bench_config()
+
+    def run():
+        rows = []
+        for size in SIZES:
+            aug = run_trials(aug_method(cfg), bundle, size, num_trials=1, seed=41).median.f1
+            res = run_trials(
+                resampling_method(cfg), bundle, size, num_trials=1, seed=41
+            ).median.f1
+            sup = run_trials(superl_method(cfg), bundle, size, num_trials=1, seed=41).median.f1
+            rows.append([f"{size:.0%}", f"{aug:.3f}", f"{res:.3f}", f"{sup:.3f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print_table(
+        f"Table 3 — {dataset_name}",
+        ["Size of T", "AUG", "Resampling", "SuperL"],
+        rows,
+    )
+    # Shape: AUG beats (or matches) resampling at 5% and above.  The 2% row
+    # is reported but not asserted: §6.5 notes resampling's best case is
+    # exactly Hospital's homogeneous typo errors, and at bench scale 2%
+    # is a handful of labelled tuples where either method can win a single
+    # split.
+    for row in rows:
+        if row[0] != "2%":
+            assert float(row[1]) >= float(row[2]) - 0.1

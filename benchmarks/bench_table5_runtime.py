@@ -1,0 +1,54 @@
+"""Table 5: runtime of each method.
+
+Wall-clock seconds per method on Hospital, Soccer, and Adult (bench scale).
+
+Expected shape (§6.7): iterative methods (ActiveL) cost a multiple of AUG;
+the unsupervised detectors (CV/OD) are the cheapest; AUG's runtime is the
+same order of magnitude as plain supervised training.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_config, print_table
+from methods import (
+    activel_method,
+    aug_method,
+    cv_method,
+    lr_method,
+    od_method,
+    superl_method,
+)
+
+from repro.evaluation import run_trials
+
+
+@pytest.mark.parametrize("dataset_name", ["hospital", "soccer", "adult"])
+def test_table5_runtime(benchmark, core_bundles, dataset_name):
+    bundle = core_bundles[dataset_name]
+    cfg = bench_config()
+    methods = [
+        ("AUG", aug_method(cfg)),
+        ("CV", cv_method()),
+        ("OD", od_method()),
+        ("LR", lr_method()),
+        ("SuperL", superl_method(cfg)),
+        ("ActiveL", activel_method(cfg, loops=2)),
+    ]
+
+    def run():
+        rows = []
+        runtimes = {}
+        for name, method in methods:
+            result = run_trials(method, bundle, 0.05, num_trials=1, seed=51)
+            runtimes[name] = result.median_runtime
+            rows.append([name, f"{result.median_runtime:.2f}"])
+        return rows, runtimes
+
+    rows, runtimes = benchmark.pedantic(run, iterations=1, rounds=1)
+    print_table(f"Table 5 — runtimes (s) on {dataset_name}", ["Method", "seconds"], rows)
+    # Shape: the active-learning loop costs more than a single AUG fit, and
+    # the rule-based detector is cheaper than any learned method.
+    assert runtimes["ActiveL"] > runtimes["AUG"]
+    assert runtimes["CV"] < runtimes["AUG"]

@@ -1,0 +1,113 @@
+"""Method registry shared by the Table 2 / Table 5 benchmarks.
+
+Each entry builds a detector following the common protocol and returns the
+cells it flags, given a bundle and an evaluation split — the ``MethodFn``
+shape the experiment runner consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.baselines import (
+    ActiveLearningDetector,
+    ConstraintViolationDetector,
+    ForbiddenItemsetDetector,
+    GroundTruthOracle,
+    HoloCleanDetector,
+    LogisticRegressionDetector,
+    OutlierDetector,
+    SemiSupervisedDetector,
+    SupervisedDetector,
+)
+from repro.core import DetectorConfig, HoloDetect
+from repro.data.bundle import DatasetBundle
+from repro.evaluation.splits import EvaluationSplit
+
+
+def aug_method(config: DetectorConfig):
+    def run(bundle: DatasetBundle, split: EvaluationSplit, rng):
+        detector = HoloDetect(replace(config, seed=int(rng.integers(0, 2**31))))
+        detector.fit(bundle.dirty, split.training, bundle.constraints)
+        return detector.predict_error_cells(split.test_cells)
+
+    return run
+
+
+def cv_method():
+    def run(bundle, split, rng):
+        det = ConstraintViolationDetector().fit(bundle.dirty, constraints=bundle.constraints)
+        return det.predict_error_cells(split.test_cells)
+
+    return run
+
+
+def hc_method():
+    def run(bundle, split, rng):
+        det = HoloCleanDetector().fit(bundle.dirty, constraints=bundle.constraints)
+        return det.predict_error_cells(split.test_cells)
+
+    return run
+
+
+def od_method():
+    def run(bundle, split, rng):
+        det = OutlierDetector().fit(bundle.dirty)
+        return det.predict_error_cells(split.test_cells)
+
+    return run
+
+
+def fbi_method():
+    def run(bundle, split, rng):
+        det = ForbiddenItemsetDetector().fit(bundle.dirty)
+        return det.predict_error_cells(split.test_cells)
+
+    return run
+
+
+def lr_method():
+    def run(bundle, split, rng):
+        det = LogisticRegressionDetector(seed=int(rng.integers(0, 2**31)))
+        det.fit(bundle.dirty, split.training, bundle.constraints)
+        return det.predict_error_cells(split.test_cells)
+
+    return run
+
+
+def superl_method(config: DetectorConfig):
+    def run(bundle, split, rng):
+        det = SupervisedDetector(replace(config, seed=int(rng.integers(0, 2**31))))
+        det.fit(bundle.dirty, split.training, bundle.constraints)
+        return det.predict_error_cells(split.test_cells)
+
+    return run
+
+
+def semil_method(config: DetectorConfig, rounds: int = 1):
+    def run(bundle, split, rng):
+        det = SemiSupervisedDetector(
+            replace(config, seed=int(rng.integers(0, 2**31))),
+            rounds=rounds,
+            unlabeled_pool_size=1000,
+        )
+        det.fit(bundle.dirty, split.training, bundle.constraints)
+        return det.predict_error_cells(split.test_cells)
+
+    return run
+
+
+def activel_method(config: DetectorConfig, loops: int):
+    def run(bundle, split, rng):
+        oracle = GroundTruthOracle(bundle)
+        det = ActiveLearningDetector(
+            oracle,
+            split.sampling_cells,
+            loops=loops,
+            labels_per_loop=50,
+            config=replace(config, seed=int(rng.integers(0, 2**31))),
+        )
+        det.fit(bundle.dirty, split.training, bundle.constraints)
+        return det.predict_error_cells(split.test_cells)
+
+    return run

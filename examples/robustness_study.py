@@ -1,0 +1,64 @@
+"""Constraint-robustness study (the Appendix A.2 analysis, interactive).
+
+Shows that HoloDetect degrades gracefully when the denial constraints Σ are
+missing, partial, or actively noisy — and demonstrates bootstrapping Σ from
+the dirty data itself with `discover_constraints` when the user has none.
+
+    python examples/robustness_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DetectorConfig, HoloDetect, evaluate_predictions, load_dataset, make_split
+from repro.constraints import discover_constraints
+from repro.constraints.discovery import discover_noisy_constraints, score_candidate_fds
+
+
+def f1_with(bundle, split, constraints, label: str) -> float:
+    detector = HoloDetect(DetectorConfig(epochs=25, seed=0))
+    detector.fit(bundle.dirty, split.training, constraints)
+    metrics = evaluate_predictions(
+        detector.predict_error_cells(split.test_cells), bundle.error_cells, split.test_cells
+    )
+    count = len(constraints) if constraints else 0
+    print(f"  {label:32s} |Σ|={count:2d}  F1={metrics.f1:.3f}")
+    return metrics.f1
+
+
+def main() -> None:
+    bundle = load_dataset("hospital", num_rows=400, seed=2)
+    split = make_split(bundle, 0.10, rng=0)
+    rng = np.random.default_rng(0)
+
+    print("constraint robustness on hospital (400 rows, 10% labels):")
+
+    # Full, halved, and absent constraint sets.
+    full = list(bundle.constraints)
+    half_idx = rng.choice(len(full), size=len(full) // 2, replace=False)
+    half = [full[int(i)] for i in half_idx]
+    f1_with(bundle, split, full, "curated Σ (all)")
+    f1_with(bundle, split, half, "curated Σ (random half)")
+    f1_with(bundle, split, None, "no constraints")
+
+    # Σ discovered from the dirty data itself.
+    discovered = discover_constraints(bundle.dirty, min_alpha=0.995, limit=len(full))
+    print(f"\n  discovered from dirty data: {[c.name for c in discovered[:5]]} ...")
+    f1_with(bundle, split, discovered, "discovered Σ")
+
+    # Deliberately noisy constraints (Definition A.1 bands).
+    candidates = score_candidate_fds(bundle.dirty)
+    noisy = discover_noisy_constraints(
+        bundle.dirty, (0.55, 0.95), limit=len(full), candidates=candidates
+    )
+    if noisy:
+        f1_with(bundle, split, noisy, f"noisy Σ (α ∈ (0.55, 0.95], n={len(noisy)})")
+    print(
+        "\ntakeaway: the nine other representation models carry the signal; "
+        "constraints help but are not load-bearing (Appendix A.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

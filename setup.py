@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs to build a PEP 660 wheel, which requires the
+``wheel`` distribution; fully offline environments may not have it.  This
+shim lets ``python setup.py develop`` perform the editable install instead.
+Configuration lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

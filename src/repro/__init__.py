@@ -1,0 +1,46 @@
+"""repro — a from-scratch reproduction of *HoloDetect: Few-Shot Learning for
+Error Detection* (Heidari, McGrath, Ilyas, Rekatsinas — SIGMOD 2019).
+
+Quickstart::
+
+    from repro import HoloDetect, DetectorConfig, load_dataset, make_split
+
+    bundle = load_dataset("hospital", num_rows=500, seed=1)
+    split = make_split(bundle, training_fraction=0.1, rng=0)
+    detector = HoloDetect(DetectorConfig(seed=0))
+    detector.fit(bundle.dirty, split.training, bundle.constraints)
+    errors = detector.predict_error_cells(split.test_cells)
+
+Package map: ``repro.core`` (the detector), ``repro.features`` (the
+representation model Q), ``repro.augmentation`` (the learned noisy channel),
+``repro.baselines`` (all comparison methods), ``repro.data`` (benchmark
+generators), ``repro.constraints`` / ``repro.nn`` / ``repro.embeddings`` /
+``repro.text`` / ``repro.dataset`` (substrates), ``repro.evaluation``
+(metrics and the experiment runner).
+"""
+
+from repro.core import DetectorConfig, ErrorPredictions, HoloDetect
+from repro.data import DATASET_NAMES, DatasetBundle, load_dataset
+from repro.dataset import Cell, Dataset, GroundTruth, LabeledCell, TrainingSet
+from repro.evaluation import Metrics, evaluate_predictions, make_split, run_trials
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HoloDetect",
+    "DetectorConfig",
+    "ErrorPredictions",
+    "load_dataset",
+    "DatasetBundle",
+    "DATASET_NAMES",
+    "Dataset",
+    "Cell",
+    "GroundTruth",
+    "TrainingSet",
+    "LabeledCell",
+    "Metrics",
+    "evaluate_predictions",
+    "make_split",
+    "run_trials",
+    "__version__",
+]

@@ -1,0 +1,89 @@
+"""Data augmentation (Algorithm 4).
+
+Given the learned channel (Φ, Π̂) and the training set T, synthesise error
+examples by transforming *correct* examples until the classes balance — or
+until a caller-specified error/correct ratio is reached (the knob behind the
+Fig. 6 imbalance study).  Acceptance probability α (a hyper-parameter tuned
+on the holdout) throttles how often a drawn example is kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.augmentation.policy import Policy
+from repro.dataset.training import LabeledCell, TrainingSet
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class AugmentationResult:
+    """Synthetic examples plus bookkeeping for diagnostics."""
+
+    examples: list[LabeledCell]
+    attempts: int
+    distinct_sources: int
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+
+def augment_training_set(
+    training: TrainingSet,
+    policy: Policy,
+    alpha: float = 1.0,
+    target_ratio: float | None = None,
+    max_examples: int | None = None,
+    max_attempts_factor: int = 50,
+    rng: int | np.random.Generator | None = None,
+) -> AugmentationResult:
+    """Algorithm 4: generate synthetic error examples from correct ones.
+
+    - Default target: ``p - n`` new errors (balance the classes), where ``p``
+      and ``n`` count correct/erroneous examples in ``training``.
+    - ``target_ratio`` overrides the target so that
+      ``errors / correct == target_ratio`` after augmentation (Fig. 6).
+    - ``alpha`` is the acceptance coin of the paper's Algorithm 4.
+
+    Each synthetic example is a :class:`LabeledCell` whose ``observed`` value
+    is the transformed (erroneous) value and ``true`` value is the original —
+    it reuses the source example's cell so featurisation keeps the real tuple
+    context.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("alpha must be in (0, 1]")
+    if target_ratio is not None and target_ratio <= 0:
+        raise ValueError("target_ratio must be positive")
+    gen = as_generator(rng)
+    correct = training.correct
+    p = len(correct)
+    n = len(training.errors)
+    if target_ratio is None:
+        needed = max(p - n, 0)
+    else:
+        needed = max(int(round(target_ratio * p)) - n, 0)
+    if max_examples is not None:
+        needed = min(needed, max_examples)
+    if needed == 0 or p == 0 or len(policy) == 0:
+        return AugmentationResult([], 0, 0)
+
+    examples: list[LabeledCell] = []
+    sources: set[int] = set()
+    attempts = 0
+    max_attempts = max_attempts_factor * max(needed, 1)
+    while len(examples) < needed and attempts < max_attempts:
+        attempts += 1
+        idx = int(gen.integers(0, p))
+        source = correct[idx]
+        if gen.random() >= alpha:
+            continue
+        transformed = policy.transform(source.observed, gen)
+        if transformed is None or transformed == source.observed:
+            continue
+        examples.append(
+            LabeledCell(cell=source.cell, observed=transformed, true=source.observed)
+        )
+        sources.add(idx)
+    return AugmentationResult(examples, attempts, len(sources))

@@ -1,0 +1,97 @@
+"""Transformation learning (Algorithm 1) and the empirical policy
+(Algorithm 2).
+
+Algorithm 1 extracts, from one example pair ``(v*, v)``, every
+transformation consistent with the noisy channel having produced ``v`` from
+``v*``: the full-string rewrite, plus rewrites of the substrings around the
+longest common substring, recursively — the hierarchy the paper illustrates
+with ``(60612, 6061x2) → {60612⟼6061x2, 12⟼1x2, ε⟼x}``.
+
+Matching follows Ratcliff–Obershelp [51]: after removing the LCS, the left
+and right remainders are paired by whichever assignment has the larger total
+similarity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.augmentation.transformations import Transformation
+from repro.text.similarity import longest_common_substring, sequence_similarity
+
+#: Recursion depth bound — Algorithm 1 halves strings every level, so depth
+#: beyond the string length is impossible; this guards degenerate inputs.
+_MAX_DEPTH = 64
+
+
+def learn_transformations(clean: str, dirty: str, _depth: int = 0) -> list[Transformation]:
+    """Algorithm 1: all transformations valid for the example ``(clean, dirty)``.
+
+    Returns a *list* (with multiplicity, which Algorithm 2's empirical
+    distribution consumes); identity rewrites are filtered out.
+    """
+    results: list[Transformation] = []
+    _learn_into(clean, dirty, results, _depth)
+    return results
+
+
+def _learn_into(clean: str, dirty: str, out: list[Transformation], depth: int) -> None:
+    if depth > _MAX_DEPTH:
+        return
+    if clean == "" and dirty == "":
+        return
+    if clean != dirty:
+        out.append(Transformation(clean, dirty))
+    start_c, start_d, length = longest_common_substring(clean, dirty)
+    if length == 0:
+        # No shared characters: the whole-string rewrite is the only split.
+        return
+    left_clean, right_clean = clean[:start_c], clean[start_c + length :]
+    left_dirty, right_dirty = dirty[:start_d], dirty[start_d + length :]
+    straight = sequence_similarity(left_clean, left_dirty) + sequence_similarity(
+        right_clean, right_dirty
+    )
+    crossed = sequence_similarity(left_clean, right_dirty) + sequence_similarity(
+        right_clean, left_dirty
+    )
+    if straight >= crossed:
+        pairs = ((left_clean, left_dirty), (right_clean, right_dirty))
+    else:
+        pairs = ((left_clean, right_dirty), (right_clean, left_dirty))
+    for sub_clean, sub_dirty in pairs:
+        if sub_clean != sub_dirty:
+            out.append(Transformation(sub_clean, sub_dirty))
+        _learn_into(sub_clean, sub_dirty, out, depth + 1)
+
+
+def learn_from_pairs(pairs: Iterable[tuple[str, str]]) -> list[list[Transformation]]:
+    """Run Algorithm 1 over a set of example pairs ``L = {(v*, v)}``.
+
+    Pairs with ``v* == v`` contribute nothing (they are not errors).
+    """
+    lists = []
+    for clean, dirty in pairs:
+        if clean == dirty:
+            continue
+        transformations = learn_transformations(clean, dirty)
+        if transformations:
+            lists.append(transformations)
+    return lists
+
+
+def empirical_distribution(
+    transformation_lists: Sequence[Sequence[Transformation]],
+) -> dict[Transformation, float]:
+    """Algorithm 2: empirical probability of each unique transformation.
+
+    ``p(ϕ) = count(ϕ across all lists) / total element count``.
+    """
+    counts: Counter[Transformation] = Counter()
+    total = 0
+    for lst in transformation_lists:
+        counts.update(lst)
+        total += len(lst)
+    if total == 0:
+        return {}
+    return {phi: count / total for phi, count in counts.items()}

@@ -1,0 +1,218 @@
+"""Unsupervised Naïve Bayes repair model for weak supervision (§5.4).
+
+When the labelled errors in T are too few to learn transformations from, the
+paper fits a simple high-precision repair model over the noisy dataset D and
+uses its (repair, observed) pairs as transformation examples.
+
+For each cell, the model pretends the value is missing and imputes it from
+the other attributes of the tuple:
+
+    P(v | tuple) ∝ P(v) · ∏_{B ∈ partners(A)} P(t[B] | v)
+
+with Laplace smoothing, where ``partners(A)`` are the attributes that
+actually carry information about A (normalised mutual information above a
+threshold) — imputing from uninformative context is what makes plain Naïve
+Bayes over-confident.
+
+A repair is *accepted* only when (§5.4's precision contract):
+
+1. the attribute has at least one informative partner,
+2. the posterior of the best candidate clears the confidence threshold,
+3. the observed value is **contradicted** by the informative context (it
+   co-occurs with the tuple's partner values at most ``max_observed_support``
+   times — i.e. only through the tuple itself), and
+4. the candidate is **supported** (co-occurs with partner values at least
+   ``min_candidate_support`` times).
+
+Recall is free to be low; only precision matters, since the accepted pairs
+seed transformation learning (Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.table import Cell, Dataset
+from repro.utils.stats import normalized_mutual_information
+
+
+@dataclass(frozen=True)
+class SuggestedRepair:
+    """One accepted repair: the model believes ``observed`` should be ``repair``."""
+
+    cell: Cell
+    observed: str
+    repair: str
+    confidence: float
+
+
+class NaiveBayesRepairModel:
+    """Per-attribute Naïve Bayes imputation over informative co-occurrence."""
+
+    def __init__(
+        self,
+        confidence_threshold: float = 0.9,
+        smoothing: float = 0.1,
+        max_candidates: int = 64,
+        partner_nmi_threshold: float = 0.15,
+        max_observed_support: int = 1,
+        min_candidate_support: int = 3,
+    ):
+        if not 0.0 < confidence_threshold <= 1.0:
+            raise ValueError("confidence_threshold must be in (0, 1]")
+        self.confidence_threshold = confidence_threshold
+        self.smoothing = smoothing
+        self.max_candidates = max_candidates
+        self.partner_nmi_threshold = partner_nmi_threshold
+        self.max_observed_support = max_observed_support
+        self.min_candidate_support = min_candidate_support
+        self._fitted = False
+        self._priors: dict[str, dict[str, float]] = {}
+        # (target_attr, target_value, other_attr) -> {other_value -> count}
+        self._cooc: dict[tuple[str, str, str], dict[str, int]] = {}
+        self._value_counts: dict[str, dict[str, int]] = {}
+        self._attributes: tuple[str, ...] = ()
+        self._partners: dict[str, list[str]] = {}
+        self._num_rows = 0
+
+    def fit(self, dataset: Dataset) -> "NaiveBayesRepairModel":
+        """Collect priors, co-occurrence counts, and the partner graph."""
+        self._attributes = dataset.attributes
+        self._num_rows = dataset.num_rows
+        self._value_counts = {a: dataset.value_counts(a) for a in dataset.attributes}
+        self._priors = {
+            a: {v: c / max(dataset.num_rows, 1) for v, c in counts.items()}
+            for a, counts in self._value_counts.items()
+        }
+        cooc: dict[tuple[str, str, str], dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        for row in range(dataset.num_rows):
+            values = dataset.row_dict(row)
+            for attr_a, value_a in values.items():
+                for attr_b, value_b in values.items():
+                    if attr_a != attr_b:
+                        cooc[(attr_a, value_a, attr_b)][value_b] += 1
+        self._cooc = {k: dict(v) for k, v in cooc.items()}
+
+        # Informative-partner graph (symmetric by construction of NMI).
+        # Near-key attributes are excluded on both sides: two high-
+        # cardinality columns have NMI ≈ 1 for the trivial reason that every
+        # value pair is unique, and "evidence" from a row identifier is
+        # exactly the over-confidence these filters exist to prevent.
+        self._partners = {a: [] for a in dataset.attributes}
+        max_cardinality = max(2, dataset.num_rows // 2)
+        predictive = [
+            a
+            for a in dataset.attributes
+            if len(self._value_counts[a]) <= max_cardinality
+        ]
+        columns = {a: dataset.column(a) for a in dataset.attributes}
+        for i, a in enumerate(predictive):
+            for b in predictive[i + 1 :]:
+                nmi = normalized_mutual_information(
+                    columns[a], columns[b], bias_corrected=True
+                )
+                if nmi >= self.partner_nmi_threshold:
+                    self._partners[a].append(b)
+                    self._partners[b].append(a)
+        self._fitted = True
+        return self
+
+    @property
+    def partners(self) -> dict[str, list[str]]:
+        """The informative-partner graph (attr → correlated attrs)."""
+        if not self._fitted:
+            raise RuntimeError("model used before fit()")
+        return {a: list(b) for a, b in self._partners.items()}
+
+    def _posterior(self, attr: str, tuple_values: dict[str, str]) -> dict[str, float]:
+        """Posterior over candidate values for ``attr`` given its partners."""
+        partners = self._partners.get(attr, [])
+        candidates = list(self._value_counts[attr])
+        if len(candidates) > self.max_candidates:
+            # Keep only the most frequent candidates: rare values cannot be
+            # confident repairs anyway and this bounds the per-cell cost.
+            candidates = sorted(
+                candidates, key=lambda v: -self._value_counts[attr][v]
+            )[: self.max_candidates]
+        domain_sizes = {b: len(self._value_counts[b]) for b in partners}
+        log_scores = np.empty(len(candidates))
+        for i, candidate in enumerate(candidates):
+            support = self._value_counts[attr][candidate]
+            log_score = np.log(self._priors[attr][candidate])
+            for attr_b in partners:
+                count = self._cooc.get((attr, candidate, attr_b), {}).get(
+                    tuple_values[attr_b], 0
+                )
+                log_score += np.log(
+                    (count + self.smoothing)
+                    / (support + self.smoothing * domain_sizes[attr_b])
+                )
+            log_scores[i] = log_score
+        log_scores -= log_scores.max()
+        scores = np.exp(log_scores)
+        scores /= scores.sum()
+        return dict(zip(candidates, scores))
+
+    def _context_support(self, attr: str, value: str, row_values: dict[str, str]) -> int:
+        """Max co-occurrence of (attr=value) with the tuple's partner values.
+
+        1 means the value co-occurs with the informative context only through
+        the tuple itself (the model was fit on the dirty data, so a tuple
+        always supports its own values once).
+        """
+        support = 0
+        for attr_b in self._partners.get(attr, []):
+            count = self._cooc.get((attr, value, attr_b), {}).get(row_values[attr_b], 0)
+            support = max(support, count)
+        return support
+
+    def suggest_repair(self, cell: Cell, dataset: Dataset) -> SuggestedRepair | None:
+        """Accepted repair for one cell, or ``None`` below the bars."""
+        if not self._fitted:
+            raise RuntimeError("model used before fit()")
+        if not self._partners.get(cell.attr):
+            return None  # nothing informative to impute from
+        observed = dataset.value(cell)
+        row_values = dataset.row_dict(cell.row)
+        posterior = self._posterior(cell.attr, row_values)
+        if not posterior:
+            return None
+        best_value = max(posterior, key=lambda v: (posterior[v], v))
+        confidence = posterior[best_value]
+        if best_value == observed or confidence < self.confidence_threshold:
+            return None
+        if self._context_support(cell.attr, observed, row_values) > self.max_observed_support:
+            return None
+        if self._context_support(cell.attr, best_value, row_values) < self.min_candidate_support:
+            return None
+        return SuggestedRepair(cell, observed, best_value, confidence)
+
+    def suggest_repairs(
+        self, dataset: Dataset, max_cells: int | None = None
+    ) -> list[SuggestedRepair]:
+        """Scan the dataset and return every accepted repair.
+
+        ``max_cells`` bounds the scan (cells are visited in a fixed
+        attribute-major order, so the bound is deterministic).
+        """
+        repairs = []
+        for i, cell in enumerate(dataset.cells()):
+            if max_cells is not None and i >= max_cells:
+                break
+            suggestion = self.suggest_repair(cell, dataset)
+            if suggestion is not None:
+                repairs.append(suggestion)
+        return repairs
+
+    def example_pairs(
+        self, dataset: Dataset, max_cells: int | None = None
+    ) -> list[tuple[str, str]]:
+        """Weakly supervised pairs ``(v̂, v)`` for transformation learning."""
+        return [
+            (r.repair, r.observed) for r in self.suggest_repairs(dataset, max_cells)
+        ]

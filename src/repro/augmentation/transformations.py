@@ -1,0 +1,87 @@
+"""String transformations: the alphabet of the noisy channel (§5.1).
+
+Every transformation maps a source substring to a target substring and falls
+into one of three templates:
+
+- ``add``:       ε ⟼ s   (insert characters at a random position)
+- ``remove``:    s ⟼ ε   (delete one occurrence of ``s``)
+- ``exchange``:  s ⟼ s'  (replace one occurrence of ``s`` with ``s'``)
+
+A transformation applies *once*, at a position/occurrence chosen uniformly
+at random, exactly matching the paper's generative process.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+
+class TransformationKind(enum.Enum):
+    ADD = "add"
+    REMOVE = "remove"
+    EXCHANGE = "exchange"
+
+
+@dataclass(frozen=True, slots=True)
+class Transformation:
+    """One rewrite ``src ⟼ dst`` (identity rewrites are disallowed)."""
+
+    src: str
+    dst: str
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("identity transformations are not allowed")
+
+    @property
+    def kind(self) -> TransformationKind:
+        if self.src == "":
+            return TransformationKind.ADD
+        if self.dst == "":
+            return TransformationKind.REMOVE
+        return TransformationKind.EXCHANGE
+
+    def applicable(self, value: str) -> bool:
+        """Whether this transformation can fire on ``value``.
+
+        ADD applies to any value (there is always an insertion point);
+        REMOVE/EXCHANGE require ``src`` to occur as a substring.
+        """
+        if self.kind is TransformationKind.ADD:
+            return True
+        return self.src in value
+
+    def occurrences(self, value: str) -> list[int]:
+        """Start offsets where the transformation could fire."""
+        if self.kind is TransformationKind.ADD:
+            return list(range(len(value) + 1))
+        positions = []
+        start = 0
+        while True:
+            idx = value.find(self.src, start)
+            if idx < 0:
+                break
+            positions.append(idx)
+            start = idx + 1
+        return positions
+
+    def apply(self, value: str, rng: int | np.random.Generator | None = None) -> str:
+        """Fire once at a uniformly random applicable position.
+
+        Raises ``ValueError`` when not applicable — callers filter through
+        :meth:`applicable` (the policy does this for them).
+        """
+        positions = self.occurrences(value)
+        if not positions:
+            raise ValueError(f"{self} does not apply to {value!r}")
+        gen = as_generator(rng)
+        pos = positions[int(gen.integers(0, len(positions)))]
+        return value[:pos] + self.dst + value[pos + len(self.src) :]
+
+    def __str__(self) -> str:
+        return f"{self.src!r} -> {self.dst!r}"

@@ -1,0 +1,40 @@
+"""CV: the rule-based detector (§6.1).
+
+Flags as erroneous every cell in a group of cells that participates in a
+denial-constraint violation — the proxy for classic rule-based error
+detection [12].  High recall when errors violate rules, low precision
+because whole violating groups are flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.constraints.dc import DenialConstraint
+from repro.constraints.violations import ViolationEngine
+from repro.dataset.table import Cell, Dataset
+from repro.dataset.training import TrainingSet
+
+
+class ConstraintViolationDetector:
+    """Unsupervised: errors = cells touched by any DC violation."""
+
+    def __init__(self) -> None:
+        self._flagged: set[Cell] | None = None
+
+    def fit(
+        self,
+        dataset: Dataset,
+        training: TrainingSet | None = None,
+        constraints: Sequence[DenialConstraint] | None = None,
+    ) -> "ConstraintViolationDetector":
+        engine = ViolationEngine(list(constraints or []))
+        self._flagged = engine.violating_cells(dataset)
+        return self
+
+    def predict_error_cells(self, cells: Sequence[Cell] | None = None) -> set[Cell]:
+        if self._flagged is None:
+            raise RuntimeError("detector used before fit()")
+        if cells is None:
+            return set(self._flagged)
+        return self._flagged & set(cells)

@@ -1,0 +1,78 @@
+"""FBI: forbidden itemsets via the lift measure (Rammelaere et al. [50]).
+
+A pair of values (a, b) across two attributes is a *forbidden itemset* when
+it co-occurs far less than independence predicts — lift =
+P(a,b) / (P(a)·P(b)) below a threshold τ — while both values individually
+have significant support.  Cells participating in forbidden pairs are
+flagged.
+
+The support requirement is what gives FBI the behaviour §6.2 reports: high
+precision when forbidden sets have significant support, inability to catch
+errors whose values occur only a handful of times (typos).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.constraints.dc import DenialConstraint
+from repro.dataset.table import Cell, Dataset
+from repro.dataset.training import TrainingSet
+
+
+class ForbiddenItemsetDetector:
+    """Unsupervised low-lift co-occurrence detector."""
+
+    def __init__(self, max_lift: float = 0.25, min_support: int = 5):
+        if max_lift <= 0:
+            raise ValueError("max_lift must be positive")
+        self.max_lift = max_lift
+        self.min_support = min_support
+        self._flagged: set[Cell] | None = None
+
+    def fit(
+        self,
+        dataset: Dataset,
+        training: TrainingSet | None = None,
+        constraints: Sequence[DenialConstraint] | None = None,
+    ) -> "ForbiddenItemsetDetector":
+        n = dataset.num_rows
+        attrs = dataset.attributes
+        columns = {a: dataset.column(a) for a in attrs}
+        value_counts = {a: dataset.value_counts(a) for a in attrs}
+
+        joint: dict[tuple[str, str], dict[tuple[str, str], int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        for row in range(n):
+            for i, a in enumerate(attrs):
+                for b in attrs[i + 1 :]:
+                    joint[(a, b)][(columns[a][row], columns[b][row])] += 1
+
+        flagged: set[Cell] = set()
+        for row in range(n):
+            for i, a in enumerate(attrs):
+                va = columns[a][row]
+                support_a = value_counts[a][va]
+                if support_a < self.min_support:
+                    continue
+                for b in attrs[i + 1 :]:
+                    vb = columns[b][row]
+                    support_b = value_counts[b][vb]
+                    if support_b < self.min_support:
+                        continue
+                    p_joint = joint[(a, b)][(va, vb)] / n
+                    lift = p_joint / ((support_a / n) * (support_b / n))
+                    if lift < self.max_lift:
+                        flagged.add(Cell(row, a))
+                        flagged.add(Cell(row, b))
+        self._flagged = flagged
+        return self
+
+    def predict_error_cells(self, cells: Sequence[Cell] | None = None) -> set[Cell]:
+        if self._flagged is None:
+            raise RuntimeError("detector used before fit()")
+        if cells is None:
+            return set(self._flagged)
+        return self._flagged & set(cells)

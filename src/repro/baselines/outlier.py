@@ -1,0 +1,90 @@
+"""OD: correlation-based outlier detection (§6.1).
+
+For a cell of attribute A, the method looks at attributes correlated with A
+and checks the pairwise conditional distributions: if the observed value is
+improbable given *every* correlated attribute's value in the tuple, the cell
+is an outlier.  Correlation between attributes is measured with normalised
+mutual information on the noisy data itself.
+
+Matches the paper's observed behaviour: high precision (a value contradicted
+by all correlated evidence is almost surely wrong), recall that swings with
+how strongly the dataset's errors distort co-occurrence.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.constraints.dc import DenialConstraint
+from repro.dataset.table import Cell, Dataset
+from repro.dataset.training import TrainingSet
+from repro.utils.stats import normalized_mutual_information
+
+__all__ = ["OutlierDetector", "normalized_mutual_information"]
+
+
+class OutlierDetector:
+    """Unsupervised conditional-probability outlier detector."""
+
+    def __init__(self, correlation_threshold: float = 0.35, probability_threshold: float = 0.05):
+        self.correlation_threshold = correlation_threshold
+        self.probability_threshold = probability_threshold
+        self._flagged: set[Cell] | None = None
+
+    def fit(
+        self,
+        dataset: Dataset,
+        training: TrainingSet | None = None,
+        constraints: Sequence[DenialConstraint] | None = None,
+    ) -> "OutlierDetector":
+        attrs = dataset.attributes
+        columns = {a: dataset.column(a) for a in attrs}
+
+        # Correlated-attribute graph via NMI.
+        correlated: dict[str, list[str]] = {a: [] for a in attrs}
+        for i, a in enumerate(attrs):
+            for b in attrs[i + 1 :]:
+                if normalized_mutual_information(columns[a], columns[b]) >= self.correlation_threshold:
+                    correlated[a].append(b)
+                    correlated[b].append(a)
+
+        # Conditional co-occurrence counts P(t[A]=v | t[B]=w).
+        cond: dict[tuple[str, str, str], dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        marginals: dict[tuple[str, str], int] = defaultdict(int)
+        for row in range(dataset.num_rows):
+            for a in attrs:
+                if not correlated[a]:
+                    continue
+                v = columns[a][row]
+                for b in correlated[a]:
+                    w = columns[b][row]
+                    cond[(a, b, w)][v] += 1
+                    marginals[(b, w)] += 1
+
+        flagged: set[Cell] = set()
+        for row in range(dataset.num_rows):
+            for a in attrs:
+                if not correlated[a]:
+                    continue
+                v = columns[a][row]
+                # Improbable under every correlated attribute => outlier.
+                max_conditional = 0.0
+                for b in correlated[a]:
+                    w = columns[b][row]
+                    total = marginals[(b, w)]
+                    if total == 0:
+                        continue
+                    p = cond[(a, b, w)].get(v, 0) / total
+                    max_conditional = max(max_conditional, p)
+                if max_conditional < self.probability_threshold:
+                    flagged.add(Cell(row, a))
+        self._flagged = flagged
+        return self
+
+    def predict_error_cells(self, cells: Sequence[Cell] | None = None) -> set[Cell]:
+        if self._flagged is None:
+            raise RuntimeError("detector used before fit()")
+        if cells is None:
+            return set(self._flagged)
+        return self._flagged & set(cells)

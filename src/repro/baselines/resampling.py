@@ -1,0 +1,65 @@
+"""Resampling: the traditional imbalance remedy compared in Table 3.
+
+Instead of synthesising new error examples, the minority (error) class is
+oversampled — labelled errors are duplicated until the classes balance.
+Table 3 shows this fails under heterogeneity: duplicating the few observed
+errors cannot cover the error types the training set never sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.constraints.dc import DenialConstraint
+from repro.core.detector import DetectorConfig, HoloDetect
+from repro.dataset.table import Cell, Dataset
+from repro.dataset.training import TrainingSet
+
+
+def oversample_errors(
+    training: TrainingSet, rng: int | np.random.Generator | None = 0
+) -> TrainingSet:
+    """Duplicate error examples until classes balance.
+
+    With zero labelled errors the set is returned unchanged (there is
+    nothing to resample — the regime where Table 3 reports F1 = 0).
+    """
+    from repro.utils.rng import as_generator
+
+    gen = as_generator(rng)
+    errors = training.errors
+    correct = training.correct
+    if not errors or len(errors) >= len(correct):
+        return training
+    deficit = len(correct) - len(errors)
+    idx = gen.integers(0, len(errors), size=deficit)
+    return training.extend(errors[int(i)] for i in idx)
+
+
+class ResamplingDetector:
+    """The HoloDetect model trained on an oversampled training set."""
+
+    def __init__(self, config: DetectorConfig | None = None):
+        self.base_config = replace(config or DetectorConfig(), augment=False)
+        self._detector: HoloDetect | None = None
+
+    def fit(
+        self,
+        dataset: Dataset,
+        training: TrainingSet | None = None,
+        constraints: Sequence[DenialConstraint] | None = None,
+    ) -> "ResamplingDetector":
+        if training is None:
+            raise ValueError("resampling is supervised: a training set is required")
+        resampled = oversample_errors(training, rng=self.base_config.seed)
+        self._detector = HoloDetect(self.base_config)
+        self._detector.fit(dataset, resampled, constraints)
+        return self
+
+    def predict_error_cells(self, cells: Sequence[Cell] | None = None) -> set[Cell]:
+        if self._detector is None:
+            raise RuntimeError("detector used before fit()")
+        return self._detector.predict_error_cells(cells)

@@ -1,0 +1,92 @@
+"""SemiL: self-training semi-supervised learning [64] (§6.1).
+
+Round 0 trains the HoloDetect model on T alone; every subsequent round
+applies the model to unlabelled cells, adopts the most confident predictions
+as pseudo-labels, and retrains on the enlarged set.  Only high-confidence
+labels are added per round, as the paper specifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.constraints.dc import DenialConstraint
+from repro.core.detector import DetectorConfig, HoloDetect
+from repro.dataset.table import Cell, Dataset
+from repro.dataset.training import LabeledCell, TrainingSet
+
+
+class SemiSupervisedDetector:
+    """Self-training wrapper around the supervised HoloDetect model."""
+
+    def __init__(
+        self,
+        config: DetectorConfig | None = None,
+        rounds: int = 2,
+        confidence: float = 0.95,
+        max_new_labels_per_round: int = 500,
+        unlabeled_pool_size: int = 3000,
+    ):
+        self.base_config = replace(config or DetectorConfig(), augment=False)
+        self.rounds = rounds
+        self.confidence = confidence
+        self.max_new_labels_per_round = max_new_labels_per_round
+        self.unlabeled_pool_size = unlabeled_pool_size
+        self._detector: HoloDetect | None = None
+
+    def fit(
+        self,
+        dataset: Dataset,
+        training: TrainingSet | None = None,
+        constraints: Sequence[DenialConstraint] | None = None,
+    ) -> "SemiSupervisedDetector":
+        if training is None:
+            raise ValueError("SemiL is supervised: a training set is required")
+        current = training
+        labeled_cells = set(training.cells)
+        rng = np.random.default_rng(self.base_config.seed)
+
+        pool = [c for c in dataset.cells() if c not in labeled_cells]
+        if len(pool) > self.unlabeled_pool_size:
+            idx = rng.choice(len(pool), size=self.unlabeled_pool_size, replace=False)
+            pool = [pool[int(i)] for i in idx]
+
+        for round_idx in range(self.rounds + 1):
+            self._detector = HoloDetect(replace(self.base_config, seed=self.base_config.seed + round_idx))
+            self._detector.fit(dataset, current, constraints)
+            if round_idx == self.rounds:
+                break
+            remaining = [c for c in pool if c not in labeled_cells]
+            if not remaining:
+                break
+            predictions = self._detector.predict(remaining)
+            # Adopt the most confident predictions on both sides as truth.
+            new_examples: list[LabeledCell] = []
+            order = np.argsort(np.abs(predictions.probabilities - 0.5))[::-1]
+            for i in order[: self.max_new_labels_per_round]:
+                cell = predictions.cells[int(i)]
+                p = predictions.probabilities[int(i)]
+                if p >= self.confidence:
+                    # Pseudo-error: pretend the observed value is wrong.  The
+                    # "true" value is unknown, so a sentinel that differs from
+                    # the observation stands in (only the label matters).
+                    observed = dataset.value(cell)
+                    new_examples.append(
+                        LabeledCell(cell, observed, observed + "\x00pseudo")
+                    )
+                elif p <= 1.0 - self.confidence:
+                    observed = dataset.value(cell)
+                    new_examples.append(LabeledCell(cell, observed, observed))
+            if not new_examples:
+                break
+            labeled_cells.update(e.cell for e in new_examples)
+            current = current.extend(new_examples)
+        return self
+
+    def predict_error_cells(self, cells: Sequence[Cell] | None = None) -> set[Cell]:
+        if self._detector is None:
+            raise RuntimeError("detector used before fit()")
+        return self._detector.predict_error_cells(cells)

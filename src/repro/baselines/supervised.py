@@ -1,0 +1,46 @@
+"""SuperL: the HoloDetect model trained on T only (§6.1).
+
+Identical representation Q and classifier M — supervision is simply limited
+to the labelled examples, no augmentation.  The paper's Table 2 shows this
+yields high precision but recall capped by the few labelled errors, the gap
+augmentation closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.constraints.dc import DenialConstraint
+from repro.core.detector import DetectorConfig, HoloDetect
+from repro.dataset.table import Cell, Dataset
+from repro.dataset.training import TrainingSet
+
+
+class SupervisedDetector:
+    """HoloDetect with ``augment=False``."""
+
+    def __init__(self, config: DetectorConfig | None = None):
+        base = config or DetectorConfig()
+        self._detector = HoloDetect(replace(base, augment=False))
+
+    @property
+    def config(self) -> DetectorConfig:
+        return self._detector.config
+
+    def fit(
+        self,
+        dataset: Dataset,
+        training: TrainingSet | None = None,
+        constraints: Sequence[DenialConstraint] | None = None,
+    ) -> "SupervisedDetector":
+        if training is None:
+            raise ValueError("SuperL is supervised: a training set is required")
+        self._detector.fit(dataset, training, constraints)
+        return self
+
+    def predict_error_cells(self, cells: Sequence[Cell] | None = None) -> set[Cell]:
+        return self._detector.predict_error_cells(cells)
+
+    def predict(self, cells: Sequence[Cell] | None = None):
+        return self._detector.predict(cells)

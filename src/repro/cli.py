@@ -1,0 +1,216 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro detect    --input data.csv --labels labels.csv ...
+    python -m repro benchmark --dataset hospital --rows 300
+    python -m repro policy    --input data.csv --labels labels.csv --value "60612"
+
+``detect`` runs the full detector on a CSV and writes a triage CSV of
+per-cell error probabilities.  ``benchmark`` evaluates the detector on one
+of the built-in benchmark bundles.  ``policy`` prints the learned noisy
+channel's conditional distribution for a probe value.
+
+File formats:
+
+- **labels CSV** — header ``row,attribute,true_value``; one line per cell
+  the user has verified.  ``row`` is the 0-based row index in the input
+  CSV.  A cell is an error example when ``true_value`` differs from the
+  observed value.
+- **constraints file** — one denial constraint per line in the parser
+  syntax (``t1.Zip == t2.Zip & t1.City != t2.City``); blank lines and
+  ``#`` comments are ignored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from repro.augmentation.policy import Policy
+from repro.constraints.dc import DenialConstraint, parse_denial_constraint
+from repro.core.detector import DetectorConfig, HoloDetect
+from repro.dataset.loader import read_csv
+from repro.dataset.table import Cell, Dataset
+from repro.dataset.training import LabeledCell, TrainingSet
+
+
+def load_constraints(path: str | Path) -> list[DenialConstraint]:
+    """Parse a constraints file (one DC per line, # comments allowed)."""
+    constraints = []
+    for line_number, line in enumerate(Path(path).read_text(encoding="utf-8").splitlines(), 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            constraints.append(parse_denial_constraint(stripped))
+        except ValueError as exc:
+            raise SystemExit(f"{path}:{line_number}: {exc}") from exc
+    return constraints
+
+
+def load_labels(path: str | Path, dataset: Dataset) -> TrainingSet:
+    """Read a ``row,attribute,true_value`` labels CSV into a TrainingSet."""
+    examples = []
+    with Path(path).open(newline="", encoding="utf-8") as f:
+        reader = csv.DictReader(f)
+        required = {"row", "attribute", "true_value"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise SystemExit(
+                f"{path}: labels CSV needs columns {sorted(required)}, "
+                f"got {reader.fieldnames}"
+            )
+        for record in reader:
+            row = int(record["row"])
+            attr = record["attribute"]
+            if attr not in dataset.schema:
+                raise SystemExit(f"{path}: unknown attribute {attr!r}")
+            if not 0 <= row < dataset.num_rows:
+                raise SystemExit(f"{path}: row {row} out of range")
+            cell = Cell(row, attr)
+            examples.append(
+                LabeledCell(cell, observed=dataset.value(cell), true=record["true_value"])
+            )
+    return TrainingSet(examples)
+
+
+def _detector_config(args: argparse.Namespace) -> DetectorConfig:
+    return DetectorConfig(
+        epochs=args.epochs,
+        embedding_dim=args.embedding_dim,
+        seed=args.seed,
+        augment=not args.no_augment,
+    )
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    dataset = read_csv(args.input)
+    training = load_labels(args.labels, dataset)
+    constraints = load_constraints(args.constraints) if args.constraints else []
+    print(
+        f"dataset: {dataset.num_rows} rows x {len(dataset.attributes)} attrs; "
+        f"{len(training)} labels ({len(training.errors)} errors); "
+        f"{len(constraints)} constraints",
+        file=sys.stderr,
+    )
+    detector = HoloDetect(_detector_config(args))
+    detector.fit(dataset, training, constraints)
+    if detector.policy is not None:
+        print(
+            f"learned {len(detector.policy)} transformations; "
+            f"generated {detector.augmented_count} synthetic errors",
+            file=sys.stderr,
+        )
+    predictions = detector.predict()
+    with Path(args.output).open("w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(["row", "attribute", "value", "error_probability", "flagged"])
+        ranked = sorted(
+            zip(predictions.cells, predictions.probabilities), key=lambda t: -t[1]
+        )
+        for cell, probability in ranked:
+            writer.writerow(
+                [
+                    cell.row,
+                    cell.attr,
+                    dataset.value(cell),
+                    f"{probability:.4f}",
+                    int(probability >= args.threshold),
+                ]
+            )
+    flagged = sum(1 for _, p in zip(predictions.cells, predictions.probabilities) if p >= args.threshold)
+    print(f"wrote {args.output}: {flagged} cells flagged", file=sys.stderr)
+    if args.save_model:
+        from repro.persistence import save_detector
+
+        save_detector(detector, args.save_model)
+        print(f"saved model to {args.save_model}", file=sys.stderr)
+    return 0
+
+
+def cmd_benchmark(args: argparse.Namespace) -> int:
+    from repro.data import load_dataset
+    from repro.evaluation import evaluate_predictions, make_split
+
+    bundle = load_dataset(args.dataset, num_rows=args.rows, seed=args.seed)
+    split = make_split(bundle, args.training_fraction, rng=args.seed)
+    detector = HoloDetect(_detector_config(args))
+    detector.fit(bundle.dirty, split.training, bundle.constraints)
+    metrics = evaluate_predictions(
+        detector.predict_error_cells(split.test_cells),
+        bundle.error_cells,
+        split.test_cells,
+    )
+    print(f"{args.dataset}: P={metrics.precision:.3f} R={metrics.recall:.3f} F1={metrics.f1:.3f}")
+    return 0
+
+
+def cmd_policy(args: argparse.Namespace) -> int:
+    dataset = read_csv(args.input)
+    training = load_labels(args.labels, dataset)
+    pairs = training.error_pairs()
+    if not pairs:
+        print("no labelled errors: learning from weak supervision", file=sys.stderr)
+        from repro.augmentation.naive_bayes import NaiveBayesRepairModel
+
+        pairs = NaiveBayesRepairModel().fit(dataset).example_pairs(dataset)
+    policy = Policy.learn(pairs)
+    print(f"{len(policy)} transformations learned from {len(pairs)} example pairs")
+    for transformation, probability in policy.top_k(args.value, args.top):
+        print(f"  {probability:6.4f}  {transformation}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HoloDetect few-shot error detection"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_model_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--epochs", type=int, default=40, help="training epochs")
+        p.add_argument("--embedding-dim", type=int, default=16, help="embedding width")
+        p.add_argument("--seed", type=int, default=0, help="random seed")
+        p.add_argument(
+            "--no-augment", action="store_true", help="disable data augmentation (SuperL mode)"
+        )
+
+    detect = sub.add_parser("detect", help="detect errors in a CSV")
+    detect.add_argument("--input", required=True, help="input CSV (header row required)")
+    detect.add_argument("--labels", required=True, help="labels CSV (row,attribute,true_value)")
+    detect.add_argument("--constraints", help="denial constraints file (optional)")
+    detect.add_argument("--output", required=True, help="output triage CSV")
+    detect.add_argument("--threshold", type=float, default=0.5, help="flagging threshold")
+    detect.add_argument("--save-model", help="directory to save the fitted detector")
+    add_model_args(detect)
+    detect.set_defaults(func=cmd_detect)
+
+    bench = sub.add_parser("benchmark", help="evaluate on a built-in benchmark")
+    bench.add_argument("--dataset", default="hospital", help="benchmark name")
+    bench.add_argument("--rows", type=int, default=300, help="dataset scale")
+    bench.add_argument(
+        "--training-fraction", type=float, default=0.1, help="fraction of tuples labelled"
+    )
+    add_model_args(bench)
+    bench.set_defaults(func=cmd_benchmark)
+
+    policy = sub.add_parser("policy", help="inspect the learned noisy channel")
+    policy.add_argument("--input", required=True, help="input CSV")
+    policy.add_argument("--labels", required=True, help="labels CSV")
+    policy.add_argument("--value", required=True, help="probe value for the conditional")
+    policy.add_argument("--top", type=int, default=10, help="entries to print")
+    add_model_args(policy)
+    policy.set_defaults(func=cmd_policy)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

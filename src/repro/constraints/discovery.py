@@ -1,0 +1,125 @@
+"""α-noisy denial-constraint discovery (Appendix A.2.2).
+
+Definition A.1: a DC is *α-noisy* on D when it satisfies α percent of all
+tuple pairs.  The appendix discovers constraints with the method of Chu et
+al. [11] and groups them into α bands.  We implement the FD-shaped fragment
+of that search: enumerate candidate single-attribute FDs ``A → B``, measure
+each candidate's satisfaction ratio exactly, and return candidates whose α
+falls into a requested band.
+
+This is all the noisy-constraint study needs — the bands (0.55, 0.95] are by
+construction *not* valid constraints, so the search space of imperfect FDs
+supplies them in abundance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.dc import DenialConstraint, functional_dependency
+from repro.constraints.violations import ViolationEngine
+from repro.dataset.table import Dataset
+
+
+@dataclass(frozen=True)
+class ScoredConstraint:
+    """A candidate constraint with its measured satisfaction ratio α."""
+
+    constraint: DenialConstraint
+    alpha: float
+
+
+def score_candidate_fds(
+    dataset: Dataset,
+    max_lhs_cardinality: int | None = None,
+    max_lhs_size: int = 1,
+) -> list[ScoredConstraint]:
+    """Score candidate FDs ``X → B`` by satisfaction ratio.
+
+    ``max_lhs_size`` controls the lattice level: 1 enumerates single-
+    attribute left-hand sides, 2 additionally enumerates attribute pairs
+    (pruned to pairs whose singleton parents are not already near-perfect —
+    the standard lattice pruning of Chu et al. [11]).
+
+    ``max_lhs_cardinality`` skips near-key attributes (an FD whose LHS is
+    almost unique is trivially satisfied and tells the detector nothing);
+    defaults to 90% of the row count.
+    """
+    if max_lhs_size not in (1, 2):
+        raise ValueError("max_lhs_size must be 1 or 2")
+    if max_lhs_cardinality is None:
+        max_lhs_cardinality = int(0.9 * dataset.num_rows)
+    engine = ViolationEngine([])
+    usable = [
+        a for a in dataset.attributes if len(dataset.domain(a)) <= max_lhs_cardinality
+    ]
+    scored: list[ScoredConstraint] = []
+    singleton_alpha: dict[tuple[str, str], float] = {}
+    for lhs in usable:
+        for rhs in dataset.attributes:
+            if rhs == lhs:
+                continue
+            candidate = functional_dependency(lhs, rhs)
+            alpha = engine.satisfaction_ratio(dataset, candidate)
+            singleton_alpha[(lhs, rhs)] = alpha
+            scored.append(ScoredConstraint(candidate, alpha))
+    if max_lhs_size == 2:
+        for i, lhs_a in enumerate(usable):
+            for lhs_b in usable[i + 1 :]:
+                for rhs in dataset.attributes:
+                    if rhs in (lhs_a, lhs_b):
+                        continue
+                    # Prune: if either parent already (nearly) holds, the
+                    # pair-LHS FD is implied and uninformative.
+                    if (
+                        singleton_alpha.get((lhs_a, rhs), 0.0) > 0.999
+                        or singleton_alpha.get((lhs_b, rhs), 0.0) > 0.999
+                    ):
+                        continue
+                    candidate = functional_dependency([lhs_a, lhs_b], rhs)
+                    alpha = engine.satisfaction_ratio(dataset, candidate)
+                    scored.append(ScoredConstraint(candidate, alpha))
+    return scored
+
+
+def discover_constraints(
+    dataset: Dataset,
+    min_alpha: float = 0.999,
+    limit: int | None = None,
+    max_lhs_size: int = 1,
+) -> list[DenialConstraint]:
+    """Discover (near-)valid FD-shaped constraints from a dataset.
+
+    The entry point for users with no Σ of their own: returns constraints
+    whose satisfaction ratio is at least ``min_alpha`` (on noisy data, valid
+    constraints are violated by the errors themselves, so a threshold
+    slightly below 1 is the practical setting).  Results are ordered by
+    descending α, ties broken by constraint name for determinism.
+    """
+    scored = score_candidate_fds(dataset, max_lhs_size=max_lhs_size)
+    matching = sorted(
+        (s for s in scored if s.alpha >= min_alpha),
+        key=lambda s: (-s.alpha, s.constraint.name),
+    )
+    constraints = [s.constraint for s in matching]
+    return constraints if limit is None else constraints[:limit]
+
+
+def discover_noisy_constraints(
+    dataset: Dataset,
+    alpha_range: tuple[float, float],
+    limit: int | None = None,
+    candidates: list[ScoredConstraint] | None = None,
+) -> list[DenialConstraint]:
+    """Constraints whose satisfaction ratio lies in ``(alpha_lo, alpha_hi]``.
+
+    Pass precomputed ``candidates`` (from :func:`score_candidate_fds`) when
+    sampling several bands from the same dataset to avoid rescoring.
+    """
+    lo, hi = alpha_range
+    if not lo < hi:
+        raise ValueError("alpha_range must satisfy lo < hi")
+    if candidates is None:
+        candidates = score_candidate_fds(dataset)
+    matching = [c.constraint for c in candidates if lo < c.alpha <= hi]
+    return matching if limit is None else matching[:limit]

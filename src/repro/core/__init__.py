@@ -1,0 +1,27 @@
+"""HoloDetect core: the joint representation + classification model and the
+public few-shot error detector.
+
+- :mod:`repro.core.model` — the wide-and-deep joint model of Fig. 2/Fig. 7:
+  learnable highway branches over embedding features, concatenated with the
+  fixed numeric block, feeding classifier M;
+- :mod:`repro.core.training` — minibatch ADAM training loop;
+- :mod:`repro.core.calibration` — Platt scaling on a training holdout;
+- :mod:`repro.core.detector` — :class:`HoloDetect`, the end-to-end detector
+  (representation learning + data augmentation), §3.3's three modules wired
+  together.
+"""
+
+from repro.core.model import JointModel
+from repro.core.training import TrainerConfig, train_model
+from repro.core.calibration import PlattScaler
+from repro.core.detector import DetectorConfig, ErrorPredictions, HoloDetect
+
+__all__ = [
+    "JointModel",
+    "TrainerConfig",
+    "train_model",
+    "PlattScaler",
+    "HoloDetect",
+    "DetectorConfig",
+    "ErrorPredictions",
+]

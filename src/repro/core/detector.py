@@ -1,0 +1,224 @@
+"""The HoloDetect detector: §3.3's three modules wired end-to-end.
+
+``fit`` runs: (1) transformation + policy learning and data augmentation
+(Module 1), (2) representation model fitting (Module 2), (3) joint training
+of the learnable layers and classifier M plus Platt calibration (Module 3).
+``predict`` classifies every cell of D outside the training set.
+
+Setting ``augment=False`` yields the SuperL variant of §6.1 — identical
+model, supervision limited to T — which the baselines package reuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.augmentation.augment import augment_training_set
+from repro.augmentation.naive_bayes import NaiveBayesRepairModel
+from repro.augmentation.policy import Policy
+from repro.constraints.dc import DenialConstraint
+from repro.core.calibration import PlattScaler
+from repro.core.model import JointModel
+from repro.core.training import TrainerConfig, train_model
+from repro.dataset.table import Cell, Dataset
+from repro.dataset.training import LabeledCell, TrainingSet
+from repro.features.pipeline import FeaturePipeline, default_pipeline
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class DetectorConfig:
+    """All knobs of the detector, defaulted for laptop-scale runs.
+
+    The paper's configuration (500 epochs, batch 5, 50-dim embeddings) is a
+    valid setting of the same fields.
+    """
+
+    embedding_dim: int = 16
+    embedding_epochs: int = 2
+    hidden_dim: int = 32
+    dropout: float = 0.2
+    epochs: int = 40
+    batch_size: int = 32
+    lr: float = 1e-3
+    weight_decay: float = 1e-5
+    #: Floor on total optimiser steps — small training sets train deeper
+    #: automatically, which removes most seed-to-seed variance in few-shot
+    #: regimes (see TrainerConfig.min_steps).
+    min_training_steps: int = 800
+    holdout_fraction: float = 0.1
+    alpha: float = 1.0
+    target_ratio: float | None = None
+    augment: bool = True
+    calibrate: bool = True
+    #: Learn the channel from weak supervision when T has fewer error pairs.
+    min_error_pairs: int = 10
+    #: Cap on cells scanned by the Naive Bayes weak-supervision model.
+    weak_supervision_max_cells: int = 20_000
+    #: Representation models to drop (ablation studies).
+    exclude_models: tuple[str, ...] = ()
+    prediction_batch: int = 512
+    seed: int = 0
+    #: Override the learned policy (augmentation-strategy ablations, Table 4).
+    policy_override: Policy | None = field(default=None, repr=False)
+
+
+@dataclass
+class ErrorPredictions:
+    """Cell-level predictions: calibrated error probabilities and labels."""
+
+    cells: list[Cell]
+    probabilities: np.ndarray
+    threshold: float = 0.5
+
+    @property
+    def error_cells(self) -> set[Cell]:
+        return {
+            c for c, p in zip(self.cells, self.probabilities) if p >= self.threshold
+        }
+
+    def is_error(self, cell: Cell) -> bool:
+        try:
+            idx = self.cells.index(cell)
+        except ValueError:
+            raise KeyError(f"no prediction for {cell}") from None
+        return bool(self.probabilities[idx] >= self.threshold)
+
+    def as_dict(self) -> dict[Cell, float]:
+        return dict(zip(self.cells, self.probabilities))
+
+
+class HoloDetect:
+    """Few-shot error detector with learned data augmentation (AUG)."""
+
+    def __init__(self, config: DetectorConfig | None = None):
+        self.config = config or DetectorConfig()
+        self.pipeline: FeaturePipeline | None = None
+        self.model: JointModel | None = None
+        self.scaler: PlattScaler | None = None
+        self.policy: Policy | None = None
+        self.augmented_count = 0
+        self._dataset: Dataset | None = None
+        self._train_cells: set[Cell] = set()
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+
+    def fit(
+        self,
+        dataset: Dataset,
+        training: TrainingSet,
+        constraints: Sequence[DenialConstraint] | None = None,
+    ) -> "HoloDetect":
+        """Learn the channel, the representation, and the classifier."""
+        cfg = self.config
+        rng = as_generator(cfg.seed)
+        self._dataset = dataset
+        self._train_cells = set(training.cells)
+
+        train_main, holdout = training.split_holdout(cfg.holdout_fraction, rng=rng)
+        if len(train_main) == 0:
+            raise ValueError("training set is empty after holdout split")
+
+        # Module 2: representation model Q.
+        self.pipeline = default_pipeline(
+            constraints=constraints,
+            embedding_dim=cfg.embedding_dim,
+            embedding_epochs=cfg.embedding_epochs,
+            exclude=cfg.exclude_models,
+            rng=rng,
+        ).fit(dataset)
+
+        # Module 1: noisy channel learning + augmentation.
+        examples: list[LabeledCell] = list(train_main)
+        if cfg.augment:
+            self.policy = cfg.policy_override or self._learn_policy(dataset, train_main)
+            result = augment_training_set(
+                train_main,
+                self.policy,
+                alpha=cfg.alpha,
+                target_ratio=cfg.target_ratio,
+                rng=rng,
+            )
+            self.augmented_count = len(result)
+            examples.extend(result.examples)
+
+        # Module 3: joint training + calibration.
+        features = self.pipeline.transform(
+            [e.cell for e in examples], dataset, values=[e.observed for e in examples]
+        )
+        labels = np.array([1 if e.is_error else 0 for e in examples], dtype=np.int64)
+        self.model = JointModel(
+            numeric_dim=self.pipeline.numeric_dim,
+            branch_dims=self.pipeline.branch_dims,
+            hidden_dim=cfg.hidden_dim,
+            dropout=cfg.dropout,
+            rng=rng,
+        )
+        train_model(
+            self.model,
+            features,
+            labels,
+            TrainerConfig(
+                epochs=cfg.epochs,
+                batch_size=cfg.batch_size,
+                lr=cfg.lr,
+                weight_decay=cfg.weight_decay,
+                min_steps=cfg.min_training_steps,
+                seed=int(rng.integers(0, 2**31)),
+            ),
+        )
+
+        self.scaler = PlattScaler()
+        if cfg.calibrate and len(holdout) > 0:
+            hold_features = self.pipeline.transform(
+                [e.cell for e in holdout], dataset, values=[e.observed for e in holdout]
+            )
+            hold_scores = self.model.error_scores(hold_features)
+            hold_targets = np.array([1.0 if e.is_error else 0.0 for e in holdout])
+            self.scaler.fit(hold_scores, hold_targets)
+        else:
+            self.scaler.fit(np.zeros(0), np.zeros(0))
+        return self
+
+    def _learn_policy(self, dataset: Dataset, training: TrainingSet) -> Policy:
+        """Learn (Φ, Π̂) from T's errors, topped up by weak supervision (§5.4)."""
+        pairs = training.error_pairs()
+        if len(pairs) < self.config.min_error_pairs:
+            weak_model = NaiveBayesRepairModel().fit(dataset)
+            pairs = pairs + weak_model.example_pairs(
+                dataset, max_cells=self.config.weak_supervision_max_cells
+            )
+        return Policy.learn(pairs)
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+
+    def predict(self, cells: Sequence[Cell] | None = None) -> ErrorPredictions:
+        """Calibrated error probabilities for ``cells``.
+
+        Defaults to every cell of D outside the training set (the paper's
+        prediction target, §3.3 Module 3).
+        """
+        if self.model is None or self.pipeline is None or self._dataset is None:
+            raise RuntimeError("detector used before fit()")
+        if cells is None:
+            cells = [c for c in self._dataset.cells() if c not in self._train_cells]
+        cells = list(cells)
+        probabilities = np.zeros(len(cells))
+        batch = self.config.prediction_batch
+        for start in range(0, len(cells), batch):
+            chunk = cells[start : start + batch]
+            features = self.pipeline.transform(chunk, self._dataset)
+            scores = self.model.error_scores(features)
+            probabilities[start : start + batch] = self.scaler.probability(scores)
+        return ErrorPredictions(cells=cells, probabilities=probabilities)
+
+    def predict_error_cells(self, cells: Sequence[Cell] | None = None) -> set[Cell]:
+        """Convenience wrapper returning just the flagged cells."""
+        return self.predict(cells).error_cells

@@ -1,0 +1,104 @@
+"""The joint wide-and-deep model (Fig. 2, Fig. 7, Appendix A.1).
+
+Each learnable branch processes one embedding block through a two-layer
+highway network, a ReLU, and a single-unit dense layer (Fig. 2B) — "so that
+the embeddings do not dominate the joint representation".  The branch
+scalars are concatenated with the fixed numeric features into the joint
+representation, which classifier M (dropout + two-layer network, Fig. 2C)
+maps to two logits: class 0 = correct, class 1 = error.
+
+The whole network is trained end-to-end (§4.1: learnable layers are trained
+jointly with M).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.features.pipeline import CellFeatures
+from repro.nn import (
+    Dropout,
+    Highway,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Tensor,
+    concat,
+)
+from repro.utils.rng import as_generator
+
+#: Class indices of the two-logit output.
+CORRECT_CLASS = 0
+ERROR_CLASS = 1
+
+
+class JointModel(Module):
+    """Representation model Q's learnable layers + classifier M."""
+
+    def __init__(
+        self,
+        numeric_dim: int,
+        branch_dims: Mapping[str, int],
+        hidden_dim: int = 32,
+        dropout: float = 0.2,
+        rng=None,
+    ):
+        super().__init__()
+        gen = as_generator(rng)
+        self.numeric_dim = numeric_dim
+        self.branch_names = sorted(branch_dims)
+        self.branches = [
+            Sequential(
+                Highway(branch_dims[name], rng=gen),
+                Highway(branch_dims[name], rng=gen),
+                ReLU(),
+                Linear(branch_dims[name], 1, rng=gen),
+            )
+            for name in self.branch_names
+        ]
+        joint_dim = numeric_dim + len(self.branch_names)
+        if joint_dim == 0:
+            raise ValueError("model needs at least one feature")
+        self.classifier = Sequential(
+            Dropout(dropout, rng=gen),
+            Linear(joint_dim, hidden_dim, rng=gen),
+            ReLU(),
+            Linear(hidden_dim, 2, rng=gen),
+        )
+
+    def forward(self, features: CellFeatures) -> Tensor:  # type: ignore[override]
+        """Two-class logits ``[batch, 2]`` for a feature batch."""
+        parts: list[Tensor] = []
+        for name, branch in zip(self.branch_names, self.branches):
+            if name not in features.branches:
+                raise KeyError(f"feature batch missing branch {name!r}")
+            parts.append(branch(Tensor(features.branches[name])))
+        if self.numeric_dim:
+            if features.numeric.shape[1] != self.numeric_dim:
+                raise ValueError(
+                    f"numeric block width {features.numeric.shape[1]} != "
+                    f"model numeric_dim {self.numeric_dim}"
+                )
+            parts.append(Tensor(features.numeric))
+        joint = parts[0] if len(parts) == 1 else concat(parts, axis=1)
+        return self.classifier(joint)
+
+    def error_scores(self, features: CellFeatures) -> np.ndarray:
+        """Uncalibrated error-class score ``z = logit_error - logit_correct``.
+
+        This is the scalar score Platt scaling calibrates.
+        """
+        from repro.nn.tensor import no_grad
+
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                logits = self.forward(features).numpy()
+        finally:
+            if was_training:
+                self.train()
+        return logits[:, ERROR_CLASS] - logits[:, CORRECT_CLASS]

@@ -1,0 +1,14 @@
+"""Benchmark dataset generators.
+
+The paper evaluates on five datasets (Table 1): Hospital, Food, Soccer,
+Adult, and Animal.  The original CSVs are not redistributable/reachable
+offline, so each module here generates a synthetic equivalent that matches
+the published schema shape, functional-dependency structure, error *types*
+and error *rates* — the statistics the paper's findings actually depend on —
+at a configurable scale.  Every bundle carries exact cell-level ground truth.
+"""
+
+from repro.data.bundle import DatasetBundle
+from repro.data.registry import DATASET_NAMES, load_dataset
+
+__all__ = ["DatasetBundle", "DATASET_NAMES", "load_dataset"]

@@ -1,0 +1,39 @@
+"""The bundle every dataset generator returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.dc import DenialConstraint
+from repro.dataset.ground_truth import GroundTruth
+from repro.dataset.table import Cell, Dataset
+
+
+@dataclass
+class DatasetBundle:
+    """A benchmark dataset: clean + dirty relation, truth, and constraints."""
+
+    name: str
+    clean: Dataset
+    dirty: Dataset
+    truth: GroundTruth
+    constraints: list[DenialConstraint] = field(default_factory=list)
+
+    @property
+    def error_cells(self) -> set[Cell]:
+        return set(self.truth.error_cells(self.dirty))
+
+    @property
+    def error_rate(self) -> float:
+        return self.truth.error_rate(self.dirty)
+
+    def summary(self) -> dict[str, object]:
+        """Table 1-style row: size, attributes, error count."""
+        return {
+            "dataset": self.name,
+            "rows": self.dirty.num_rows,
+            "attributes": len(self.dirty.attributes),
+            "errors": len(self.error_cells),
+            "error_rate": round(self.error_rate, 4),
+            "constraints": len(self.constraints),
+        }

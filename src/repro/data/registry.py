@@ -1,0 +1,41 @@
+"""Dataset registry: load any benchmark bundle by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.data.adult import generate_adult
+from repro.data.animal import generate_animal
+from repro.data.bundle import DatasetBundle
+from repro.data.food import generate_food
+from repro.data.hospital import generate_hospital
+from repro.data.soccer import generate_soccer
+
+_GENERATORS: dict[str, Callable[..., DatasetBundle]] = {
+    "hospital": generate_hospital,
+    "food": generate_food,
+    "soccer": generate_soccer,
+    "adult": generate_adult,
+    "animal": generate_animal,
+}
+
+#: Names of the five benchmark datasets (Table 1).
+DATASET_NAMES = tuple(_GENERATORS)
+
+#: Default scaled-down row counts for offline CPU runs.  The paper's sizes
+#: (Table 1) are valid values of ``num_rows``.
+DEFAULT_ROWS = {
+    "hospital": 1000,
+    "food": 2000,
+    "soccer": 2000,
+    "adult": 2000,
+    "animal": 1500,
+}
+
+
+def load_dataset(name: str, num_rows: int | None = None, seed: int = 0) -> DatasetBundle:
+    """Generate benchmark bundle ``name`` (see :data:`DATASET_NAMES`)."""
+    if name not in _GENERATORS:
+        raise ValueError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    rows = num_rows if num_rows is not None else DEFAULT_ROWS[name]
+    return _GENERATORS[name](num_rows=rows, seed=seed)

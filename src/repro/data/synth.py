@@ -1,0 +1,94 @@
+"""Shared vocabulary synthesis for the dataset generators.
+
+Produces pronounceable names, street addresses, codes, and numeric strings
+deterministically from a seed, so every generated dataset is reproducible
+and its attribute vocabularies have realistic cardinality and format
+structure (which the format and embedding models then learn).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+_ONSETS = ["b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "br", "ch", "cl", "st", "tr", "gr", "sh"]
+_VOWELS = ["a", "e", "i", "o", "u", "ai", "ea", "ou", "io"]
+_CODAS = ["", "n", "r", "s", "l", "t", "m", "nd", "rt", "ck", "th"]
+
+
+def pronounceable_word(rng: np.random.Generator, syllables: int = 2, capitalize: bool = True) -> str:
+    """A random pronounceable word of ``syllables`` syllables."""
+    parts = []
+    for _ in range(max(1, syllables)):
+        onset = _ONSETS[int(rng.integers(0, len(_ONSETS)))]
+        vowel = _VOWELS[int(rng.integers(0, len(_VOWELS)))]
+        coda = _CODAS[int(rng.integers(0, len(_CODAS)))]
+        parts.append(onset + vowel + coda)
+    word = "".join(parts)
+    return word.capitalize() if capitalize else word
+
+
+def word_pool(rng: np.random.Generator, count: int, syllables: int = 2) -> list[str]:
+    """``count`` distinct pronounceable words."""
+    pool: dict[str, None] = {}
+    attempts = 0
+    while len(pool) < count and attempts < count * 50:
+        pool.setdefault(pronounceable_word(rng, syllables), None)
+        attempts += 1
+    if len(pool) < count:
+        # Disambiguate with numeric suffixes if the syllable space is tight.
+        base = list(pool)
+        i = 0
+        while len(pool) < count:
+            pool.setdefault(f"{base[i % len(base)]}{i}", None)
+            i += 1
+    return list(pool)
+
+
+def digit_string(rng: np.random.Generator, length: int) -> str:
+    """A fixed-length digit string (leading zeros allowed)."""
+    return "".join(str(int(d)) for d in rng.integers(0, 10, size=length))
+
+
+def digit_pool(rng: np.random.Generator, count: int, length: int) -> list[str]:
+    """``count`` distinct fixed-length digit strings."""
+    pool: dict[str, None] = {}
+    while len(pool) < count:
+        pool.setdefault(digit_string(rng, length), None)
+    return list(pool)
+
+
+def code_pool(rng: np.random.Generator, count: int, prefix: str, width: int = 4) -> list[str]:
+    """Codes like ``prefix-0042`` (zero-padded, sortable)."""
+    return [f"{prefix}-{i:0{width}d}" for i in range(count)]
+
+
+def phone_number(rng: np.random.Generator) -> str:
+    return f"{digit_string(rng, 3)}-{digit_string(rng, 3)}-{digit_string(rng, 4)}"
+
+
+def street_address(rng: np.random.Generator, street_names: list[str]) -> str:
+    number = int(rng.integers(1, 9999))
+    street = street_names[int(rng.integers(0, len(street_names)))]
+    suffix = ["St", "Ave", "Blvd", "Rd"][int(rng.integers(0, 4))]
+    return f"{number} {street} {suffix}"
+
+
+def date_string(rng: np.random.Generator, year_lo: int = 2005, year_hi: int = 2019) -> str:
+    year = int(rng.integers(year_lo, year_hi + 1))
+    month = int(rng.integers(1, 13))
+    day = int(rng.integers(1, 29))
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def choose(rng: np.random.Generator, pool: list[str]) -> str:
+    return pool[int(rng.integers(0, len(pool)))]
+
+
+def zipf_choice(rng: np.random.Generator, pool: list[str], exponent: float = 1.2) -> str:
+    """Draw from ``pool`` with a Zipf-like skew (real vocabularies are skewed)."""
+    ranks = np.arange(1, len(pool) + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    weights /= weights.sum()
+    return pool[int(rng.choice(len(pool), p=weights))]

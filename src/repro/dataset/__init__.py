@@ -1,0 +1,24 @@
+"""Relational dataset substrate.
+
+HoloDetect operates on cell-level observations of a relation.  This package
+provides the in-memory relation (:class:`Dataset`), cell addressing
+(:class:`Cell`), ground-truth bookkeeping (:class:`GroundTruth`), and the
+labelled training set abstraction (:class:`TrainingSet`) that the paper calls
+``T = {(c, v_c, v*_c)}``.
+"""
+
+from repro.dataset.table import Cell, Dataset, Schema
+from repro.dataset.ground_truth import GroundTruth
+from repro.dataset.training import LabeledCell, TrainingSet
+from repro.dataset.loader import read_csv, write_csv
+
+__all__ = [
+    "Cell",
+    "Dataset",
+    "Schema",
+    "GroundTruth",
+    "LabeledCell",
+    "TrainingSet",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,62 @@
+"""Ground truth: the unknown true value ``v*_c`` for every cell.
+
+In our synthetic benchmarks ground truth is exact (we generated the clean
+relation before injecting errors); the paper's real datasets came with
+manually curated truth of the same shape.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.dataset.table import Cell, Dataset
+
+
+class GroundTruth:
+    """Mapping from cells to their true values, with error queries.
+
+    A cell is *erroneous* when its observed value in the dirty dataset differs
+    from its true value here (``v_c != v*_c``, §3.1).
+    """
+
+    def __init__(self, true_values: Mapping[Cell, str]):
+        self._true: dict[Cell, str] = dict(true_values)
+
+    @classmethod
+    def from_clean_dataset(cls, clean: Dataset) -> "GroundTruth":
+        """Every cell of a clean relation is its own truth."""
+        return cls({cell: clean.value(cell) for cell in clean.cells()})
+
+    def __len__(self) -> int:
+        return len(self._true)
+
+    def __contains__(self, cell: Cell) -> bool:
+        return cell in self._true
+
+    def true_value(self, cell: Cell) -> str:
+        return self._true[cell]
+
+    def is_error(self, cell: Cell, dirty: Dataset) -> bool:
+        """Whether the observed value disagrees with the truth."""
+        return dirty.value(cell) != self._true[cell]
+
+    def error_cells(self, dirty: Dataset) -> list[Cell]:
+        """All erroneous cells of ``dirty`` under this truth."""
+        return [c for c in self._true if dirty.value(c) != self._true[c]]
+
+    def label(self, cell: Cell, dirty: Dataset) -> int:
+        """Paper convention: ``-1`` for error, ``+1`` for correct."""
+        return -1 if self.is_error(cell, dirty) else 1
+
+    def cells(self) -> Iterator[Cell]:
+        return iter(self._true)
+
+    def restrict(self, cells: Iterable[Cell]) -> "GroundTruth":
+        """Ground truth over a subset of cells (e.g. a sampled label budget)."""
+        return GroundTruth({c: self._true[c] for c in cells})
+
+    def error_rate(self, dirty: Dataset) -> float:
+        """Fraction of covered cells that are erroneous."""
+        if not self._true:
+            return 0.0
+        return len(self.error_cells(dirty)) / len(self._true)

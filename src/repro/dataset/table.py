@@ -1,0 +1,175 @@
+"""In-memory relation with cell-level addressing.
+
+The paper's data model (§3.1): a dataset ``D`` is a set of tuples over
+attributes ``A1..AN``; a *cell* is the value of one attribute in one tuple.
+All values are strings (error detection treats cell contents as opaque text;
+numerics are compared lexically exactly as the original system did).
+
+Storage is columnar (``dict[attr, list[str]]``) which keeps per-attribute
+statistics — the dominant access pattern in featurisation — cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Cell:
+    """Address of a single cell: row index plus attribute name."""
+
+    row: int
+    attr: str
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered attribute list of a relation."""
+
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValueError("duplicate attribute names in schema")
+        if not self.attributes:
+            raise ValueError("schema must have at least one attribute")
+
+    def __contains__(self, attr: str) -> bool:
+        return attr in self.attributes
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def index(self, attr: str) -> int:
+        """Position of ``attr`` in the schema (raises ``ValueError`` if absent)."""
+        return self.attributes.index(attr)
+
+
+class Dataset:
+    """A relation: ordered rows over a fixed schema, all values strings.
+
+    Rows keep their integer identity (`Cell.row`) across copies so that
+    ground truth, training labels, and predictions can be joined by cell.
+    """
+
+    def __init__(self, schema: Schema, columns: Mapping[str, Sequence[str]]):
+        if set(columns) != set(schema.attributes):
+            raise ValueError("columns do not match schema attributes")
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        self.schema = schema
+        self._columns: dict[str, list[str]] = {
+            a: [str(v) for v in columns[a]] for a in schema.attributes
+        }
+        self._num_rows = lengths.pop() if lengths else 0
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_rows(cls, attributes: Sequence[str], rows: Iterable[Sequence[str]]) -> "Dataset":
+        """Build a dataset from row-major data."""
+        schema = Schema(tuple(attributes))
+        cols: dict[str, list[str]] = {a: [] for a in schema.attributes}
+        for row in rows:
+            if len(row) != len(schema.attributes):
+                raise ValueError("row arity does not match schema")
+            for attr, value in zip(schema.attributes, row):
+                cols[attr].append(str(value))
+        return cls(schema, cols)
+
+    @classmethod
+    def from_dicts(cls, rows: Iterable[Mapping[str, str]], attributes: Sequence[str] | None = None) -> "Dataset":
+        """Build a dataset from a list of ``{attr: value}`` mappings."""
+        rows = list(rows)
+        if attributes is None:
+            if not rows:
+                raise ValueError("cannot infer schema from zero rows")
+            attributes = list(rows[0].keys())
+        return cls.from_rows(attributes, [[r[a] for a in attributes] for r in rows])
+
+    def copy(self) -> "Dataset":
+        """Deep copy (cells can be mutated independently)."""
+        return Dataset(self.schema, {a: list(v) for a, v in self._columns.items()})
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self.schema.attributes
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def num_cells(self) -> int:
+        return self._num_rows * len(self.schema)
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def column(self, attr: str) -> list[str]:
+        """The full value list of one attribute (do not mutate)."""
+        return self._columns[attr]
+
+    def value(self, cell: Cell) -> str:
+        """Observed value ``v_c`` of a cell."""
+        return self._columns[cell.attr][cell.row]
+
+    def __getitem__(self, cell: Cell) -> str:
+        return self.value(cell)
+
+    def set_value(self, cell: Cell, value: str) -> None:
+        """Mutate a cell in place (used by error injection and repair)."""
+        self._columns[cell.attr][cell.row] = str(value)
+
+    def row_dict(self, row: int) -> dict[str, str]:
+        """One tuple as an ``{attr: value}`` mapping."""
+        if not 0 <= row < self._num_rows:
+            raise IndexError(f"row {row} out of range")
+        return {a: self._columns[a][row] for a in self.schema.attributes}
+
+    def row_values(self, row: int) -> list[str]:
+        """One tuple as a value list in schema order."""
+        return [self._columns[a][row] for a in self.schema.attributes]
+
+    def cells(self) -> Iterator[Cell]:
+        """Iterate over every cell, attribute-major then row order."""
+        for attr in self.schema.attributes:
+            for row in range(self._num_rows):
+                yield Cell(row, attr)
+
+    def cells_of_row(self, row: int) -> list[Cell]:
+        return [Cell(row, attr) for attr in self.schema.attributes]
+
+    # ------------------------------------------------------------------ #
+    # Statistics used throughout featurisation
+    # ------------------------------------------------------------------ #
+
+    def value_counts(self, attr: str) -> dict[str, int]:
+        """Frequency of each distinct value within one attribute."""
+        counts: dict[str, int] = {}
+        for v in self._columns[attr]:
+            counts[v] = counts.get(v, 0) + 1
+        return counts
+
+    def domain(self, attr: str) -> list[str]:
+        """Distinct values of an attribute, in first-seen order."""
+        seen: dict[str, None] = {}
+        for v in self._columns[attr]:
+            seen.setdefault(v, None)
+        return list(seen)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dataset):
+            return NotImplemented
+        return self.schema == other.schema and self._columns == other._columns
+
+    def __repr__(self) -> str:
+        return f"Dataset({self._num_rows} rows x {len(self.schema)} attrs)"

@@ -1,0 +1,25 @@
+"""Embedding substrate: FastText-style subword embeddings trained in numpy.
+
+The paper embeds three views of the data — character sequences, in-cell word
+tokens, and whole tuples as bags of words — with FastText [7, 32] and feeds
+the vectors to learnable highway layers.  This package reimplements the
+FastText objective (skip-gram with negative sampling over subword character
+n-grams) from scratch, along with the corpus builders for each view and the
+nearest-neighbour distance used by the dataset-level neighbourhood feature.
+"""
+
+from repro.embeddings.fasttext import FastTextEmbedding
+from repro.embeddings.corpus import (
+    char_corpus,
+    tuple_corpus,
+    tuple_value_corpus,
+    word_corpus,
+)
+
+__all__ = [
+    "FastTextEmbedding",
+    "char_corpus",
+    "word_corpus",
+    "tuple_corpus",
+    "tuple_value_corpus",
+]

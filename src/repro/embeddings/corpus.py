@@ -1,0 +1,60 @@
+"""Corpus builders for the three embedding views of a dataset.
+
+Each builder returns a list of *sentences* (token lists) suitable for
+:class:`~repro.embeddings.fasttext.FastTextEmbedding.fit`:
+
+- character view: every cell value of an attribute becomes a sentence of
+  single-character tokens (attribute-level character model, Table 7);
+- word view: every cell value becomes a sentence of word tokens;
+- tuple view: every tuple becomes one sentence — the union of word tokens of
+  all its attribute values, i.e. a bag-of-words document as §4.1 specifies;
+- tuple-value view: every tuple becomes a sentence whose tokens are the raw,
+  non-tokenised attribute values (the neighbourhood model of Table 7).
+"""
+
+from __future__ import annotations
+
+from repro.dataset.table import Dataset
+from repro.text.tokenize import char_tokens, word_tokens
+
+#: Token standing in for an empty cell so sentences are never empty.
+EMPTY_TOKEN = "<empty>"
+
+
+def _nonempty(tokens: list[str]) -> list[str]:
+    return tokens if tokens else [EMPTY_TOKEN]
+
+
+def char_corpus(dataset: Dataset, attr: str) -> list[list[str]]:
+    """Character-token sentences for one attribute."""
+    return [_nonempty(char_tokens(v)) for v in dataset.column(attr)]
+
+
+def word_corpus(dataset: Dataset, attr: str) -> list[list[str]]:
+    """Word-token sentences for one attribute."""
+    return [_nonempty(word_tokens(v)) for v in dataset.column(attr)]
+
+
+def tuple_corpus(dataset: Dataset) -> list[list[str]]:
+    """One bag-of-words sentence per tuple (all attributes pooled)."""
+    sentences = []
+    for row in range(dataset.num_rows):
+        tokens: list[str] = []
+        for value in dataset.row_values(row):
+            tokens.extend(word_tokens(value))
+        sentences.append(_nonempty(tokens))
+    return sentences
+
+
+def tuple_value_corpus(dataset: Dataset) -> list[list[str]]:
+    """One sentence per tuple whose tokens are whole attribute values.
+
+    Values are kept verbatim (not tokenised) so the embedding space contains
+    one point per distinct cell value, which the neighbourhood feature then
+    queries for the closest other value.
+    """
+    sentences = []
+    for row in range(dataset.num_rows):
+        values = [v if v else EMPTY_TOKEN for v in dataset.row_values(row)]
+        sentences.append(values)
+    return sentences

@@ -1,0 +1,314 @@
+"""FastText-style subword embeddings: skip-gram with negative sampling.
+
+Reimplements the training objective of Bojanowski et al. [7] in numpy: each
+word is represented as the mean of hashed character-n-gram vectors plus a
+whole-word vector, trained so that words predict their context words against
+negative samples drawn from the unigram^0.75 distribution.
+
+Subword representations matter for error detection specifically because they
+give *out-of-vocabulary* strings — which typos overwhelmingly are — vectors
+that land near their clean neighbours, letting the learnable layers above
+separate "slightly off" from "structurally different".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def _fnv1a(text: str) -> int:
+    """64-bit FNV-1a hash (FastText's bucket hash)."""
+    h = _FNV_OFFSET
+    for byte in text.encode("utf-8"):
+        h ^= byte
+        h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def subword_ngrams(word: str, n_min: int = 3, n_max: int = 5) -> list[str]:
+    """Character n-grams of ``<word>`` with boundary markers, as in FastText."""
+    wrapped = f"<{word}>"
+    grams = []
+    for n in range(n_min, n_max + 1):
+        if n > len(wrapped):
+            break
+        grams.extend(wrapped[i : i + n] for i in range(len(wrapped) - n + 1))
+    return grams
+
+
+class FastTextEmbedding:
+    """Subword skip-gram embedding trained with negative sampling.
+
+    Parameters mirror the knobs that matter for this reproduction: embedding
+    ``dim`` (the paper used 50; we default lower for CPU runtime), context
+    ``window``, ``negatives`` per positive pair, subword n-gram range, bucket
+    count for the hashing trick, ``epochs`` and learning rate.
+    """
+
+    def __init__(
+        self,
+        dim: int = 24,
+        window: int = 3,
+        negatives: int = 4,
+        n_min: int = 3,
+        n_max: int = 5,
+        buckets: int = 4096,
+        epochs: int = 3,
+        lr: float = 0.05,
+        max_pairs_per_epoch: int = 200_000,
+        rng=None,
+    ):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = dim
+        self.window = window
+        self.negatives = negatives
+        self.n_min = n_min
+        self.n_max = n_max
+        self.buckets = buckets
+        self.epochs = epochs
+        self.lr = lr
+        self.max_pairs_per_epoch = max_pairs_per_epoch
+        self._rng = as_generator(rng)
+        self._vocab: dict[str, int] = {}
+        self._index_to_word: list[str] = []
+        self._in: np.ndarray | None = None  # [buckets + vocab, dim]
+        self._out: np.ndarray | None = None  # [vocab, dim]
+        self._sub_ids: np.ndarray | None = None  # [vocab, max_subwords] padded
+        self._sub_mask: np.ndarray | None = None
+        self._word_vectors_cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # Vocabulary and subword plumbing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def vocabulary(self) -> list[str]:
+        return list(self._index_to_word)
+
+    def _word_subword_ids(self, word: str, word_index: int | None) -> list[int]:
+        """Hashed subword ids; in-vocab words also get a dedicated id."""
+        ids = [
+            _fnv1a(gram) % self.buckets for gram in subword_ngrams(word, self.n_min, self.n_max)
+        ]
+        if word_index is not None:
+            ids.append(self.buckets + word_index)
+        if not ids:
+            # Words shorter than n_min still need at least one id.
+            ids = [_fnv1a(f"<{word}>") % self.buckets]
+        return ids
+
+    def _build_vocab(self, sentences: Sequence[Sequence[str]]) -> np.ndarray:
+        counts: dict[str, int] = {}
+        for sentence in sentences:
+            for token in sentence:
+                counts[token] = counts.get(token, 0) + 1
+        self._index_to_word = sorted(counts, key=lambda w: (-counts[w], w))
+        self._vocab = {w: i for i, w in enumerate(self._index_to_word)}
+        freq = np.array([counts[w] for w in self._index_to_word], dtype=np.float64)
+        return freq
+
+    def _build_subword_table(self) -> None:
+        vocab_size = len(self._index_to_word)
+        id_lists = [
+            self._word_subword_ids(w, i) for i, w in enumerate(self._index_to_word)
+        ]
+        max_len = max(len(ids) for ids in id_lists)
+        self._sub_ids = np.zeros((vocab_size, max_len), dtype=np.int64)
+        self._sub_mask = np.zeros((vocab_size, max_len), dtype=np.float64)
+        for i, ids in enumerate(id_lists):
+            self._sub_ids[i, : len(ids)] = ids
+            self._sub_mask[i, : len(ids)] = 1.0
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+
+    def fit(self, sentences: Iterable[Sequence[str]]) -> "FastTextEmbedding":
+        """Train on a corpus of token-list sentences."""
+        sentences = [list(s) for s in sentences if s]
+        if not sentences:
+            raise ValueError("cannot fit embeddings on an empty corpus")
+        freq = self._build_vocab(sentences)
+        self._build_subword_table()
+        vocab_size = len(self._index_to_word)
+        table_size = self.buckets + vocab_size
+        scale = 1.0 / self.dim
+        self._in = self._rng.uniform(-scale, scale, size=(table_size, self.dim))
+        self._out = np.zeros((vocab_size, self.dim))
+
+        centers, contexts = self._collect_pairs(sentences)
+        if centers.size == 0:
+            self._word_vectors_cache = None
+            return self
+
+        noise = freq**0.75
+        noise /= noise.sum()
+
+        for _ in range(self.epochs):
+            order = self._rng.permutation(centers.size)
+            if centers.size > self.max_pairs_per_epoch:
+                order = order[: self.max_pairs_per_epoch]
+            self._train_epoch(centers[order], contexts[order], noise)
+            self._clip_norms()
+        self._word_vectors_cache = None
+        return self
+
+    def _collect_pairs(
+        self, sentences: Sequence[Sequence[str]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        centers: list[int] = []
+        contexts: list[int] = []
+        for sentence in sentences:
+            ids = [self._vocab[t] for t in sentence]
+            n = len(ids)
+            for pos, center in enumerate(ids):
+                lo = max(0, pos - self.window)
+                hi = min(n, pos + self.window + 1)
+                for other in range(lo, hi):
+                    if other != pos:
+                        centers.append(center)
+                        contexts.append(ids[other])
+        return np.asarray(centers, dtype=np.int64), np.asarray(contexts, dtype=np.int64)
+
+    def _train_epoch(
+        self, centers: np.ndarray, contexts: np.ndarray, noise: np.ndarray
+    ) -> None:
+        batch = 512
+        vocab_size = noise.size
+        for start in range(0, centers.size, batch):
+            c = centers[start : start + batch]
+            o = contexts[start : start + batch]
+            n = c.size
+            negs = self._rng.choice(vocab_size, size=(n, self.negatives), p=noise)
+            sub_ids = self._sub_ids[c]  # [n, S]
+            sub_mask = self._sub_mask[c]  # [n, S]
+            counts = sub_mask.sum(axis=1, keepdims=True)  # [n, 1]
+            in_vecs = (self._in[sub_ids] * sub_mask[:, :, None]).sum(axis=1) / counts
+
+            # Positive and negative targets share the same update form:
+            # grad on score = sigmoid(score) - label.
+            targets = np.concatenate([o[:, None], negs], axis=1)  # [n, 1+k]
+            labels = np.zeros((n, 1 + self.negatives))
+            labels[:, 0] = 1.0
+            out_vecs = self._out[targets]  # [n, 1+k, d]
+            scores = np.einsum("nd,nkd->nk", in_vecs, out_vecs)
+            g = (1.0 / (1.0 + np.exp(-np.clip(scores, -30, 30))) - labels) * self.lr
+
+            # Update output vectors.
+            grad_out = g[:, :, None] * in_vecs[:, None, :]  # [n, 1+k, d]
+            np.add.at(self._out, targets.ravel(), -grad_out.reshape(-1, self.dim))
+
+            # Update input (subword) vectors.
+            grad_in = np.einsum("nk,nkd->nd", g, out_vecs) / counts  # [n, d]
+            weighted = grad_in[:, None, :] * sub_mask[:, :, None]  # [n, S, d]
+            np.add.at(self._in, sub_ids.ravel(), -weighted.reshape(-1, self.dim))
+
+    def _clip_norms(self, max_norm: float = 10.0) -> None:
+        """Renormalise rows whose norm exceeds ``max_norm``.
+
+        Batched scatter-add updates can let frequently shared buckets grow
+        without bound on degenerate corpora; clipping keeps the geometry
+        (directions) while bounding magnitudes.
+        """
+        for table in (self._in, self._out):
+            norms = np.linalg.norm(table, axis=1, keepdims=True)
+            np.divide(table, norms / max_norm, out=table, where=norms > max_norm)
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+
+    def vector(self, word: str) -> np.ndarray:
+        """Embedding of ``word``; OOV words fall back to subword vectors only."""
+        if self._in is None:
+            raise RuntimeError("embedding not fitted")
+        ids = self._word_subword_ids(word, self._vocab.get(word))
+        return self._in[ids].mean(axis=0)
+
+    def sentence_vector(self, tokens: Sequence[str]) -> np.ndarray:
+        """Mean of token vectors; zero vector for an empty token list."""
+        if not tokens:
+            return np.zeros(self.dim)
+        return np.mean([self.vector(t) for t in tokens], axis=0)
+
+    def _word_vectors(self) -> np.ndarray:
+        if self._word_vectors_cache is None:
+            self._word_vectors_cache = np.stack(
+                [self.vector(w) for w in self._index_to_word]
+            )
+        return self._word_vectors_cache
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def to_state(self) -> dict:
+        """Serialisable state: config + vocabulary + weight tables.
+
+        Arrays are returned as-is; the persistence layer decides how to
+        store them.  The subword table is rebuilt from the vocabulary on
+        load (it is a pure function of vocab + hashing config).
+        """
+        if self._in is None or self._out is None:
+            raise RuntimeError("cannot serialise an unfitted embedding")
+        return {
+            "config": {
+                "dim": self.dim,
+                "window": self.window,
+                "negatives": self.negatives,
+                "n_min": self.n_min,
+                "n_max": self.n_max,
+                "buckets": self.buckets,
+                "epochs": self.epochs,
+                "lr": self.lr,
+            },
+            "vocabulary": list(self._index_to_word),
+            "in_table": self._in,
+            "out_table": self._out,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FastTextEmbedding":
+        """Rebuild a fitted embedding from :meth:`to_state` output."""
+        model = cls(**state["config"])
+        model._index_to_word = list(state["vocabulary"])
+        model._vocab = {w: i for i, w in enumerate(model._index_to_word)}
+        model._in = np.asarray(state["in_table"], dtype=np.float64)
+        model._out = np.asarray(state["out_table"], dtype=np.float64)
+        model._build_subword_table()
+        return model
+
+    def nearest_neighbor_distance(self, word: str) -> float:
+        """Cosine distance to the closest *other* vocabulary word.
+
+        This is the dataset-level neighbourhood feature (Appendix A.1): for a
+        correct-but-rare value there is usually a close neighbour; a garbled
+        value sits far from everything.  Returns 1.0 when the vocabulary has
+        no other word to compare against.
+        """
+        vectors = self._word_vectors()
+        if len(self._index_to_word) < 2 and word in self._vocab:
+            return 1.0
+        query = self.vector(word)
+        q_norm = np.linalg.norm(query)
+        if q_norm == 0:
+            return 1.0
+        norms = np.linalg.norm(vectors, axis=1)
+        safe = np.where(norms == 0, 1.0, norms)
+        sims = vectors @ query / (safe * q_norm)
+        sims = np.where(norms == 0, -1.0, sims)
+        own = self._vocab.get(word)
+        if own is not None:
+            sims[own] = -np.inf
+        best = float(np.max(sims))
+        if best == -np.inf:
+            return 1.0
+        return float(np.clip(1.0 - best, 0.0, 2.0))

@@ -1,0 +1,89 @@
+"""Typo channels.
+
+``inject_x`` mirrors the Hospital benchmark's artificial typos ("swapping a
+character in the clean cell value with the character 'x'", Appendix A.3);
+the remaining channels are the standard BART typo repertoire (substitution,
+insertion, deletion, transposition).
+
+Every channel guarantees its output differs from its input, or raises
+``ValueError`` when that is impossible (e.g. deleting from a 1-char string
+may be fine but transposing "aa" is not) — callers fall back to another
+channel.
+"""
+
+from __future__ import annotations
+
+import string
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+_ALPHABET = string.ascii_lowercase + string.digits
+
+
+def inject_x(value: str, rng=None) -> str:
+    """Replace one character with 'x', or insert an 'x' when value is empty
+    or entirely 'x' already."""
+    gen = as_generator(rng)
+    candidates = [i for i, ch in enumerate(value) if ch != "x"]
+    if not candidates:
+        pos = int(gen.integers(0, len(value) + 1))
+        return value[:pos] + "x" + value[pos:]
+    pos = candidates[int(gen.integers(0, len(candidates)))]
+    return value[:pos] + "x" + value[pos + 1 :]
+
+
+def substitute_char(value: str, rng=None) -> str:
+    """Replace one character with a different random alphanumeric."""
+    if not value:
+        raise ValueError("cannot substitute in an empty string")
+    gen = as_generator(rng)
+    pos = int(gen.integers(0, len(value)))
+    original = value[pos]
+    choices = [c for c in _ALPHABET if c != original.lower()]
+    replacement = choices[int(gen.integers(0, len(choices)))]
+    return value[:pos] + replacement + value[pos + 1 :]
+
+
+def insert_char(value: str, rng=None) -> str:
+    """Insert one random alphanumeric character at a random position."""
+    gen = as_generator(rng)
+    pos = int(gen.integers(0, len(value) + 1))
+    ch = _ALPHABET[int(gen.integers(0, len(_ALPHABET)))]
+    return value[:pos] + ch + value[pos:]
+
+
+def delete_char(value: str, rng=None) -> str:
+    """Delete one character."""
+    if not value:
+        raise ValueError("cannot delete from an empty string")
+    gen = as_generator(rng)
+    pos = int(gen.integers(0, len(value)))
+    return value[:pos] + value[pos + 1 :]
+
+
+def transpose_chars(value: str, rng=None) -> str:
+    """Swap two adjacent distinct characters."""
+    positions = [i for i in range(len(value) - 1) if value[i] != value[i + 1]]
+    if not positions:
+        raise ValueError("no adjacent distinct characters to transpose")
+    gen = as_generator(rng)
+    pos = positions[int(gen.integers(0, len(positions)))]
+    return value[:pos] + value[pos + 1] + value[pos] + value[pos + 2 :]
+
+
+def random_typo(value: str, rng=None) -> str:
+    """Apply a random typo channel, retrying until the output differs."""
+    gen = as_generator(rng)
+    channels = [substitute_char, insert_char, delete_char, transpose_chars]
+    for _ in range(8):
+        channel = channels[int(gen.integers(0, len(channels)))]
+        try:
+            result = channel(value, gen)
+        except ValueError:
+            continue
+        if result != value:
+            return result
+    # Insertion always succeeds and always differs.
+    return insert_char(value, gen)

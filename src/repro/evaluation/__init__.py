@@ -1,0 +1,24 @@
+"""Evaluation harness: metrics, splits, and the seeded experiment runner.
+
+Implements the paper's protocol (§6.1): precision / recall / F1 over cell
+predictions, a three-way split of the ground truth into training / sampling
+(active-learning pool) / test sets, and multi-seed repetition reporting the
+median so P, R, and F1 stay coupled.
+"""
+
+from repro.evaluation.metrics import Metrics, evaluate_predictions
+from repro.evaluation.splits import EvaluationSplit, make_split
+from repro.evaluation.runner import ExperimentResult, run_trials
+from repro.evaluation.report import markdown_table, metrics_table, sweep_table
+
+__all__ = [
+    "Metrics",
+    "evaluate_predictions",
+    "EvaluationSplit",
+    "make_split",
+    "ExperimentResult",
+    "run_trials",
+    "markdown_table",
+    "metrics_table",
+    "sweep_table",
+]

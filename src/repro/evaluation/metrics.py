@@ -1,0 +1,47 @@
+"""Precision / recall / F1 over cell-level error predictions (§6.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.dataset.table import Cell
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """The paper's accuracy triple."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+
+    def as_row(self) -> dict[str, float]:
+        return {"P": round(self.precision, 3), "R": round(self.recall, 3), "F1": round(self.f1, 3)}
+
+
+def evaluate_predictions(
+    predicted_errors: Iterable[Cell],
+    true_errors: Iterable[Cell],
+    evaluated_cells: Iterable[Cell],
+) -> Metrics:
+    """Score predictions against truth over an evaluation cell set.
+
+    Both prediction and truth sets are intersected with ``evaluated_cells``
+    (the test split) so that training cells never contaminate the score.
+    Precision with zero predictions is defined as 0 — the convention the
+    paper's tables use (methods that flag nothing score 0 across the board).
+    """
+    scope = set(evaluated_cells)
+    predicted = set(predicted_errors) & scope
+    truth = set(true_errors) & scope
+    tp = len(predicted & truth)
+    fp = len(predicted - truth)
+    fn = len(truth - predicted)
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
+    return Metrics(precision, recall, f1, tp, fp, fn)

@@ -1,0 +1,76 @@
+"""Markdown report generation for experiment results.
+
+The benchmark harness prints paper-style tables to stdout; downstream users
+running their own sweeps usually want the same tables as markdown for a
+notebook, PR description, or paper draft.  This module renders metric
+dictionaries and :class:`~repro.evaluation.runner.ExperimentResult` sweeps
+into aligned GitHub-flavoured markdown.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.evaluation.metrics import Metrics
+from repro.evaluation.runner import ExperimentResult
+
+
+def markdown_table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table with aligned columns."""
+    if not header:
+        raise ValueError("header must not be empty")
+    for row in rows:
+        if len(row) != len(header):
+            raise ValueError("row arity does not match header")
+    cells = [[str(h) for h in header]] + [[str(v) for v in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(header))]
+
+    def line(row: Sequence[str]) -> str:
+        return "| " + " | ".join(v.ljust(w) for v, w in zip(row, widths)) + " |"
+
+    separator = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    return "\n".join([line(cells[0]), separator] + [line(r) for r in cells[1:]])
+
+
+def metrics_table(results: Mapping[str, Metrics], title: str | None = None) -> str:
+    """One method per row: precision / recall / F1.
+
+    ``results`` maps method name → :class:`Metrics` (e.g. one Table 2
+    column group).  Rows keep the mapping's insertion order.
+    """
+    rows = [
+        [name, f"{m.precision:.3f}", f"{m.recall:.3f}", f"{m.f1:.3f}"]
+        for name, m in results.items()
+    ]
+    table = markdown_table(["Method", "P", "R", "F1"], rows)
+    return f"### {title}\n\n{table}" if title else table
+
+
+def sweep_table(
+    results: Mapping[str, ExperimentResult],
+    parameter_name: str = "setting",
+    include_runtime: bool = False,
+) -> str:
+    """One sweep point per row, using each result's median trial.
+
+    ``results`` maps a sweep setting (e.g. ``"5%"`` training data) to an
+    :class:`ExperimentResult`; the rendered row reports the F1-median trial
+    so P/R/F1 stay coupled, plus mean±std F1 across trials.
+    """
+    header = [parameter_name, "P", "R", "F1", "F1 mean±std"]
+    if include_runtime:
+        header.append("runtime (s)")
+    rows = []
+    for setting, result in results.items():
+        median = result.median
+        row = [
+            setting,
+            f"{median.precision:.3f}",
+            f"{median.recall:.3f}",
+            f"{median.f1:.3f}",
+            f"{result.mean_f1:.3f}±{result.std_f1:.3f}",
+        ]
+        if include_runtime:
+            row.append(f"{result.median_runtime:.2f}")
+        rows.append(row)
+    return markdown_table(header, rows)

@@ -1,0 +1,55 @@
+"""Representation model Q (§4, Fig. 2A, Table 7).
+
+Q concatenates representation models from three contexts:
+
+- **attribute-level** — character/word embeddings of the cell value (fed to
+  learnable layers), character and symbolic format 3-gram models, the
+  empirical value distribution, and a column-id one-hot;
+- **tuple-level** — attribute-pair co-occurrence statistics and a learnable
+  tuple embedding;
+- **dataset-level** — per-constraint violation counts and the
+  nearest-neighbour distance in a tuple-value embedding space.
+
+Each model is a :class:`~repro.features.base.Featurizer`.  The
+:class:`~repro.features.pipeline.FeaturePipeline` fits them on the noisy
+dataset D, transforms cells into a fixed ``numeric`` block plus named
+embedding branches, and supports dropping any single model for the Fig. 3
+ablation study.
+"""
+
+from repro.features.base import Featurizer, FeatureContext
+from repro.features.attribute import (
+    CharEmbeddingFeaturizer,
+    ColumnIdFeaturizer,
+    EmpiricalDistributionFeaturizer,
+    FormatNGramFeaturizer,
+    SymbolicNGramFeaturizer,
+    WordEmbeddingFeaturizer,
+)
+from repro.features.tuple_level import CooccurrenceFeaturizer, TupleEmbeddingFeaturizer
+from repro.features.dataset_level import (
+    ConstraintViolationFeaturizer,
+    NeighborhoodFeaturizer,
+)
+from repro.features.extra import TokenFrequencyFeaturizer, ValueLengthFeaturizer
+from repro.features.pipeline import CellFeatures, FeaturePipeline, default_pipeline
+
+__all__ = [
+    "Featurizer",
+    "FeatureContext",
+    "CharEmbeddingFeaturizer",
+    "WordEmbeddingFeaturizer",
+    "FormatNGramFeaturizer",
+    "SymbolicNGramFeaturizer",
+    "EmpiricalDistributionFeaturizer",
+    "ColumnIdFeaturizer",
+    "CooccurrenceFeaturizer",
+    "TupleEmbeddingFeaturizer",
+    "ConstraintViolationFeaturizer",
+    "NeighborhoodFeaturizer",
+    "ValueLengthFeaturizer",
+    "TokenFrequencyFeaturizer",
+    "CellFeatures",
+    "FeaturePipeline",
+    "default_pipeline",
+]

@@ -1,0 +1,261 @@
+"""Attribute-level representation models (§4.1, Table 7).
+
+All models here are per-attribute: a separate statistic (or embedding) is
+learned for every column, because "Zip Code" and "City" have entirely
+different value, format, and frequency distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dataset.table import Cell, Dataset
+from repro.embeddings.corpus import char_corpus, word_corpus
+from repro.embeddings.fasttext import FastTextEmbedding
+from repro.features.base import FeatureContext, Featurizer
+from repro.text.ngrams import NGramModel, SymbolicNGramModel
+from repro.text.tokenize import char_tokens, word_tokens
+
+
+def _resolved_values(
+    cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None
+) -> list[str]:
+    """Observed values, honouring the per-cell override used for augmentation."""
+    if values is None:
+        return [dataset.value(c) for c in cells]
+    if len(values) != len(cells):
+        raise ValueError("values override must match cells length")
+    return [str(v) for v in values]
+
+
+class CharEmbeddingFeaturizer(Featurizer):
+    """FastText embedding of the cell value as a *character* sequence.
+
+    One embedding model per attribute; the cell feature is the mean of its
+    character vectors.  Output feeds the ``char`` learnable branch.
+    """
+
+    name = "char_embedding"
+    context = FeatureContext.ATTRIBUTE
+    branch = "char"
+
+    def __init__(self, dim: int = 16, epochs: int = 2, rng=None):
+        self._dim = dim
+        self._epochs = epochs
+        self._rng = rng
+        self._models: dict[str, FastTextEmbedding] | None = None
+
+    def fit(self, dataset: Dataset) -> "CharEmbeddingFeaturizer":
+        self._models = {}
+        for attr in dataset.attributes:
+            # Default n-gram range: a single-character token "c" is wrapped
+            # to "<c>" whose only 3-gram is itself, giving each character a
+            # dedicated bucket.  (n_min=1 would make every character share
+            # the "<" and ">" buckets, which destabilises training.)
+            model = FastTextEmbedding(dim=self._dim, epochs=self._epochs, rng=self._rng)
+            self._models[attr] = model.fit(char_corpus(dataset, attr))
+        return self
+
+    def transform(
+        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
+    ) -> np.ndarray:
+        self._require_fitted("_models")
+        resolved = _resolved_values(cells, dataset, values)
+        out = np.zeros((len(cells), self._dim))
+        for i, (cell, value) in enumerate(zip(cells, resolved)):
+            tokens = char_tokens(value) or ["<empty>"]
+            out[i] = self._models[cell.attr].sentence_vector(tokens)
+        return out
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+
+class WordEmbeddingFeaturizer(Featurizer):
+    """FastText embedding of the cell value as a *word* sequence.
+
+    One model per attribute; cell feature is the mean of its word vectors.
+    Output feeds the ``word`` learnable branch.  Subword n-grams give typo'd
+    words vectors close to — but measurably offset from — their clean forms.
+    """
+
+    name = "word_embedding"
+    context = FeatureContext.ATTRIBUTE
+    branch = "word"
+
+    def __init__(self, dim: int = 16, epochs: int = 2, rng=None):
+        self._dim = dim
+        self._epochs = epochs
+        self._rng = rng
+        self._models: dict[str, FastTextEmbedding] | None = None
+
+    def fit(self, dataset: Dataset) -> "WordEmbeddingFeaturizer":
+        self._models = {}
+        for attr in dataset.attributes:
+            model = FastTextEmbedding(dim=self._dim, epochs=self._epochs, rng=self._rng)
+            self._models[attr] = model.fit(word_corpus(dataset, attr))
+        return self
+
+    def transform(
+        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
+    ) -> np.ndarray:
+        self._require_fitted("_models")
+        resolved = _resolved_values(cells, dataset, values)
+        out = np.zeros((len(cells), self._dim))
+        for i, (cell, value) in enumerate(zip(cells, resolved)):
+            tokens = word_tokens(value) or ["<empty>"]
+            out[i] = self._models[cell.attr].sentence_vector(tokens)
+        return out
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+
+class FormatNGramFeaturizer(Featurizer):
+    """Character 3-gram format model: frequency of the least frequent gram.
+
+    A clean "60614" contains only common digit grams; "606x4" contains a gram
+    never (or rarely) seen in the column, so its minimum gram probability
+    collapses.  Log-scaled so magnitudes stay comparable across columns.
+    """
+
+    name = "format_3gram"
+    context = FeatureContext.ATTRIBUTE
+    branch = None
+
+    def __init__(self, n: int = 3, least_k: int = 1):
+        self._n = n
+        self._least_k = least_k
+        self._models: dict[str, NGramModel] | None = None
+
+    def fit(self, dataset: Dataset) -> "FormatNGramFeaturizer":
+        self._models = {
+            attr: NGramModel(n=self._n).fit(dataset.column(attr))
+            for attr in dataset.attributes
+        }
+        return self
+
+    def transform(
+        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
+    ) -> np.ndarray:
+        self._require_fitted("_models")
+        resolved = _resolved_values(cells, dataset, values)
+        out = np.zeros((len(cells), self._least_k))
+        for i, (cell, value) in enumerate(zip(cells, resolved)):
+            probs = self._models[cell.attr].least_probable_grams(value, self._least_k)
+            out[i] = np.log(probs)
+        return out
+
+    @property
+    def dim(self) -> int:
+        return self._least_k
+
+
+class SymbolicNGramFeaturizer(Featurizer):
+    """Symbolic 3-gram format model over the {C, N, S} signature.
+
+    Captures shape violations (a letter inside a numeric column) even when
+    the raw character grams are individually plausible.
+    """
+
+    name = "symbolic_3gram"
+    context = FeatureContext.ATTRIBUTE
+    branch = None
+
+    def __init__(self, n: int = 3, least_k: int = 1):
+        self._n = n
+        self._least_k = least_k
+        self._models: dict[str, SymbolicNGramModel] | None = None
+
+    def fit(self, dataset: Dataset) -> "SymbolicNGramFeaturizer":
+        self._models = {
+            attr: SymbolicNGramModel(n=self._n).fit(dataset.column(attr))
+            for attr in dataset.attributes
+        }
+        return self
+
+    def transform(
+        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
+    ) -> np.ndarray:
+        self._require_fitted("_models")
+        resolved = _resolved_values(cells, dataset, values)
+        out = np.zeros((len(cells), self._least_k))
+        for i, (cell, value) in enumerate(zip(cells, resolved)):
+            probs = self._models[cell.attr].least_probable_grams(value, self._least_k)
+            out[i] = np.log(probs)
+        return out
+
+    @property
+    def dim(self) -> int:
+        return self._least_k
+
+
+class EmpiricalDistributionFeaturizer(Featurizer):
+    """Empirical probability of the cell value within its column.
+
+    Errors are usually rare values; a swap of a frequent value into the wrong
+    tuple stays frequent here, which is exactly why the tuple-level models
+    are also needed (this featurizer alone cannot see swaps).
+    """
+
+    name = "empirical_dist"
+    context = FeatureContext.ATTRIBUTE
+    branch = None
+
+    def __init__(self) -> None:
+        self._counts: dict[str, dict[str, int]] | None = None
+        self._totals: dict[str, int] = {}
+
+    def fit(self, dataset: Dataset) -> "EmpiricalDistributionFeaturizer":
+        self._counts = {attr: dataset.value_counts(attr) for attr in dataset.attributes}
+        self._totals = {attr: dataset.num_rows for attr in dataset.attributes}
+        return self
+
+    def transform(
+        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
+    ) -> np.ndarray:
+        self._require_fitted("_counts")
+        resolved = _resolved_values(cells, dataset, values)
+        out = np.zeros((len(cells), 1))
+        for i, (cell, value) in enumerate(zip(cells, resolved)):
+            total = self._totals[cell.attr] or 1
+            out[i, 0] = self._counts[cell.attr].get(value, 0) / total
+        return out
+
+    @property
+    def dim(self) -> int:
+        return 1
+
+
+class ColumnIdFeaturizer(Featurizer):
+    """One-hot column id, capturing per-column bias (Table 7)."""
+
+    name = "column_id"
+    context = FeatureContext.ATTRIBUTE
+    branch = None
+
+    def __init__(self) -> None:
+        self._index: dict[str, int] | None = None
+
+    def fit(self, dataset: Dataset) -> "ColumnIdFeaturizer":
+        self._index = {attr: i for i, attr in enumerate(dataset.attributes)}
+        return self
+
+    def transform(
+        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
+    ) -> np.ndarray:
+        self._require_fitted("_index")
+        out = np.zeros((len(cells), len(self._index)))
+        for i, cell in enumerate(cells):
+            out[i, self._index[cell.attr]] = 1.0
+        return out
+
+    @property
+    def dim(self) -> int:
+        if self._index is None:
+            raise RuntimeError("ColumnIdFeaturizer used before fit()")
+        return len(self._index)

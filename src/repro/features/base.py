@@ -1,0 +1,57 @@
+"""Featurizer interface shared by all representation models."""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.dataset.table import Cell, Dataset
+
+
+class FeatureContext(enum.Enum):
+    """The three granularities of §4.1."""
+
+    ATTRIBUTE = "attribute"
+    TUPLE = "tuple"
+    DATASET = "dataset"
+
+
+class Featurizer:
+    """One representation model: fit on the noisy dataset, transform cells.
+
+    Subclasses set :attr:`name` (used by the ablation study to address
+    models), :attr:`context`, and :attr:`branch`.  ``branch`` is ``None`` for
+    fixed numeric features and a branch label (``"char"``, ``"word"``,
+    ``"tuple"``) for outputs that feed a learnable representation layer
+    (Fig. 2B) inside the joint model.
+    """
+
+    name: str = "featurizer"
+    context: FeatureContext = FeatureContext.ATTRIBUTE
+    branch: str | None = None
+
+    def fit(self, dataset: Dataset) -> "Featurizer":
+        """Learn the model's statistics from the (noisy) input dataset D."""
+        raise NotImplementedError
+
+    def transform(self, cells: Sequence[Cell], dataset: Dataset) -> np.ndarray:
+        """Feature block ``[len(cells), self.dim]`` for the given cells.
+
+        ``dataset`` supplies the observed values; it may differ from the fit
+        dataset only in cell values (augmented examples reuse row context).
+        """
+        raise NotImplementedError
+
+    @property
+    def dim(self) -> int:
+        """Output width of :meth:`transform`."""
+        raise NotImplementedError
+
+    def _require_fitted(self, attribute: str) -> None:
+        if getattr(self, attribute, None) is None:
+            raise RuntimeError(f"{type(self).__name__} used before fit()")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, context={self.context.value})"

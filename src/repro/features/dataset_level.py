@@ -1,0 +1,176 @@
+"""Dataset-level representation models (§4.1).
+
+These capture compatibility of a cell with the dataset as a whole: how many
+denial-constraint violations its tuple participates in, and how far the value
+sits from its nearest neighbour in a dataset-wide value embedding.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from repro.constraints.dc import DenialConstraint
+from repro.constraints.violations import ViolationEngine
+from repro.dataset.table import Cell, Dataset
+from repro.embeddings.corpus import EMPTY_TOKEN, tuple_value_corpus
+from repro.embeddings.fasttext import FastTextEmbedding
+from repro.features.attribute import _resolved_values
+from repro.features.base import FeatureContext, Featurizer
+
+
+class ConstraintViolationFeaturizer(Featurizer):
+    """Per-constraint violation counts for the cell's tuple (Table 7).
+
+    For each constraint σ ∈ Σ the feature is the number of violations of σ
+    the tuple participates in, masked to constraints that mention the cell's
+    attribute.  For FD-shaped constraints the featurizer maintains group
+    indexes so that a *value override* (augmented example) updates the count
+    exactly; other constraint shapes keep the fit-time count.
+
+    With an empty Σ (constraints are optional input) the block has zero
+    width and the pipeline simply omits it.
+    """
+
+    name = "constraint_violations"
+    context = FeatureContext.DATASET
+    branch = None
+
+    def __init__(self, constraints: Sequence[DenialConstraint]):
+        self._constraints = list(constraints)
+        self._engine = ViolationEngine(self._constraints)
+        self._tuple_counts: np.ndarray | None = None
+        # Per FD-shaped constraint: join attrs, residual attr, and the
+        # group index {join_key -> {residual_value -> count}}.
+        self._fd_indexes: list[dict | None] = []
+        self._fit_dataset: Dataset | None = None
+
+    def fit(self, dataset: Dataset) -> "ConstraintViolationFeaturizer":
+        self._fit_dataset = dataset
+        self._tuple_counts = self._engine.tuple_violation_counts(dataset)
+        self._fd_indexes = [self._build_fd_index(c, dataset) for c in self._constraints]
+        return self
+
+    @staticmethod
+    def _fd_shape(constraint: DenialConstraint) -> tuple[list[str], str] | None:
+        """Detect ``join_attrs == … & residual !=`` FD shape; None otherwise."""
+        join_attrs = constraint.equality_join_attrs()
+        residual = constraint.residual_predicates()
+        if (
+            join_attrs
+            and len(residual) == 1
+            and residual[0].op == "!="
+            and residual[0].right_attr == residual[0].left_attr
+        ):
+            return join_attrs, residual[0].left_attr
+        return None
+
+    def _build_fd_index(self, constraint: DenialConstraint, dataset: Dataset) -> dict | None:
+        shape = self._fd_shape(constraint)
+        if shape is None:
+            return None
+        join_attrs, residual_attr = shape
+        groups: dict[tuple[str, ...], dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        join_cols = [dataset.column(a) for a in join_attrs]
+        residual_col = dataset.column(residual_attr)
+        for row in range(dataset.num_rows):
+            key = tuple(col[row] for col in join_cols)
+            groups[key][residual_col[row]] += 1
+        return {
+            "join_attrs": join_attrs,
+            "residual_attr": residual_attr,
+            "groups": {k: dict(v) for k, v in groups.items()},
+        }
+
+    def _count_with_override(
+        self, index: dict, cell: Cell, value: str, dataset: Dataset
+    ) -> float:
+        """Exact violation count for a tuple whose ``cell`` is overridden."""
+        row_values = dataset.row_dict(cell.row)
+        row_values[cell.attr] = value
+        key = tuple(row_values[a] for a in index["join_attrs"])
+        group = index["groups"].get(key, {})
+        same_key = sum(group.values())
+        same_residual = group.get(row_values[index["residual_attr"]], 0)
+        # Exclude the tuple itself when it is a member of the group (i.e.
+        # the override did not move it out of its original group).
+        original_key = tuple(dataset.value(Cell(cell.row, a)) for a in index["join_attrs"])
+        original_residual = dataset.value(Cell(cell.row, index["residual_attr"]))
+        in_original_group = key == original_key
+        if in_original_group:
+            same_key -= 1
+            if row_values[index["residual_attr"]] == original_residual:
+                same_residual -= 1
+        return float(same_key - same_residual)
+
+    def transform(
+        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
+    ) -> np.ndarray:
+        self._require_fitted("_tuple_counts")
+        resolved = _resolved_values(cells, dataset, values)
+        out = np.zeros((len(cells), len(self._constraints)))
+        for i, (cell, value) in enumerate(zip(cells, resolved)):
+            overridden = value != dataset.value(cell)
+            for k, constraint in enumerate(self._constraints):
+                if cell.attr not in constraint.attributes():
+                    continue
+                index = self._fd_indexes[k]
+                if overridden and index is not None:
+                    out[i, k] = self._count_with_override(index, cell, value, dataset)
+                elif cell.row < self._tuple_counts.shape[0]:
+                    out[i, k] = self._tuple_counts[cell.row, k]
+        # Log-compress: violation counts scale with group sizes.
+        return np.log1p(np.maximum(out, 0.0))
+
+    @property
+    def dim(self) -> int:
+        return len(self._constraints)
+
+
+class NeighborhoodFeaturizer(Featurizer):
+    """Distance to the closest other value in a tuple-value embedding.
+
+    A word-embedding model is trained on tuples whose tokens are the raw
+    attribute values (Appendix A.1); for each cell the feature is the cosine
+    distance to the nearest *other* vocabulary entry.  The intuition: if a
+    cell is a typo, some near-identical clean value exists nearby — small
+    distance co-occurring with other "suspicious" signals is evidence of
+    error, while a unique-but-clean value has no close neighbour.
+    """
+
+    name = "neighborhood"
+    context = FeatureContext.DATASET
+    branch = None
+
+    def __init__(self, dim: int = 16, epochs: int = 2, rng=None):
+        self._dim = dim
+        self._epochs = epochs
+        self._rng = rng
+        self._model: FastTextEmbedding | None = None
+        self._cache: dict[str, float] = {}
+
+    def fit(self, dataset: Dataset) -> "NeighborhoodFeaturizer":
+        self._model = FastTextEmbedding(
+            dim=self._dim, epochs=self._epochs, window=8, rng=self._rng
+        ).fit(tuple_value_corpus(dataset))
+        self._cache = {}
+        return self
+
+    def transform(
+        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
+    ) -> np.ndarray:
+        self._require_fitted("_model")
+        resolved = _resolved_values(cells, dataset, values)
+        out = np.zeros((len(cells), 1))
+        for i, value in enumerate(resolved):
+            token = value if value else EMPTY_TOKEN
+            if token not in self._cache:
+                self._cache[token] = self._model.nearest_neighbor_distance(token)
+            out[i, 0] = self._cache[token]
+        return out
+
+    @property
+    def dim(self) -> int:
+        return 1

@@ -1,0 +1,125 @@
+"""Optional extra representation models.
+
+§4.1: "Our architecture can trivially accommodate additional models or more
+complex variants of the current models."  These two are the variants we
+found most useful beyond the paper's bare-bone set; they are opt-in (append
+them to a :class:`~repro.features.pipeline.FeaturePipeline`'s featurizer
+list, or build a custom pipeline) so the default pipeline stays exactly the
+paper's Table 7.
+
+- :class:`ValueLengthFeaturizer` — z-scored value length per attribute.
+  Insertion/deletion typos shift a value's length away from its column's
+  distribution; cheap and surprisingly discriminative on fixed-width
+  columns (zip codes, phone numbers, ids).
+- :class:`TokenFrequencyFeaturizer` — frequency of the value's *rarest word
+  token* within its attribute.  Complements the character 3-gram format
+  model at the word level: a swapped-in token that is valid characters-wise
+  but alien to the column surfaces here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dataset.table import Cell, Dataset
+from repro.features.attribute import _resolved_values
+from repro.features.base import FeatureContext, Featurizer
+from repro.text.tokenize import word_tokens
+
+
+class ValueLengthFeaturizer(Featurizer):
+    """Z-score of the cell value's length within its attribute."""
+
+    name = "value_length"
+    context = FeatureContext.ATTRIBUTE
+    branch = None
+
+    def __init__(self) -> None:
+        self._stats: dict[str, tuple[float, float]] | None = None
+
+    def fit(self, dataset: Dataset) -> "ValueLengthFeaturizer":
+        self._stats = {}
+        for attr in dataset.attributes:
+            lengths = np.array([len(v) for v in dataset.column(attr)], dtype=np.float64)
+            mean = float(lengths.mean()) if lengths.size else 0.0
+            std = float(lengths.std()) if lengths.size else 0.0
+            self._stats[attr] = (mean, std if std > 1e-9 else 1.0)
+        return self
+
+    def transform(
+        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
+    ) -> np.ndarray:
+        self._require_fitted("_stats")
+        resolved = _resolved_values(cells, dataset, values)
+        out = np.zeros((len(cells), 1))
+        for i, (cell, value) in enumerate(zip(cells, resolved)):
+            mean, std = self._stats[cell.attr]
+            out[i, 0] = (len(value) - mean) / std
+        return out
+
+    @property
+    def dim(self) -> int:
+        return 1
+
+
+class TokenFrequencyFeaturizer(Featurizer):
+    """Frequency of the rarest word token of the cell within its attribute.
+
+    Log-scaled relative frequency with Laplace smoothing; values with no
+    word tokens (pure punctuation / empty) get the frequency of the empty
+    sentinel, which is itself learned from the column.
+    """
+
+    name = "token_frequency"
+    context = FeatureContext.ATTRIBUTE
+    branch = None
+
+    _EMPTY = "<no-token>"
+
+    def __init__(self, alpha: float = 0.5):
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+        self._counts: dict[str, dict[str, int]] | None = None
+        self._totals: dict[str, int] = {}
+
+    def fit(self, dataset: Dataset) -> "TokenFrequencyFeaturizer":
+        self._counts = {}
+        self._totals = {}
+        for attr in dataset.attributes:
+            counts: dict[str, int] = {}
+            total = 0
+            for value in dataset.column(attr):
+                tokens = word_tokens(value) or [self._EMPTY]
+                for token in tokens:
+                    counts[token] = counts.get(token, 0) + 1
+                    total += 1
+            self._counts[attr] = counts
+            self._totals[attr] = total
+        return self
+
+    def _min_token_logfreq(self, attr: str, value: str) -> float:
+        counts = self._counts[attr]
+        total = self._totals[attr]
+        vocab = len(counts) + 1
+        tokens = word_tokens(value) or [self._EMPTY]
+        freqs = [
+            (counts.get(t, 0) + self.alpha) / (total + self.alpha * vocab) for t in tokens
+        ]
+        return float(np.log(min(freqs)))
+
+    def transform(
+        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
+    ) -> np.ndarray:
+        self._require_fitted("_counts")
+        resolved = _resolved_values(cells, dataset, values)
+        out = np.zeros((len(cells), 1))
+        for i, (cell, value) in enumerate(zip(cells, resolved)):
+            out[i, 0] = self._min_token_logfreq(cell.attr, value)
+        return out
+
+    @property
+    def dim(self) -> int:
+        return 1

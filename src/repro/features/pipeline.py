@@ -1,0 +1,190 @@
+"""Feature pipeline: fit all representation models, produce model inputs.
+
+The pipeline concatenates fixed numeric features into one standardised block
+(the "wide" part of the wide-and-deep architecture, Appendix A.1) and keeps
+each learnable-branch output separate (the "deep" part feeding highway
+layers).  Dropping a model by name reproduces the Fig. 3 ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.constraints.dc import DenialConstraint
+from repro.dataset.table import Cell, Dataset
+from repro.features.attribute import (
+    CharEmbeddingFeaturizer,
+    ColumnIdFeaturizer,
+    EmpiricalDistributionFeaturizer,
+    FormatNGramFeaturizer,
+    SymbolicNGramFeaturizer,
+    WordEmbeddingFeaturizer,
+)
+from repro.features.base import Featurizer
+from repro.features.dataset_level import (
+    ConstraintViolationFeaturizer,
+    NeighborhoodFeaturizer,
+)
+from repro.features.tuple_level import CooccurrenceFeaturizer, TupleEmbeddingFeaturizer
+
+#: Names of all representation models in the default pipeline, usable with
+#: :func:`default_pipeline`'s ``exclude`` for ablation studies.
+ALL_MODEL_NAMES = (
+    "char_embedding",
+    "word_embedding",
+    "format_3gram",
+    "symbolic_3gram",
+    "empirical_dist",
+    "column_id",
+    "cooccurrence",
+    "tuple_embedding",
+    "constraint_violations",
+    "neighborhood",
+)
+
+
+@dataclass
+class CellFeatures:
+    """Transformed features for a batch of cells.
+
+    ``numeric`` is the standardised wide block; ``branches`` maps branch name
+    (``char``/``word``/``tuple``) to the raw embedding block feeding that
+    learnable layer.
+    """
+
+    numeric: np.ndarray
+    branches: dict[str, np.ndarray]
+
+    @property
+    def batch_size(self) -> int:
+        return self.numeric.shape[0]
+
+
+class FeaturePipeline:
+    """Fits featurizers on a dataset and transforms cells into model inputs."""
+
+    def __init__(self, featurizers: Sequence[Featurizer]):
+        names = [f.name for f in featurizers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate featurizer names: {names}")
+        self.featurizers = list(featurizers)
+        self._fitted = False
+        self._numeric_mean: np.ndarray | None = None
+        self._numeric_std: np.ndarray | None = None
+
+    @property
+    def model_names(self) -> list[str]:
+        return [f.name for f in self.featurizers]
+
+    def without(self, name: str) -> "FeaturePipeline":
+        """A new (unfitted) pipeline with one representation model removed."""
+        remaining = [f for f in self.featurizers if f.name != name]
+        if len(remaining) == len(self.featurizers):
+            raise ValueError(f"no featurizer named {name!r}")
+        return FeaturePipeline(remaining)
+
+    def fit(self, dataset: Dataset) -> "FeaturePipeline":
+        """Fit every representation model on the noisy input dataset D."""
+        for featurizer in self.featurizers:
+            featurizer.fit(dataset)
+        # Standardisation statistics come from a sample of D's cells so that
+        # feature scales are comparable regardless of the training subset.
+        sample_cells = self._sample_cells(dataset, limit=2000)
+        numeric = self._numeric_block(sample_cells, dataset, None)
+        if numeric.shape[1]:
+            self._numeric_mean = numeric.mean(axis=0)
+            std = numeric.std(axis=0)
+            self._numeric_std = np.where(std < 1e-6, 1.0, std)
+        else:
+            self._numeric_mean = np.zeros(0)
+            self._numeric_std = np.ones(0)
+        self._fitted = True
+        return self
+
+    @staticmethod
+    def _sample_cells(dataset: Dataset, limit: int) -> list[Cell]:
+        cells = list(dataset.cells())
+        if len(cells) <= limit:
+            return cells
+        stride = max(1, len(cells) // limit)
+        return cells[::stride][:limit]
+
+    def _numeric_block(
+        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None
+    ) -> np.ndarray:
+        blocks = [
+            f.transform(cells, dataset, values)
+            for f in self.featurizers
+            if f.branch is None and f.dim > 0
+        ]
+        if not blocks:
+            return np.zeros((len(cells), 0))
+        return np.concatenate(blocks, axis=1)
+
+    def transform(
+        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
+    ) -> CellFeatures:
+        """Features for ``cells``; ``values`` overrides observed cell values.
+
+        The override is how augmented examples are featurised: the synthetic
+        value replaces the observed one while the tuple context stays real.
+        """
+        if not self._fitted:
+            raise RuntimeError("pipeline used before fit()")
+        numeric = self._numeric_block(cells, dataset, values)
+        if numeric.shape[1]:
+            numeric = (numeric - self._numeric_mean) / self._numeric_std
+            # Standardised features are clipped: a value whose raw statistic
+            # is wildly outside the fit sample (e.g. an unseen n-gram in a
+            # near-constant column) should read "extreme", not destabilise
+            # the optimiser.
+            numeric = np.clip(numeric, -10.0, 10.0)
+        branches = {
+            f.branch: f.transform(cells, dataset, values)
+            for f in self.featurizers
+            if f.branch is not None
+        }
+        return CellFeatures(numeric=numeric, branches=branches)
+
+    @property
+    def numeric_dim(self) -> int:
+        return sum(f.dim for f in self.featurizers if f.branch is None)
+
+    @property
+    def branch_dims(self) -> dict[str, int]:
+        return {f.branch: f.dim for f in self.featurizers if f.branch is not None}
+
+
+def default_pipeline(
+    constraints: Sequence[DenialConstraint] | None = None,
+    embedding_dim: int = 16,
+    embedding_epochs: int = 2,
+    exclude: Sequence[str] = (),
+    rng=None,
+) -> FeaturePipeline:
+    """The full representation model Q of Table 7.
+
+    ``constraints`` may be ``None``/empty (Σ is optional input); ``exclude``
+    removes named models for ablation studies (see :data:`ALL_MODEL_NAMES`).
+    """
+    featurizers: list[Featurizer] = [
+        CharEmbeddingFeaturizer(dim=embedding_dim, epochs=embedding_epochs, rng=rng),
+        WordEmbeddingFeaturizer(dim=embedding_dim, epochs=embedding_epochs, rng=rng),
+        FormatNGramFeaturizer(),
+        SymbolicNGramFeaturizer(),
+        EmpiricalDistributionFeaturizer(),
+        ColumnIdFeaturizer(),
+        CooccurrenceFeaturizer(),
+        TupleEmbeddingFeaturizer(dim=embedding_dim, epochs=embedding_epochs, rng=rng),
+        NeighborhoodFeaturizer(dim=embedding_dim, epochs=embedding_epochs, rng=rng),
+    ]
+    if constraints:
+        featurizers.append(ConstraintViolationFeaturizer(constraints))
+    chosen = [f for f in featurizers if f.name not in set(exclude)]
+    unknown = set(exclude) - {f.name for f in featurizers}
+    if unknown:
+        raise ValueError(f"unknown model names in exclude: {sorted(unknown)}")
+    return FeaturePipeline(chosen)

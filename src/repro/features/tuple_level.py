@@ -1,0 +1,147 @@
+"""Tuple-level representation models (§4.1).
+
+These capture the joint distribution across attributes of a tuple: value
+co-occurrence statistics, and a learnable embedding of the whole tuple.
+Swapped values — which look perfectly normal to every attribute-level model —
+break co-occurrence patterns, and these models are what surfaces them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from repro.dataset.table import Cell, Dataset
+from repro.embeddings.corpus import tuple_corpus
+from repro.embeddings.fasttext import FastTextEmbedding
+from repro.features.attribute import _resolved_values
+from repro.features.base import FeatureContext, Featurizer
+from repro.text.tokenize import word_tokens
+
+
+class CooccurrenceFeaturizer(Featurizer):
+    """Pairwise conditional co-occurrence ``P(t[B] | t[A] = v)``.
+
+    For a cell in attribute A with value v, the feature vector holds — for
+    every other attribute B — the empirical probability of seeing the tuple's
+    B-value among tuples that also carry v in A.  A swapped or garbled v
+    co-occurs with "wrong" company, dragging these probabilities toward zero.
+    One model covers all attributes (Table 7: "#attributes - 1" dimensions).
+    """
+
+    name = "cooccurrence"
+    context = FeatureContext.TUPLE
+    branch = None
+
+    def __init__(self) -> None:
+        # (attr_a, value_a) -> (attr_b -> (value_b -> count))
+        self._joint: dict[tuple[str, str], dict[str, dict[str, int]]] | None = None
+        self._value_counts: dict[tuple[str, str], int] = {}
+        self._attributes: tuple[str, ...] = ()
+
+    def fit(self, dataset: Dataset) -> "CooccurrenceFeaturizer":
+        self._attributes = dataset.attributes
+        joint: dict[tuple[str, str], dict[str, dict[str, int]]] = defaultdict(
+            lambda: defaultdict(lambda: defaultdict(int))
+        )
+        value_counts: dict[tuple[str, str], int] = defaultdict(int)
+        for row in range(dataset.num_rows):
+            values = dataset.row_dict(row)
+            for attr_a, value_a in values.items():
+                key = (attr_a, value_a)
+                value_counts[key] += 1
+                bucket = joint[key]
+                for attr_b, value_b in values.items():
+                    if attr_b != attr_a:
+                        bucket[attr_b][value_b] += 1
+        # Freeze the nested defaultdicts into plain dicts.
+        self._joint = {
+            key: {attr: dict(counts) for attr, counts in buckets.items()}
+            for key, buckets in joint.items()
+        }
+        self._value_counts = dict(value_counts)
+        return self
+
+    def transform(
+        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
+    ) -> np.ndarray:
+        self._require_fitted("_joint")
+        resolved = _resolved_values(cells, dataset, values)
+        width = len(self._attributes) - 1
+        out = np.zeros((len(cells), width))
+        for i, (cell, value) in enumerate(zip(cells, resolved)):
+            key = (cell.attr, value)
+            total = self._value_counts.get(key, 0)
+            buckets = self._joint.get(key, {})
+            row_values = dataset.row_dict(cell.row)
+            j = 0
+            for attr_b in self._attributes:
+                if attr_b == cell.attr:
+                    continue
+                if total:
+                    count = buckets.get(attr_b, {}).get(row_values[attr_b], 0)
+                    out[i, j] = count / total
+                # Unseen value: all conditionals are 0, the strongest signal.
+                j += 1
+        return out
+
+    @property
+    def dim(self) -> int:
+        return len(self._attributes) - 1
+
+
+class TupleEmbeddingFeaturizer(Featurizer):
+    """Learnable tuple representation (§4.1).
+
+    Embeds the tuple as a bag of word tokens pooled across attributes (the
+    word-embedding context is the whole tuple, order-free) and concatenates
+    the *cell's own* token embedding so the branch is cell-specific.  Output
+    feeds the ``tuple`` learnable branch (highway layers in the joint model).
+    """
+
+    name = "tuple_embedding"
+    context = FeatureContext.TUPLE
+    branch = "tuple"
+
+    def __init__(self, dim: int = 16, epochs: int = 2, rng=None):
+        self._dim = dim
+        self._epochs = epochs
+        self._rng = rng
+        self._model: FastTextEmbedding | None = None
+
+    def fit(self, dataset: Dataset) -> "TupleEmbeddingFeaturizer":
+        self._model = FastTextEmbedding(
+            dim=self._dim, epochs=self._epochs, window=8, rng=self._rng
+        ).fit(tuple_corpus(dataset))
+        return self
+
+    def transform(
+        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
+    ) -> np.ndarray:
+        self._require_fitted("_model")
+        resolved = _resolved_values(cells, dataset, values)
+        out = np.zeros((len(cells), 2 * self._dim))
+        # Context excludes the cell's own attribute, so the cache key is
+        # (row, attr); the override never changes the context.
+        context_cache: dict[tuple[int, str], np.ndarray] = {}
+        for i, (cell, value) in enumerate(zip(cells, resolved)):
+            cell_tokens = word_tokens(value) or ["<empty>"]
+            cell_vec = self._model.sentence_vector(cell_tokens)
+            key = (cell.row, cell.attr)
+            if key not in context_cache:
+                context_tokens: list[str] = []
+                for attr in dataset.attributes:
+                    if attr != cell.attr:
+                        context_tokens.extend(word_tokens(dataset.value(Cell(cell.row, attr))))
+                context_cache[key] = self._model.sentence_vector(
+                    context_tokens or ["<empty>"]
+                )
+            out[i, : self._dim] = cell_vec
+            out[i, self._dim :] = context_cache[key]
+        return out
+
+    @property
+    def dim(self) -> int:
+        return 2 * self._dim

@@ -1,0 +1,17 @@
+"""Persistence: save and load fitted detectors without pickle.
+
+A fitted :class:`~repro.core.detector.HoloDetect` bundles a lot of learned
+state — embedding tables, n-gram counts, co-occurrence statistics, network
+weights, the noisy-channel policy, and calibration parameters.  This package
+serialises all of it to an explicit, inspectable on-disk format:
+
+- ``state.json`` — every structured component (configs, counts, vocab,
+  policies) with numpy arrays replaced by references;
+- ``arrays.npz`` — the referenced arrays.
+
+No pickle is involved, so saved models are safe to share and load.
+"""
+
+from repro.persistence.detector_io import load_detector, save_detector
+
+__all__ = ["save_detector", "load_detector"]

@@ -1,0 +1,383 @@
+"""Save/load a fitted HoloDetect detector to an explicit on-disk format.
+
+Layout of a saved detector directory::
+
+    <path>/state.json   # structured state; arrays appear as {"__array__": key}
+    <path>/arrays.npz   # the referenced arrays
+
+The dataset itself is *not* saved — data stays with the user.  Loading takes
+the (same) dataset as an argument and re-attaches it, so a loaded detector
+predicts exactly as the original did.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.augmentation.policy import Policy, UniformPolicy
+from repro.augmentation.transformations import Transformation
+from repro.constraints.dc import DenialConstraint, Predicate
+from repro.core.calibration import PlattScaler
+from repro.core.detector import DetectorConfig, HoloDetect
+from repro.core.model import JointModel
+from repro.dataset.table import Cell, Dataset
+from repro.features.attribute import (
+    CharEmbeddingFeaturizer,
+    ColumnIdFeaturizer,
+    EmpiricalDistributionFeaturizer,
+    FormatNGramFeaturizer,
+    SymbolicNGramFeaturizer,
+    WordEmbeddingFeaturizer,
+)
+from repro.features.base import Featurizer
+from repro.features.dataset_level import (
+    ConstraintViolationFeaturizer,
+    NeighborhoodFeaturizer,
+)
+from repro.features.pipeline import FeaturePipeline
+from repro.features.tuple_level import CooccurrenceFeaturizer, TupleEmbeddingFeaturizer
+from repro.embeddings.fasttext import FastTextEmbedding
+from repro.text.ngrams import NGramModel, SymbolicNGramModel
+
+FORMAT_VERSION = 1
+
+
+class ArrayStore:
+    """Collects numpy arrays during encoding; resolves references on decode."""
+
+    def __init__(self, arrays: dict[str, np.ndarray] | None = None):
+        self._arrays: dict[str, np.ndarray] = dict(arrays or {})
+        self._counter = 0
+
+    def put(self, array: np.ndarray) -> dict:
+        key = f"a{self._counter}"
+        self._counter += 1
+        self._arrays[key] = np.asarray(array)
+        return {"__array__": key}
+
+    def get(self, ref: dict) -> np.ndarray:
+        return self._arrays[ref["__array__"]]
+
+    @property
+    def arrays(self) -> dict[str, np.ndarray]:
+        return dict(self._arrays)
+
+
+# --------------------------------------------------------------------- #
+# Constraints
+# --------------------------------------------------------------------- #
+
+
+def encode_constraint(dc: DenialConstraint) -> dict:
+    return {
+        "name": dc.name,
+        "predicates": [
+            {
+                "left": p.left_attr,
+                "op": p.op,
+                "right": p.right_attr,
+                "const": p.constant,
+            }
+            for p in dc.predicates
+        ],
+    }
+
+
+def decode_constraint(state: dict) -> DenialConstraint:
+    predicates = tuple(
+        Predicate(p["left"], p["op"], right_attr=p["right"], constant=p["const"])
+        for p in state["predicates"]
+    )
+    return DenialConstraint(predicates, name=state["name"])
+
+
+# --------------------------------------------------------------------- #
+# Policies
+# --------------------------------------------------------------------- #
+
+
+def encode_policy(policy: Policy) -> dict:
+    entries = [
+        {"src": t.src, "dst": t.dst, "p": policy.probability(t)}
+        for t in policy.transformations
+    ]
+    kind = "uniform" if isinstance(policy, UniformPolicy) else "learned"
+    return {"kind": kind, "entries": entries}
+
+
+def decode_policy(state: dict) -> Policy:
+    transformations = [Transformation(e["src"], e["dst"]) for e in state["entries"]]
+    if state["kind"] == "uniform":
+        return UniformPolicy(transformations)
+    distribution = {
+        Transformation(e["src"], e["dst"]): e["p"] for e in state["entries"]
+    }
+    return Policy(distribution)
+
+
+# --------------------------------------------------------------------- #
+# Featurizers
+# --------------------------------------------------------------------- #
+
+
+def _encode_embedding(model: FastTextEmbedding, store: ArrayStore) -> dict:
+    state = model.to_state()
+    state["in_table"] = store.put(state["in_table"])
+    state["out_table"] = store.put(state["out_table"])
+    return state
+
+
+def _decode_embedding(state: dict, store: ArrayStore) -> FastTextEmbedding:
+    state = dict(state)
+    state["in_table"] = store.get(state["in_table"])
+    state["out_table"] = store.get(state["out_table"])
+    return FastTextEmbedding.from_state(state)
+
+
+def _pairs(d: dict) -> list:
+    """dict with string keys -> JSON-safe [key, value] pairs list."""
+    return [[k, v] for k, v in d.items()]
+
+
+def _encode_featurizer(f: Featurizer, store: ArrayStore) -> dict:
+    """Dispatch on featurizer type; returns a JSON-safe state dict."""
+    if isinstance(f, (CharEmbeddingFeaturizer, WordEmbeddingFeaturizer)):
+        return {
+            "type": type(f).__name__,
+            "dim": f._dim,
+            "epochs": f._epochs,
+            "models": {a: _encode_embedding(m, store) for a, m in f._models.items()},
+        }
+    if isinstance(f, (FormatNGramFeaturizer, SymbolicNGramFeaturizer)):
+        return {
+            "type": type(f).__name__,
+            "least_k": f._least_k,
+            "models": {a: m.to_state() for a, m in f._models.items()},
+        }
+    if isinstance(f, EmpiricalDistributionFeaturizer):
+        return {
+            "type": "EmpiricalDistributionFeaturizer",
+            "counts": {a: _pairs(c) for a, c in f._counts.items()},
+            "totals": dict(f._totals),
+        }
+    if isinstance(f, ColumnIdFeaturizer):
+        return {"type": "ColumnIdFeaturizer", "index": dict(f._index)}
+    if isinstance(f, CooccurrenceFeaturizer):
+        joint = [
+            [list(key), {attr: _pairs(counts) for attr, counts in buckets.items()}]
+            for key, buckets in f._joint.items()
+        ]
+        return {
+            "type": "CooccurrenceFeaturizer",
+            "attributes": list(f._attributes),
+            "value_counts": [[list(k), v] for k, v in f._value_counts.items()],
+            "joint": joint,
+        }
+    if isinstance(f, TupleEmbeddingFeaturizer):
+        return {
+            "type": "TupleEmbeddingFeaturizer",
+            "dim": f._dim,
+            "epochs": f._epochs,
+            "model": _encode_embedding(f._model, store),
+        }
+    if isinstance(f, NeighborhoodFeaturizer):
+        return {
+            "type": "NeighborhoodFeaturizer",
+            "dim": f._dim,
+            "epochs": f._epochs,
+            "model": _encode_embedding(f._model, store),
+        }
+    if isinstance(f, ConstraintViolationFeaturizer):
+        indexes = []
+        for index in f._fd_indexes:
+            if index is None:
+                indexes.append(None)
+            else:
+                indexes.append(
+                    {
+                        "join_attrs": index["join_attrs"],
+                        "residual_attr": index["residual_attr"],
+                        "groups": [
+                            [list(k), _pairs(v)] for k, v in index["groups"].items()
+                        ],
+                    }
+                )
+        return {
+            "type": "ConstraintViolationFeaturizer",
+            "constraints": [encode_constraint(c) for c in f._constraints],
+            "tuple_counts": store.put(f._tuple_counts),
+            "fd_indexes": indexes,
+        }
+    raise TypeError(f"no persistence handler for {type(f).__name__}")
+
+
+def _decode_featurizer(state: dict, store: ArrayStore) -> Featurizer:
+    kind = state["type"]
+    if kind in ("CharEmbeddingFeaturizer", "WordEmbeddingFeaturizer"):
+        cls = CharEmbeddingFeaturizer if kind.startswith("Char") else WordEmbeddingFeaturizer
+        f = cls(dim=state["dim"], epochs=state["epochs"])
+        f._models = {a: _decode_embedding(m, store) for a, m in state["models"].items()}
+        return f
+    if kind in ("FormatNGramFeaturizer", "SymbolicNGramFeaturizer"):
+        cls = FormatNGramFeaturizer if kind.startswith("Format") else SymbolicNGramFeaturizer
+        model_cls = NGramModel if kind.startswith("Format") else SymbolicNGramModel
+        f = cls(least_k=state["least_k"])
+        f._models = {a: model_cls.from_state(m) for a, m in state["models"].items()}
+        return f
+    if kind == "EmpiricalDistributionFeaturizer":
+        f = EmpiricalDistributionFeaturizer()
+        f._counts = {a: {k: int(v) for k, v in pairs} for a, pairs in state["counts"].items()}
+        f._totals = {a: int(t) for a, t in state["totals"].items()}
+        return f
+    if kind == "ColumnIdFeaturizer":
+        f = ColumnIdFeaturizer()
+        f._index = {a: int(i) for a, i in state["index"].items()}
+        return f
+    if kind == "CooccurrenceFeaturizer":
+        f = CooccurrenceFeaturizer()
+        f._attributes = tuple(state["attributes"])
+        f._value_counts = {tuple(k): int(v) for k, v in state["value_counts"]}
+        f._joint = {
+            tuple(key): {
+                attr: {k: int(v) for k, v in pairs} for attr, pairs in buckets.items()
+            }
+            for key, buckets in state["joint"]
+        }
+        return f
+    if kind == "TupleEmbeddingFeaturizer":
+        f = TupleEmbeddingFeaturizer(dim=state["dim"], epochs=state["epochs"])
+        f._model = _decode_embedding(state["model"], store)
+        return f
+    if kind == "NeighborhoodFeaturizer":
+        f = NeighborhoodFeaturizer(dim=state["dim"], epochs=state["epochs"])
+        f._model = _decode_embedding(state["model"], store)
+        f._cache = {}
+        return f
+    if kind == "ConstraintViolationFeaturizer":
+        constraints = [decode_constraint(c) for c in state["constraints"]]
+        f = ConstraintViolationFeaturizer(constraints)
+        f._tuple_counts = store.get(state["tuple_counts"])
+        indexes = []
+        for index in state["fd_indexes"]:
+            if index is None:
+                indexes.append(None)
+            else:
+                indexes.append(
+                    {
+                        "join_attrs": list(index["join_attrs"]),
+                        "residual_attr": index["residual_attr"],
+                        "groups": {
+                            tuple(k): {vk: int(vv) for vk, vv in pairs}
+                            for k, pairs in index["groups"]
+                        },
+                    }
+                )
+        f._fd_indexes = indexes
+        return f
+    raise TypeError(f"unknown featurizer type {kind!r}")
+
+
+def _encode_pipeline(pipeline: FeaturePipeline, store: ArrayStore) -> dict:
+    return {
+        "featurizers": [_encode_featurizer(f, store) for f in pipeline.featurizers],
+        "numeric_mean": store.put(pipeline._numeric_mean),
+        "numeric_std": store.put(pipeline._numeric_std),
+    }
+
+
+def _decode_pipeline(state: dict, store: ArrayStore) -> FeaturePipeline:
+    pipeline = FeaturePipeline(
+        [_decode_featurizer(f, store) for f in state["featurizers"]]
+    )
+    pipeline._numeric_mean = store.get(state["numeric_mean"])
+    pipeline._numeric_std = store.get(state["numeric_std"])
+    pipeline._fitted = True
+    return pipeline
+
+
+# --------------------------------------------------------------------- #
+# Detector
+# --------------------------------------------------------------------- #
+
+
+def _encode_config(config: DetectorConfig) -> dict:
+    state = {
+        field: getattr(config, field)
+        for field in config.__dataclass_fields__
+        if field != "policy_override"
+    }
+    state["exclude_models"] = list(state["exclude_models"])
+    return state
+
+
+def _decode_config(state: dict) -> DetectorConfig:
+    state = dict(state)
+    state["exclude_models"] = tuple(state["exclude_models"])
+    return DetectorConfig(**state)
+
+
+def save_detector(detector: HoloDetect, path: str | Path) -> None:
+    """Serialise a fitted detector to ``path`` (a directory, created if
+    needed)."""
+    if detector.model is None or detector.pipeline is None:
+        raise ValueError("cannot save an unfitted detector")
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    store = ArrayStore()
+    state = {
+        "format_version": FORMAT_VERSION,
+        "config": _encode_config(detector.config),
+        "pipeline": _encode_pipeline(detector.pipeline, store),
+        "model": {
+            "numeric_dim": detector.model.numeric_dim,
+            "branch_dims": detector.pipeline.branch_dims,
+            "hidden_dim": detector.config.hidden_dim,
+            "dropout": detector.config.dropout,
+            "arrays": [store.put(a) for a in detector.model.state_arrays()],
+        },
+        "scaler": {"a": detector.scaler.a, "b": detector.scaler.b},
+        "policy": encode_policy(detector.policy) if detector.policy else None,
+        "augmented_count": detector.augmented_count,
+        "train_cells": [[c.row, c.attr] for c in sorted(
+            detector._train_cells, key=lambda c: (c.row, c.attr)
+        )],
+    }
+    (path / "state.json").write_text(json.dumps(state), encoding="utf-8")
+    np.savez_compressed(path / "arrays.npz", **store.arrays)
+
+
+def load_detector(path: str | Path, dataset: Dataset) -> HoloDetect:
+    """Load a detector saved by :func:`save_detector` and re-attach it to
+    ``dataset`` (the same relation it was fitted on)."""
+    path = Path(path)
+    state = json.loads((path / "state.json").read_text(encoding="utf-8"))
+    if state["format_version"] != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {state['format_version']}")
+    with np.load(path / "arrays.npz") as npz:
+        store = ArrayStore({k: npz[k] for k in npz.files})
+
+    detector = HoloDetect(_decode_config(state["config"]))
+    detector.pipeline = _decode_pipeline(state["pipeline"], store)
+    model_state = state["model"]
+    detector.model = JointModel(
+        numeric_dim=model_state["numeric_dim"],
+        branch_dims=model_state["branch_dims"],
+        hidden_dim=model_state["hidden_dim"],
+        dropout=model_state["dropout"],
+        rng=0,
+    )
+    detector.model.load_state_arrays([store.get(ref) for ref in model_state["arrays"]])
+    detector.model.eval()
+    detector.scaler = PlattScaler()
+    detector.scaler.a = state["scaler"]["a"]
+    detector.scaler.b = state["scaler"]["b"]
+    detector.scaler._fitted = True
+    detector.policy = decode_policy(state["policy"]) if state["policy"] else None
+    detector.augmented_count = state["augmented_count"]
+    detector._train_cells = {Cell(int(r), a) for r, a in state["train_cells"]}
+    detector._dataset = dataset
+    return detector

@@ -1,0 +1,23 @@
+"""Text substrate: tokenisation, n-gram language models, string similarity.
+
+These are the string primitives the paper's representation models (format
+3-grams, Appendix A.1) and transformation learner (Algorithm 1, which follows
+Ratcliff–Obershelp pattern matching) are built on.
+"""
+
+from repro.text.tokenize import char_tokens, symbolic_signature, word_tokens
+from repro.text.ngrams import NGramModel, SymbolicNGramModel
+from repro.text.similarity import (
+    longest_common_substring,
+    sequence_similarity,
+)
+
+__all__ = [
+    "char_tokens",
+    "symbolic_signature",
+    "word_tokens",
+    "NGramModel",
+    "SymbolicNGramModel",
+    "longest_common_substring",
+    "sequence_similarity",
+]

@@ -1,0 +1,140 @@
+"""n-gram language models with Laplace smoothing.
+
+These implement the paper's *format models* (§4.1, Appendix A.1): a
+per-attribute distribution over character 3-grams (and over symbol-class
+3-grams), where a cell's feature is the frequency of its *least frequent*
+n-gram.  Rare formats — a stray ``x`` inside a zip code — surface as a low
+minimum-probability, which is exactly the signal the classifier consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.text.tokenize import symbolic_signature
+
+#: Padding characters so that values shorter than ``n`` still produce a gram.
+_BOS = "\x02"
+_EOS = "\x03"
+
+
+def extract_ngrams(value: str, n: int) -> list[str]:
+    """All ``n``-grams of ``value`` after BOS/EOS padding.
+
+    Padding guarantees at least one gram for every value, including the empty
+    string, so every cell receives a well-defined format feature.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    padded = _BOS + value + _EOS
+    if len(padded) < n:
+        padded = padded + _EOS * (n - len(padded))
+    return [padded[i : i + n] for i in range(len(padded) - n + 1)]
+
+
+class NGramModel:
+    """Character n-gram model over one attribute with Laplace smoothing.
+
+    The smoothing universe follows the paper: all printable-ASCII n-grams
+    (we use the count of *distinct observed* grams plus an ASCII-sized prior
+    universe, which keeps probabilities comparable across attributes without
+    materialising 128**n entries).
+    """
+
+    def __init__(self, n: int = 3, alpha: float = 1.0, universe_size: int | None = None):
+        if alpha <= 0:
+            raise ValueError("Laplace alpha must be positive")
+        self.n = n
+        self.alpha = alpha
+        self._counts: dict[str, int] = {}
+        self._total = 0
+        # Default universe: printable ASCII (95 chars) ** n, capped to avoid
+        # float underflow dominating every probability for large n.
+        self._universe = universe_size if universe_size is not None else min(95**n, 10_000_000)
+
+    def fit(self, values: Iterable[str]) -> "NGramModel":
+        """Accumulate n-gram counts from an attribute's values."""
+        for value in values:
+            for gram in extract_ngrams(self._normalize(value), self.n):
+                self._counts[gram] = self._counts.get(gram, 0) + 1
+                self._total += 1
+        return self
+
+    def _normalize(self, value: str) -> str:
+        return value
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._counts)
+
+    def probability(self, gram: str) -> float:
+        """Laplace-smoothed probability of one n-gram."""
+        count = self._counts.get(gram, 0)
+        return (count + self.alpha) / (self._total + self.alpha * self._universe)
+
+    def min_gram_probability(self, value: str) -> float:
+        """Probability of the least likely n-gram in ``value``.
+
+        This is the scalar feature exported to the representation model: the
+        paper aggregates per-cell gram probabilities by taking the least-k
+        probable (k=1 in Table 7).
+        """
+        grams = extract_ngrams(self._normalize(value), self.n)
+        return min(self.probability(g) for g in grams)
+
+    def to_state(self) -> dict:
+        """Serialisable state: config plus the raw gram counts."""
+        return {
+            "n": self.n,
+            "alpha": self.alpha,
+            "universe": self._universe,
+            "counts": dict(self._counts),
+            "total": self._total,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "NGramModel":
+        """Rebuild a fitted model from :meth:`to_state` output."""
+        model = cls(n=state["n"], alpha=state["alpha"], universe_size=state["universe"])
+        model._counts = {str(k): int(v) for k, v in state["counts"].items()}
+        model._total = int(state["total"])
+        return model
+
+    def least_probable_grams(self, value: str, k: int) -> list[float]:
+        """Probabilities of the ``k`` least probable n-grams, ascending.
+
+        Padded by repeating the largest returned value when a value has fewer
+        than ``k`` grams, so the feature block has fixed width.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        probs = sorted(
+            self.probability(g) for g in extract_ngrams(self._normalize(value), self.n)
+        )
+        probs = probs[:k]
+        while len(probs) < k:
+            probs.append(probs[-1])
+        return probs
+
+
+class SymbolicNGramModel(NGramModel):
+    """n-gram model over the symbol-class signature of values.
+
+    Runs the same machinery as :class:`NGramModel` but on the coarse alphabet
+    ``{C, N, S}``, capturing the *shape* of a value (digits vs letters vs
+    punctuation) independently of the concrete characters.
+    """
+
+    def __init__(self, n: int = 3, alpha: float = 1.0):
+        # Universe: the 3-symbol alphabet plus BOS/EOS markers → 5**n grams.
+        super().__init__(n=n, alpha=alpha, universe_size=5**n)
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SymbolicNGramModel":
+        model = cls(n=state["n"], alpha=state["alpha"])
+        model._counts = {str(k): int(v) for k, v in state["counts"].items()}
+        model._total = int(state["total"])
+        return model
+
+    def _normalize(self, value: str) -> str:
+        return symbolic_signature(value)

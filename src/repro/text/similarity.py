@@ -1,0 +1,65 @@
+"""String similarity primitives behind Algorithm 1 (transformation learning).
+
+The paper's transformation learner is "similar to the Ratcliff–Obershelp
+pattern recognition algorithm" [51]: recurse around the longest common
+substring and compare string halves via the Ratcliff–Obershelp similarity
+``2*C / S`` (C = common characters, S = summed lengths).
+"""
+
+from __future__ import annotations
+
+
+def longest_common_substring(a: str, b: str) -> tuple[int, int, int]:
+    """Longest common substring of ``a`` and ``b``.
+
+    Returns ``(start_a, start_b, length)``; ``length == 0`` when the strings
+    share no characters.  Ties resolve to the earliest occurrence in ``a``
+    then in ``b`` (deterministic, which keeps transformation learning stable
+    across runs).
+    """
+    if not a or not b:
+        return (0, 0, 0)
+    # Classic O(len(a)*len(b)) rolling-row DP.
+    best_len = 0
+    best_a = 0
+    best_b = 0
+    prev = [0] * (len(b) + 1)
+    for i in range(1, len(a) + 1):
+        curr = [0] * (len(b) + 1)
+        ai = a[i - 1]
+        for j in range(1, len(b) + 1):
+            if ai == b[j - 1]:
+                length = prev[j - 1] + 1
+                curr[j] = length
+                if length > best_len:
+                    best_len = length
+                    best_a = i - length
+                    best_b = j - length
+        prev = curr
+    return (best_a, best_b, best_len)
+
+
+def _common_chars(a: str, b: str) -> int:
+    """Number of matching characters under multiset intersection."""
+    counts: dict[str, int] = {}
+    for ch in a:
+        counts[ch] = counts.get(ch, 0) + 1
+    common = 0
+    for ch in b:
+        remaining = counts.get(ch, 0)
+        if remaining:
+            counts[ch] = remaining - 1
+            common += 1
+    return common
+
+
+def sequence_similarity(a: str, b: str) -> float:
+    """Ratcliff–Obershelp style similarity ``2*C/S`` in ``[0, 1]``.
+
+    ``C`` is the multiset character overlap and ``S`` the total length; two
+    empty strings are defined as identical (similarity 1).
+    """
+    total = len(a) + len(b)
+    if total == 0:
+        return 1.0
+    return 2.0 * _common_chars(a, b) / total

@@ -1,0 +1,47 @@
+"""Tokenisers for the three views HoloDetect takes of a cell value.
+
+The paper embeds a cell at the *character* level, the *word* level, and maps
+each character to a coarse symbol class {Character, Number, Symbol} for the
+symbolic format model (Appendix A.1, Table 7).
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+")
+
+#: Symbol-class alphabet of the symbolic 3-gram model.
+CHAR_CLASS = "C"
+NUM_CLASS = "N"
+SYM_CLASS = "S"
+
+
+def char_tokens(value: str) -> list[str]:
+    """A cell value as a character sequence."""
+    return list(value)
+
+
+def word_tokens(value: str) -> list[str]:
+    """Alphanumeric word tokens of a cell value, lowercased.
+
+    Punctuation separates tokens; an empty value yields no tokens.
+    """
+    return [m.group(0).lower() for m in _WORD_RE.finditer(value)]
+
+
+def symbolic_signature(value: str) -> str:
+    """Map every character to its class: letter→C, digit→N, other→S.
+
+    ``"60612-A"`` → ``"NNNNNSC"``.  The symbolic 3-gram format model runs over
+    this signature instead of the raw characters.
+    """
+    out = []
+    for ch in value:
+        if ch.isalpha():
+            out.append(CHAR_CLASS)
+        elif ch.isdigit():
+            out.append(NUM_CLASS)
+        else:
+            out.append(SYM_CLASS)
+    return "".join(out)

@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG handling and timing helpers."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timing import Timer
+
+__all__ = ["as_generator", "spawn_generators", "Timer"]

@@ -1,0 +1,49 @@
+"""Categorical association statistics shared by several detectors.
+
+Both the correlation-based outlier baseline and the Naïve Bayes
+weak-supervision model need to know which attribute pairs actually carry
+information about each other; normalised mutual information is the measure
+used throughout.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+
+def normalized_mutual_information(
+    col_a: list[str], col_b: list[str], bias_corrected: bool = False
+) -> float:
+    """NMI between two categorical columns, in [0, 1].
+
+    0 for independent (or constant) columns, 1 for a perfect bijection.
+
+    ``bias_corrected`` subtracts the Miller–Madow finite-sample bias
+    ``(|A|-1)(|B|-1) / 2n`` from the raw MI before normalising.  Two
+    high-cardinality columns have large *raw* MI purely by chance (every
+    value pair is nearly unique); callers that use NMI to decide whether an
+    attribute genuinely predicts another should enable this.
+    """
+    n = len(col_a)
+    if n == 0 or len(col_b) != n:
+        raise ValueError("columns must be equal-length and non-empty")
+    counts_a: dict[str, int] = defaultdict(int)
+    counts_b: dict[str, int] = defaultdict(int)
+    joint: dict[tuple[str, str], int] = defaultdict(int)
+    for a, b in zip(col_a, col_b):
+        counts_a[a] += 1
+        counts_b[b] += 1
+        joint[(a, b)] += 1
+    h_a = -sum((c / n) * np.log(c / n) for c in counts_a.values())
+    h_b = -sum((c / n) * np.log(c / n) for c in counts_b.values())
+    if h_a == 0 or h_b == 0:
+        return 0.0
+    mi = 0.0
+    for (a, b), c in joint.items():
+        p_ab = c / n
+        mi += p_ab * np.log(p_ab / ((counts_a[a] / n) * (counts_b[b] / n)))
+    if bias_corrected:
+        mi -= (len(counts_a) - 1) * (len(counts_b) - 1) / (2.0 * n)
+    return float(max(mi, 0.0) / np.sqrt(h_a * h_b))

@@ -1,0 +1,70 @@
+"""Shared fixtures: small deterministic datasets used across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import functional_dependency
+from repro.dataset import Dataset, GroundTruth, TrainingSet
+from repro.dataset.table import Cell
+
+
+@pytest.fixture
+def zip_dataset() -> Dataset:
+    """A small relation with a zip -> city FD and one injected typo."""
+    return Dataset.from_rows(
+        ["zip", "city", "state"],
+        [
+            ["60612", "Chicago", "IL"],
+            ["60612", "Cicago", "IL"],  # typo: violates zip -> city
+            ["60614", "Chicago", "IL"],
+            ["60614", "Chicago", "IL"],
+            ["02139", "Cambridge", "MA"],
+            ["02139", "Cambridge", "MA"],
+        ],
+    )
+
+
+@pytest.fixture
+def zip_clean() -> Dataset:
+    return Dataset.from_rows(
+        ["zip", "city", "state"],
+        [
+            ["60612", "Chicago", "IL"],
+            ["60612", "Chicago", "IL"],
+            ["60614", "Chicago", "IL"],
+            ["60614", "Chicago", "IL"],
+            ["02139", "Cambridge", "MA"],
+            ["02139", "Cambridge", "MA"],
+        ],
+    )
+
+
+@pytest.fixture
+def zip_truth(zip_clean) -> GroundTruth:
+    return GroundTruth.from_clean_dataset(zip_clean)
+
+
+@pytest.fixture
+def zip_fd():
+    return functional_dependency("zip", "city")
+
+
+@pytest.fixture
+def zip_training(zip_dataset, zip_truth) -> TrainingSet:
+    """Labels for every cell of the zip dataset."""
+    return TrainingSet.from_cells(list(zip_dataset.cells()), zip_dataset, zip_truth)
+
+
+@pytest.fixture
+def typo_cell() -> Cell:
+    return Cell(1, "city")
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle():
+    """A small hospital bundle shared by integration tests (session-scoped:
+    generation plus detector fitting is the expensive part of the suite)."""
+    from repro.data import load_dataset
+
+    return load_dataset("hospital", num_rows=200, seed=7)

@@ -1,0 +1,96 @@
+"""Unit tests for Algorithm 4 (data augmentation)."""
+
+import pytest
+
+from repro.augmentation import Policy, augment_training_set
+from repro.baselines import RandomChannelPolicy
+from repro.dataset import Cell, LabeledCell, TrainingSet
+
+
+def make_training(num_correct: int, num_errors: int) -> TrainingSet:
+    examples = [
+        LabeledCell(Cell(i, "a"), f"value{i}", f"value{i}") for i in range(num_correct)
+    ]
+    examples += [
+        LabeledCell(Cell(i, "b"), f"valxe{i}", f"value{i}") for i in range(num_errors)
+    ]
+    return TrainingSet(examples)
+
+
+@pytest.fixture
+def policy():
+    return Policy.learn([(f"value{i}", f"valxe{i}") for i in range(5)])
+
+
+class TestAugmentation:
+    def test_balances_classes_by_default(self, policy):
+        training = make_training(40, 4)
+        result = augment_training_set(training, policy, rng=0)
+        assert len(result) == 40 - 4
+
+    def test_synthetic_examples_are_errors(self, policy):
+        training = make_training(30, 2)
+        result = augment_training_set(training, policy, rng=0)
+        assert all(e.is_error for e in result.examples)
+
+    def test_synthetic_true_value_is_source(self, policy):
+        training = make_training(30, 2)
+        result = augment_training_set(training, policy, rng=0)
+        true_values = {e.true for e in result.examples}
+        assert true_values <= {f"value{i}" for i in range(30)}
+
+    def test_target_ratio(self, policy):
+        training = make_training(50, 0)
+        result = augment_training_set(training, policy, target_ratio=0.4, rng=0)
+        assert len(result) == 20
+
+    def test_target_ratio_already_met(self, policy):
+        training = make_training(10, 10)
+        result = augment_training_set(training, policy, target_ratio=0.5, rng=0)
+        assert len(result) == 0
+
+    def test_alpha_throttles_acceptance(self, policy):
+        training = make_training(50, 0)
+        eager = augment_training_set(training, policy, alpha=1.0, rng=0)
+        lazy = augment_training_set(
+            training, policy, alpha=0.05, max_attempts_factor=3, rng=0
+        )
+        assert len(lazy) <= len(eager)
+        assert lazy.attempts <= 3 * 50
+
+    def test_max_examples_cap(self, policy):
+        training = make_training(100, 0)
+        result = augment_training_set(training, policy, max_examples=7, rng=0)
+        assert len(result) == 7
+
+    def test_empty_policy_produces_nothing(self):
+        training = make_training(20, 2)
+        result = augment_training_set(training, Policy({}), rng=0)
+        assert len(result) == 0
+
+    def test_no_correct_examples(self, policy):
+        training = make_training(0, 3)
+        result = augment_training_set(training, policy, rng=0)
+        assert len(result) == 0
+
+    def test_invalid_alpha(self, policy):
+        with pytest.raises(ValueError):
+            augment_training_set(make_training(5, 0), policy, alpha=0.0)
+
+    def test_invalid_target_ratio(self, policy):
+        with pytest.raises(ValueError):
+            augment_training_set(make_training(5, 0), policy, target_ratio=-1.0)
+
+    def test_deterministic_given_seed(self, policy):
+        training = make_training(30, 3)
+        a = augment_training_set(training, policy, rng=5)
+        b = augment_training_set(training, policy, rng=5)
+        assert [e.observed for e in a.examples] == [e.observed for e in b.examples]
+
+
+class TestRandomChannel:
+    def test_random_channel_generates_errors(self):
+        training = make_training(30, 0)
+        result = augment_training_set(training, RandomChannelPolicy(), rng=0)
+        assert len(result) == 30
+        assert all(e.observed != e.true for e in result.examples)

@@ -1,0 +1,96 @@
+"""Unit + property tests for Algorithm 1 (TL) and Algorithm 2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.augmentation import (
+    Transformation,
+    empirical_distribution,
+    learn_transformations,
+)
+from repro.augmentation.learn import learn_from_pairs
+
+text = st.text(alphabet="abc01x", max_size=8)
+
+
+class TestLearnTransformations:
+    def test_paper_example(self):
+        """(60612, 6061x2) must yield the hierarchy of §5.2."""
+        learned = set(learn_transformations("60612", "6061x2"))
+        assert Transformation("60612", "6061x2") in learned
+        assert Transformation("", "x") in learned
+
+    def test_identity_pair_yields_nothing(self):
+        assert learn_transformations("abc", "abc") == []
+
+    def test_pure_addition(self):
+        learned = set(learn_transformations("ab", "axb"))
+        assert Transformation("", "x") in learned
+
+    def test_pure_removal(self):
+        learned = set(learn_transformations("axb", "ab"))
+        assert Transformation("x", "") in learned
+
+    def test_full_swap_no_common_substring(self):
+        learned = learn_transformations("abc", "xyz")
+        assert learned == [Transformation("abc", "xyz")]
+
+    def test_empty_to_value(self):
+        assert Transformation("", "x") in learn_transformations("", "x")
+
+    def test_value_to_empty(self):
+        assert Transformation("x", "") in learn_transformations("x", "")
+
+    def test_includes_whole_string_rewrite(self):
+        learned = learn_transformations("Female", "Male")
+        assert Transformation("Female", "Male") in learned
+
+    @given(clean=text, dirty=text)
+    @settings(max_examples=60, deadline=None)
+    def test_no_identity_transformations(self, clean, dirty):
+        for t in learn_transformations(clean, dirty):
+            assert t.src != t.dst
+
+    @given(clean=text, dirty=text)
+    @settings(max_examples=60, deadline=None)
+    def test_differing_pair_learns_whole_rewrite(self, clean, dirty):
+        if clean != dirty:
+            assert Transformation(clean, dirty) in learn_transformations(clean, dirty)
+
+    @given(clean=text, dirty=text)
+    @settings(max_examples=40, deadline=None)
+    def test_terminates_and_is_deterministic(self, clean, dirty):
+        assert learn_transformations(clean, dirty) == learn_transformations(clean, dirty)
+
+
+class TestLearnFromPairs:
+    def test_skips_identity_pairs(self):
+        lists = learn_from_pairs([("a", "a"), ("ab", "axb")])
+        assert len(lists) == 1
+
+    def test_one_list_per_error_pair(self):
+        lists = learn_from_pairs([("ab", "axb"), ("cd", "cxd")])
+        assert len(lists) == 2
+
+
+class TestEmpiricalDistribution:
+    def test_normalised(self):
+        lists = learn_from_pairs([("ab", "axb"), ("cd", "cxd"), ("e", "ex")])
+        dist = empirical_distribution(lists)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_repeated_transformation_gets_more_mass(self):
+        lists = learn_from_pairs([("ab", "axb"), ("cd", "cxd"), ("ef", "exf")])
+        dist = empirical_distribution(lists)
+        add_x = Transformation("", "x")
+        assert dist[add_x] == max(dist.values())
+
+    def test_empty_input(self):
+        assert empirical_distribution([]) == {}
+
+    def test_counts_multiplicity_within_list(self):
+        # One list containing the same transformation twice counts twice.
+        t = Transformation("", "x")
+        dist = empirical_distribution([[t, t], [Transformation("a", "b")]])
+        assert dist[t] == pytest.approx(2 / 3)

@@ -1,0 +1,89 @@
+"""Unit tests for the Naïve Bayes weak-supervision repair model (§5.4)."""
+
+import pytest
+
+from repro.augmentation import NaiveBayesRepairModel
+from repro.dataset import Cell, Dataset
+
+
+@pytest.fixture
+def fd_dataset():
+    """Strong zip->city correlation with one deviant cell."""
+    rows = [["60612", "Chicago", "IL"]] * 20 + [["02139", "Cambridge", "MA"]] * 20
+    rows.append(["60612", "Cicago", "IL"])  # the error
+    return Dataset.from_rows(["zip", "city", "state"], rows)
+
+
+class TestRepairSuggestions:
+    def test_repairs_the_deviant_cell(self, fd_dataset):
+        model = NaiveBayesRepairModel(confidence_threshold=0.8).fit(fd_dataset)
+        suggestion = model.suggest_repair(Cell(40, "city"), fd_dataset)
+        assert suggestion is not None
+        assert suggestion.repair == "Chicago"
+        assert suggestion.observed == "Cicago"
+        assert suggestion.confidence >= 0.8
+
+    def test_leaves_consistent_cells_alone(self, fd_dataset):
+        model = NaiveBayesRepairModel(confidence_threshold=0.8).fit(fd_dataset)
+        assert model.suggest_repair(Cell(0, "city"), fd_dataset) is None
+
+    def test_suggest_repairs_scan(self, fd_dataset):
+        model = NaiveBayesRepairModel(confidence_threshold=0.8).fit(fd_dataset)
+        repairs = model.suggest_repairs(fd_dataset)
+        assert any(r.cell == Cell(40, "city") for r in repairs)
+
+    def test_max_cells_bound(self, fd_dataset):
+        model = NaiveBayesRepairModel().fit(fd_dataset)
+        assert model.suggest_repairs(fd_dataset, max_cells=5) is not None
+
+    def test_example_pairs_orientation(self, fd_dataset):
+        """Pairs are (repair, observed) = (clean, dirty) for Algorithm 1."""
+        model = NaiveBayesRepairModel(confidence_threshold=0.8).fit(fd_dataset)
+        pairs = model.example_pairs(fd_dataset)
+        assert ("Chicago", "Cicago") in pairs
+
+    def test_high_threshold_suppresses_repairs(self, fd_dataset):
+        model = NaiveBayesRepairModel(confidence_threshold=0.999999).fit(fd_dataset)
+        # Nearly impossible confidence: very few (likely zero) repairs.
+        repairs = model.suggest_repairs(fd_dataset)
+        weaker = NaiveBayesRepairModel(confidence_threshold=0.5).fit(fd_dataset)
+        assert len(repairs) <= len(weaker.suggest_repairs(fd_dataset))
+
+    def test_unfitted_raises(self, fd_dataset):
+        with pytest.raises(RuntimeError):
+            NaiveBayesRepairModel().suggest_repair(Cell(0, "city"), fd_dataset)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            NaiveBayesRepairModel(confidence_threshold=0.0)
+
+
+class TestPrecisionProperty:
+    def test_precision_on_synthetic_errors(self):
+        """§6.7/Table 6: the weak-supervision model should be precise.
+
+        Build a dataset with known injected swaps and check that most
+        suggested repairs point at genuinely dirty cells.
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        keys = [f"k{i}" for i in range(10)]
+        values = {k: f"v{i}" for i, k in enumerate(keys)}
+        rows = []
+        for _ in range(300):
+            k = keys[int(rng.integers(0, 10))]
+            rows.append([k, values[k], "c"])
+        clean = Dataset.from_rows(["k", "v", "pad"], rows)
+        dirty = clean.copy()
+        corrupted = set()
+        for row in range(0, 300, 30):  # 10 swaps
+            cell = Cell(row, "v")
+            dirty.set_value(cell, "v9" if clean.value(cell) != "v9" else "v0")
+            corrupted.add(cell)
+        model = NaiveBayesRepairModel(confidence_threshold=0.9).fit(dirty)
+        repairs = model.suggest_repairs(dirty)
+        relevant = [r for r in repairs if r.cell.attr == "v"]
+        assert relevant, "model found no repairs at all"
+        hits = sum(1 for r in relevant if r.cell in corrupted)
+        assert hits / len(relevant) > 0.7  # the paper's precision bar

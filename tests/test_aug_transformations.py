@@ -1,0 +1,90 @@
+"""Unit + property tests for transformations (the noisy-channel alphabet)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.augmentation import Transformation, TransformationKind
+
+text = st.text(alphabet="abc01x", max_size=10)
+
+
+class TestKinds:
+    def test_add(self):
+        assert Transformation("", "x").kind is TransformationKind.ADD
+
+    def test_remove(self):
+        assert Transformation("x", "").kind is TransformationKind.REMOVE
+
+    def test_exchange(self):
+        assert Transformation("12", "1x2").kind is TransformationKind.EXCHANGE
+
+    def test_identity_rejected(self):
+        with pytest.raises(ValueError):
+            Transformation("a", "a")
+        with pytest.raises(ValueError):
+            Transformation("", "")
+
+
+class TestApplicability:
+    def test_add_applies_anywhere(self):
+        t = Transformation("", "x")
+        assert t.applicable("")
+        assert t.applicable("abc")
+        assert t.occurrences("ab") == [0, 1, 2]
+
+    def test_substring_requirement(self):
+        t = Transformation("12", "1x2")
+        assert t.applicable("60612")
+        assert not t.applicable("60634")
+
+    def test_occurrences_overlapping(self):
+        t = Transformation("aa", "b")
+        assert t.occurrences("aaa") == [0, 1]
+
+
+class TestApply:
+    def test_exchange_single_occurrence(self):
+        t = Transformation("12", "1x2")
+        assert t.apply("60612", rng=0) == "6061x2"
+
+    def test_add_inserts_once(self):
+        t = Transformation("", "x")
+        out = t.apply("606", rng=0)
+        assert len(out) == 4
+        assert out.replace("x", "", 1) == "606" or out.count("x") == 1
+
+    def test_remove(self):
+        t = Transformation("6", "")
+        out = t.apply("606", rng=1)
+        assert out in ("06", "60")
+
+    def test_not_applicable_raises(self):
+        with pytest.raises(ValueError):
+            Transformation("zz", "y").apply("abc")
+
+    def test_random_position_choice(self):
+        t = Transformation("a", "X")
+        outcomes = {t.apply("aaa", rng=np.random.default_rng(s)) for s in range(30)}
+        assert outcomes == {"Xaa", "aXa", "aaX"}
+
+    @given(value=text, dst=st.text(alphabet="xyz", min_size=1, max_size=3))
+    def test_add_length_invariant(self, value, dst):
+        out = Transformation("", dst).apply(value, rng=0)
+        assert len(out) == len(value) + len(dst)
+
+    @given(value=st.text(alphabet="ab", min_size=1, max_size=10))
+    def test_apply_changes_value_when_src_dst_disjoint(self, value):
+        """Replacing a present char with a char not in the string changes it."""
+        t = Transformation(value[0], "z")
+        assert t.apply(value, rng=0) != value
+
+    @given(value=text)
+    def test_occurrences_are_valid_offsets(self, value):
+        t = Transformation("a", "b")
+        for pos in t.occurrences(value):
+            assert value[pos : pos + 1] == "a"
+
+    def test_str(self):
+        assert "->" in str(Transformation("a", "b"))

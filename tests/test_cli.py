@@ -1,0 +1,148 @@
+"""Tests for the command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, load_constraints, load_labels, main
+from repro.dataset import Dataset, write_csv
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    """A small CSV + labels + constraints on disk."""
+    rows = [["60612", "Chicago", "IL"]] * 12 + [["02139", "Cambridge", "MA"]] * 12
+    rows.append(["60612", "Cxcago", "IL"])
+    dataset = Dataset.from_rows(["zip", "city", "state"], rows)
+    data_path = tmp_path / "data.csv"
+    write_csv(dataset, data_path)
+
+    labels_path = tmp_path / "labels.csv"
+    with labels_path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["row", "attribute", "true_value"])
+        for row in range(10):
+            for attr in ("zip", "city", "state"):
+                writer.writerow([row, attr, dataset.column(attr)[row]])
+        writer.writerow([24, "city", "Chicago"])  # the labelled error
+
+    constraints_path = tmp_path / "constraints.txt"
+    constraints_path.write_text(
+        "# zip determines city\n"
+        "t1.zip == t2.zip & t1.city != t2.city\n"
+        "\n"
+        "t1.zip == t2.zip & t1.state != t2.state\n"
+    )
+    return tmp_path, data_path, labels_path, constraints_path
+
+
+class TestFileLoaders:
+    def test_load_constraints_skips_comments_and_blanks(self, workspace):
+        _, _, _, constraints_path = workspace
+        constraints = load_constraints(constraints_path)
+        assert len(constraints) == 2
+
+    def test_load_constraints_reports_line(self, tmp_path):
+        bad = tmp_path / "c.txt"
+        bad.write_text("not a constraint\n")
+        with pytest.raises(SystemExit, match="c.txt:1"):
+            load_constraints(bad)
+
+    def test_load_labels(self, workspace):
+        _, data_path, labels_path, _ = workspace
+        from repro.dataset import read_csv
+
+        dataset = read_csv(data_path)
+        training = load_labels(labels_path, dataset)
+        assert len(training) == 31
+        assert len(training.errors) == 1
+
+    def test_load_labels_validates_attribute(self, workspace, tmp_path):
+        _, data_path, _, _ = workspace
+        from repro.dataset import read_csv
+
+        dataset = read_csv(data_path)
+        bad = tmp_path / "bad.csv"
+        bad.write_text("row,attribute,true_value\n0,nope,x\n")
+        with pytest.raises(SystemExit, match="unknown attribute"):
+            load_labels(bad, dataset)
+
+    def test_load_labels_validates_row(self, workspace, tmp_path):
+        _, data_path, _, _ = workspace
+        from repro.dataset import read_csv
+
+        dataset = read_csv(data_path)
+        bad = tmp_path / "bad.csv"
+        bad.write_text("row,attribute,true_value\n999,city,x\n")
+        with pytest.raises(SystemExit, match="out of range"):
+            load_labels(bad, dataset)
+
+    def test_load_labels_requires_header(self, workspace, tmp_path):
+        _, data_path, _, _ = workspace
+        from repro.dataset import read_csv
+
+        dataset = read_csv(data_path)
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n")
+        with pytest.raises(SystemExit, match="needs columns"):
+            load_labels(bad, dataset)
+
+
+class TestCommands:
+    def test_detect_end_to_end(self, workspace):
+        tmp_path, data_path, labels_path, constraints_path = workspace
+        output = tmp_path / "out.csv"
+        model_dir = tmp_path / "model"
+        code = main(
+            [
+                "detect",
+                "--input", str(data_path),
+                "--labels", str(labels_path),
+                "--constraints", str(constraints_path),
+                "--output", str(output),
+                "--save-model", str(model_dir),
+                "--epochs", "5",
+                "--embedding-dim", "6",
+            ]
+        )
+        assert code == 0
+        with output.open() as f:
+            rows = list(csv.DictReader(f))
+        assert rows
+        assert set(rows[0]) == {"row", "attribute", "value", "error_probability", "flagged"}
+        # Output is ranked by probability, descending.
+        probs = [float(r["error_probability"]) for r in rows]
+        assert probs == sorted(probs, reverse=True)
+        assert (model_dir / "state.json").exists()
+
+    def test_benchmark_command(self, capsys):
+        code = main(
+            [
+                "benchmark",
+                "--dataset", "soccer",
+                "--rows", "120",
+                "--epochs", "4",
+                "--embedding-dim", "6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "soccer:" in out and "F1=" in out
+
+    def test_policy_command(self, workspace, capsys):
+        _, data_path, labels_path, _ = workspace
+        code = main(
+            [
+                "policy",
+                "--input", str(data_path),
+                "--labels", str(labels_path),
+                "--value", "Chicago",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "transformations learned" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,56 @@
+"""Unit tests for α-noisy constraint discovery (Appendix A.2.2)."""
+
+import pytest
+
+from repro.constraints.discovery import discover_noisy_constraints, score_candidate_fds
+from repro.dataset import Dataset
+
+
+@pytest.fixture
+def noisy_dataset():
+    """k->v holds ~80% of pairs within groups; k->w barely holds."""
+    rows = []
+    for i in range(20):
+        key = "a" if i < 10 else "b"
+        v = "v1" if (i % 10) < 8 else f"v{i}"
+        w = f"w{i % 5}"
+        rows.append([key, v, w])
+    return Dataset.from_rows(["k", "v", "w"], rows)
+
+
+class TestScoreCandidates:
+    def test_scores_cover_all_pairs(self, noisy_dataset):
+        scored = score_candidate_fds(noisy_dataset, max_lhs_cardinality=20)
+        names = {s.constraint.name for s in scored}
+        assert "k->v" in names and "k->w" in names
+
+    def test_alpha_in_unit_interval(self, noisy_dataset):
+        for s in score_candidate_fds(noisy_dataset, max_lhs_cardinality=20):
+            assert 0.0 <= s.alpha <= 1.0
+
+    def test_high_cardinality_lhs_skipped(self, noisy_dataset):
+        scored = score_candidate_fds(noisy_dataset, max_lhs_cardinality=3)
+        lhs_attrs = {s.constraint.equality_join_attrs()[0] for s in scored}
+        assert "v" not in lhs_attrs  # v has 12 distinct values
+
+
+class TestDiscoverNoisy:
+    def test_band_filtering(self, noisy_dataset):
+        candidates = score_candidate_fds(noisy_dataset, max_lhs_cardinality=20)
+        # Constraints in a mid band are neither perfect nor hopeless.
+        found = discover_noisy_constraints(
+            noisy_dataset, (0.5, 0.999), candidates=candidates
+        )
+        engine_alphas = {
+            s.constraint.name: s.alpha for s in candidates
+        }
+        for dc in found:
+            assert 0.5 < engine_alphas[dc.name] <= 0.999
+
+    def test_limit(self, noisy_dataset):
+        found = discover_noisy_constraints(noisy_dataset, (0.0, 1.0), limit=1)
+        assert len(found) <= 1
+
+    def test_invalid_range(self, noisy_dataset):
+        with pytest.raises(ValueError):
+            discover_noisy_constraints(noisy_dataset, (0.9, 0.9))

@@ -1,0 +1,86 @@
+"""Unit tests for the violation engine."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import (
+    DenialConstraint,
+    Predicate,
+    ViolationEngine,
+    functional_dependency,
+)
+from repro.dataset import Cell, Dataset
+
+
+class TestTupleViolationCounts:
+    def test_fd_violations(self, zip_dataset, zip_fd):
+        engine = ViolationEngine([zip_fd])
+        counts = engine.tuple_violation_counts(zip_dataset)
+        # Rows 0 and 1 share zip 60612 but disagree on city.
+        assert counts[0, 0] == 1
+        assert counts[1, 0] == 1
+        assert counts[2:, 0].sum() == 0
+
+    def test_clean_dataset_has_none(self, zip_clean, zip_fd):
+        engine = ViolationEngine([zip_fd])
+        assert ViolationEngine([zip_fd]).tuple_violation_counts(zip_clean).sum() == 0
+
+    def test_multiple_constraints_columns(self, zip_dataset):
+        fds = [functional_dependency("zip", "city"), functional_dependency("zip", "state")]
+        counts = ViolationEngine(fds).tuple_violation_counts(zip_dataset)
+        assert counts.shape == (6, 2)
+        assert counts[:, 1].sum() == 0  # zip -> state holds
+
+    def test_violation_count_scales_with_group(self):
+        # Three tuples with same key, one deviant -> deviant counted twice.
+        d = Dataset.from_rows(
+            ["k", "v"], [["a", "1"], ["a", "1"], ["a", "2"]]
+        )
+        counts = ViolationEngine([functional_dependency("k", "v")]).tuple_violation_counts(d)
+        assert counts[2, 0] == 2
+        assert counts[0, 0] == 1
+
+    def test_join_free_constraint_scan(self):
+        # "no two tuples may both have score < the other" style constant DC:
+        # t1.v == '1' (single-predicate constant constraint, no join key).
+        dc = DenialConstraint((Predicate("v", "==", constant="1"),), name="const")
+        d = Dataset.from_rows(["v"], [["1"], ["2"], ["1"]])
+        counts = ViolationEngine([dc]).tuple_violation_counts(d)
+        # Pairs (0,1): t0 satisfies; (0,2): both; (1,2): t2 satisfies.
+        assert counts.sum() > 0
+
+
+class TestViolatingCells:
+    def test_flags_all_participating_attributes(self, zip_dataset, zip_fd):
+        flagged = ViolationEngine([zip_fd]).violating_cells(zip_dataset)
+        assert Cell(0, "zip") in flagged
+        assert Cell(0, "city") in flagged
+        assert Cell(1, "zip") in flagged
+        assert Cell(1, "city") in flagged
+        assert Cell(0, "state") not in flagged
+
+    def test_empty_constraints(self, zip_dataset):
+        assert ViolationEngine([]).violating_cells(zip_dataset) == set()
+
+
+class TestCellViolationMatrix:
+    def test_attribute_masking(self, zip_dataset, zip_fd):
+        matrix = ViolationEngine([zip_fd]).cell_violation_matrix(zip_dataset)
+        assert matrix["zip"][0, 0] == 1
+        assert matrix["city"][1, 0] == 1
+        assert matrix["state"].sum() == 0
+
+
+class TestSatisfactionRatio:
+    def test_perfect_constraint(self, zip_clean, zip_fd):
+        engine = ViolationEngine([])
+        assert engine.satisfaction_ratio(zip_clean, zip_fd) == 1.0
+
+    def test_violated_constraint_below_one(self, zip_dataset, zip_fd):
+        engine = ViolationEngine([])
+        ratio = engine.satisfaction_ratio(zip_dataset, zip_fd)
+        assert ratio == pytest.approx(1.0 - 1 / 15)  # 1 violating pair of C(6,2)
+
+    def test_single_row_dataset(self, zip_fd):
+        d = Dataset.from_rows(["zip", "city", "state"], [["1", "a", "s"]])
+        assert ViolationEngine([]).satisfaction_ratio(d, zip_fd) == 1.0

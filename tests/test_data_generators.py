@@ -1,0 +1,84 @@
+"""Unit tests for the benchmark dataset generators."""
+
+import pytest
+
+from repro.constraints import ViolationEngine
+from repro.data import DATASET_NAMES, load_dataset
+from repro.data.registry import DEFAULT_ROWS
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        assert set(DATASET_NAMES) == {"hospital", "food", "soccer", "adult", "animal"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("nope")
+
+    def test_custom_rows(self):
+        bundle = load_dataset("soccer", num_rows=120, seed=0)
+        assert bundle.dirty.num_rows == 120
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+class TestEveryBundle:
+    def test_shapes_match(self, name):
+        bundle = load_dataset(name, num_rows=150, seed=0)
+        assert bundle.clean.num_rows == bundle.dirty.num_rows == 150
+        assert bundle.clean.attributes == bundle.dirty.attributes
+
+    def test_has_errors_and_truth(self, name):
+        bundle = load_dataset(name, num_rows=300, seed=0)
+        assert len(bundle.truth) == bundle.dirty.num_cells
+        assert 0 < len(bundle.error_cells) < bundle.dirty.num_cells
+
+    def test_clean_satisfies_constraints(self, name):
+        bundle = load_dataset(name, num_rows=150, seed=0)
+        engine = ViolationEngine(bundle.constraints)
+        assert engine.tuple_violation_counts(bundle.clean).sum() == 0
+
+    def test_deterministic(self, name):
+        a = load_dataset(name, num_rows=100, seed=5)
+        b = load_dataset(name, num_rows=100, seed=5)
+        assert a.dirty == b.dirty
+        assert a.clean == b.clean
+
+    def test_summary_fields(self, name):
+        summary = load_dataset(name, num_rows=100, seed=0).summary()
+        assert summary["dataset"] == name
+        assert summary["rows"] == 100
+
+
+class TestErrorProfiles:
+    def test_hospital_typos_are_x_style(self):
+        bundle = load_dataset("hospital", num_rows=400, seed=0)
+        errors = bundle.error_cells
+        with_x = sum(1 for c in errors if "x" in bundle.dirty.value(c))
+        assert with_x / len(errors) > 0.9
+
+    def test_adult_extreme_imbalance(self):
+        bundle = load_dataset("adult", num_rows=1000, seed=0)
+        assert bundle.error_rate < 0.01
+
+    def test_food_mostly_swaps(self):
+        bundle = load_dataset("food", num_rows=1500, seed=0)
+        swaps = 0
+        for cell in bundle.error_cells:
+            if bundle.dirty.value(cell) in set(bundle.clean.domain(cell.attr)):
+                swaps += 1
+        assert swaps / len(bundle.error_cells) > 0.5  # 76% swaps nominal
+
+    def test_soccer_mostly_typos(self):
+        bundle = load_dataset("soccer", num_rows=1500, seed=0)
+        swaps = 0
+        for cell in bundle.error_cells:
+            if bundle.dirty.value(cell) in set(bundle.clean.domain(cell.attr)):
+                swaps += 1
+        assert swaps / len(bundle.error_cells) < 0.5  # 76% typos nominal
+
+    def test_paper_scale_rates(self):
+        """Cell error rates stay close to Table 1's published statistics."""
+        expected = {"hospital": 0.0265, "soccer": 0.0156, "adult": 0.001}
+        for name, rate in expected.items():
+            bundle = load_dataset(name, num_rows=1000, seed=3)
+            assert bundle.error_rate == pytest.approx(rate, rel=0.35)

@@ -1,0 +1,93 @@
+"""Tests for the vocabulary-synthesis helpers behind the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synth import (
+    choose,
+    code_pool,
+    date_string,
+    digit_pool,
+    digit_string,
+    phone_number,
+    pronounceable_word,
+    street_address,
+    word_pool,
+    zipf_choice,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestWordSynthesis:
+    def test_pronounceable_word_nonempty(self, rng):
+        word = pronounceable_word(rng)
+        assert word and word[0].isupper()
+
+    def test_word_pool_distinct(self, rng):
+        pool = word_pool(rng, 50)
+        assert len(pool) == 50
+        assert len(set(pool)) == 50
+
+    def test_word_pool_handles_tight_space(self, rng):
+        # One-syllable words collide quickly; the pool must still fill.
+        pool = word_pool(rng, 300, syllables=1)
+        assert len(set(pool)) == 300
+
+    def test_deterministic_given_seed(self):
+        a = word_pool(np.random.default_rng(7), 10)
+        b = word_pool(np.random.default_rng(7), 10)
+        assert a == b
+
+
+class TestNumericSynthesis:
+    def test_digit_string_length_and_alphabet(self, rng):
+        s = digit_string(rng, 5)
+        assert len(s) == 5 and s.isdigit()
+
+    def test_digit_pool_distinct(self, rng):
+        pool = digit_pool(rng, 40, 5)
+        assert len(set(pool)) == 40
+        assert all(len(d) == 5 for d in pool)
+
+    def test_code_pool_sortable(self, rng):
+        pool = code_pool(rng, 12, "HP", 4)
+        assert pool == sorted(pool)
+        assert pool[0] == "HP-0000"
+
+    def test_phone_number_format(self, rng):
+        parts = phone_number(rng).split("-")
+        assert [len(p) for p in parts] == [3, 3, 4]
+
+
+class TestStructuredSynthesis:
+    def test_street_address_shape(self, rng):
+        address = street_address(rng, ["Main", "Oak"])
+        number, street, suffix = address.split(" ")
+        assert number.isdigit()
+        assert street in ("Main", "Oak")
+        assert suffix in ("St", "Ave", "Blvd", "Rd")
+
+    def test_date_string_format_and_range(self, rng):
+        for _ in range(20):
+            date = date_string(rng, 2000, 2005)
+            year, month, day = date.split("-")
+            assert 2000 <= int(year) <= 2005
+            assert 1 <= int(month) <= 12
+            assert 1 <= int(day) <= 28
+
+
+class TestChoiceHelpers:
+    def test_choose_from_pool(self, rng):
+        pool = ["a", "b", "c"]
+        assert all(choose(rng, pool) in pool for _ in range(10))
+
+    def test_zipf_skews_to_early_entries(self, rng):
+        pool = [f"v{i}" for i in range(20)]
+        draws = [zipf_choice(rng, pool) for _ in range(500)]
+        first_freq = draws.count("v0") / 500
+        last_freq = draws.count("v19") / 500
+        assert first_freq > last_freq

@@ -1,0 +1,41 @@
+"""Unit tests for GroundTruth."""
+
+import pytest
+
+from repro.dataset import Cell, GroundTruth
+
+
+class TestGroundTruth:
+    def test_from_clean_dataset_covers_all_cells(self, zip_clean):
+        truth = GroundTruth.from_clean_dataset(zip_clean)
+        assert len(truth) == zip_clean.num_cells
+
+    def test_error_detection(self, zip_dataset, zip_truth, typo_cell):
+        assert zip_truth.is_error(typo_cell, zip_dataset)
+        assert not zip_truth.is_error(Cell(0, "city"), zip_dataset)
+
+    def test_error_cells(self, zip_dataset, zip_truth, typo_cell):
+        assert zip_truth.error_cells(zip_dataset) == [typo_cell]
+
+    def test_label_convention(self, zip_dataset, zip_truth, typo_cell):
+        assert zip_truth.label(typo_cell, zip_dataset) == -1
+        assert zip_truth.label(Cell(0, "zip"), zip_dataset) == 1
+
+    def test_true_value(self, zip_truth, typo_cell):
+        assert zip_truth.true_value(typo_cell) == "Chicago"
+
+    def test_restrict(self, zip_dataset, zip_truth, typo_cell):
+        sub = zip_truth.restrict([typo_cell, Cell(0, "zip")])
+        assert len(sub) == 2
+        assert typo_cell in sub
+        assert Cell(5, "city") not in sub
+
+    def test_error_rate(self, zip_dataset, zip_truth):
+        assert zip_truth.error_rate(zip_dataset) == pytest.approx(1 / 18)
+
+    def test_error_rate_empty_truth(self, zip_dataset):
+        assert GroundTruth({}).error_rate(zip_dataset) == 0.0
+
+    def test_contains(self, zip_truth, typo_cell):
+        assert typo_cell in zip_truth
+        assert Cell(99, "city") not in zip_truth

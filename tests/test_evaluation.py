@@ -1,0 +1,114 @@
+"""Unit tests for metrics, splits, and the experiment runner."""
+
+import pytest
+
+from repro.data import load_dataset
+from repro.dataset import Cell
+from repro.evaluation import evaluate_predictions, make_split, run_trials
+from repro.evaluation.metrics import Metrics
+
+
+class TestMetrics:
+    def test_perfect(self):
+        cells = [Cell(i, "a") for i in range(10)]
+        truth = cells[:3]
+        m = evaluate_predictions(truth, truth, cells)
+        assert m.precision == m.recall == m.f1 == 1.0
+
+    def test_partial(self):
+        cells = [Cell(i, "a") for i in range(10)]
+        truth = cells[:4]
+        predicted = cells[2:6]  # 2 hits, 2 false alarms
+        m = evaluate_predictions(predicted, truth, cells)
+        assert m.precision == pytest.approx(0.5)
+        assert m.recall == pytest.approx(0.5)
+        assert m.f1 == pytest.approx(0.5)
+
+    def test_zero_predictions_zero_precision(self):
+        cells = [Cell(0, "a")]
+        m = evaluate_predictions([], cells, cells)
+        assert m.precision == 0.0 and m.recall == 0.0 and m.f1 == 0.0
+
+    def test_scope_intersection(self):
+        scope = [Cell(0, "a")]
+        out_of_scope = [Cell(5, "a")]
+        m = evaluate_predictions(out_of_scope, out_of_scope, scope)
+        assert m.true_positives == 0
+
+    def test_as_row(self):
+        m = Metrics(0.12345, 0.5, 0.2)
+        assert m.as_row() == {"P": 0.123, "R": 0.5, "F1": 0.2}
+
+
+class TestSplits:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return load_dataset("soccer", num_rows=200, seed=0)
+
+    def test_disjoint_and_complete(self, bundle):
+        split = make_split(bundle, 0.1, sampling_fraction=0.2, rng=0)
+        train = set(split.training_cells)
+        sampling = set(split.sampling_cells)
+        test = set(split.test_cells)
+        assert train.isdisjoint(sampling)
+        assert train.isdisjoint(test)
+        assert sampling.isdisjoint(test)
+        assert len(train) + len(sampling) + len(test) == bundle.dirty.num_cells
+
+    def test_training_fraction_respected(self, bundle):
+        split = make_split(bundle, 0.1, rng=0)
+        expected_rows = round(0.1 * bundle.dirty.num_rows)
+        assert len(split.training) == expected_rows * len(bundle.dirty.attributes)
+
+    def test_whole_rows_labelled(self, bundle):
+        split = make_split(bundle, 0.05, rng=1)
+        rows = {c.row for c in split.training_cells}
+        assert len(split.training_cells) == len(rows) * len(bundle.dirty.attributes)
+
+    def test_labels_match_truth(self, bundle):
+        split = make_split(bundle, 0.05, rng=2)
+        for example in split.training:
+            assert example.is_error == bundle.truth.is_error(example.cell, bundle.dirty)
+
+    def test_invalid_fractions(self, bundle):
+        with pytest.raises(ValueError):
+            make_split(bundle, 0.0)
+        with pytest.raises(ValueError):
+            make_split(bundle, 0.5, sampling_fraction=1.0)
+
+
+class TestRunner:
+    def test_runs_method_per_trial(self):
+        bundle = load_dataset("soccer", num_rows=150, seed=0)
+        calls = []
+
+        def oracle_method(b, split, rng):
+            calls.append(1)
+            return b.error_cells  # perfect detector
+
+        result = run_trials(oracle_method, bundle, 0.1, num_trials=3, seed=0)
+        assert len(calls) == 3
+        assert result.median.f1 == 1.0
+        assert result.mean_f1 == 1.0
+        assert result.std_f1 == 0.0
+        assert len(result.runtimes) == 3
+
+    def test_median_couples_metrics(self):
+        bundle = load_dataset("soccer", num_rows=150, seed=0)
+        counter = iter([0.0, 0.5, 1.0])
+
+        def variable_method(b, split, rng):
+            fraction = next(counter)
+            errors = sorted(b.error_cells, key=lambda c: (c.row, c.attr))
+            keep = int(len(errors) * fraction)
+            return set(errors[:keep])
+
+        result = run_trials(variable_method, bundle, 0.1, num_trials=3, seed=0)
+        f1s = sorted(m.f1 for m in result.trials)
+        assert result.median.f1 == f1s[1]
+
+    def test_no_trials_raises(self):
+        from repro.evaluation.runner import ExperimentResult
+
+        with pytest.raises(ValueError):
+            _ = ExperimentResult().median

@@ -1,0 +1,69 @@
+"""Tests for markdown report generation."""
+
+import pytest
+
+from repro.evaluation.metrics import Metrics
+from repro.evaluation.report import markdown_table, metrics_table, sweep_table
+from repro.evaluation.runner import ExperimentResult
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        table = markdown_table(["a", "b"], [["1", "22"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| a")
+        assert set(lines[1]) <= {"|", "-"}
+
+    def test_alignment(self):
+        table = markdown_table(["col"], [["x"], ["longer"]])
+        lines = table.splitlines()
+        assert len(lines[0]) == len(lines[2]) == len(lines[3])
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(ValueError):
+            markdown_table([], [])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a"], [["1", "2"]])
+
+
+class TestMetricsTable:
+    def test_renders_methods_in_order(self):
+        results = {
+            "AUG": Metrics(0.9, 0.8, 0.847),
+            "CV": Metrics(0.1, 0.5, 0.167),
+        }
+        table = metrics_table(results)
+        lines = table.splitlines()
+        assert "AUG" in lines[2] and "CV" in lines[3]
+        assert "0.847" in lines[2]
+
+    def test_title(self):
+        table = metrics_table({"AUG": Metrics(1, 1, 1)}, title="Table 2")
+        assert table.startswith("### Table 2")
+
+
+class TestSweepTable:
+    def _result(self, f1s):
+        result = ExperimentResult()
+        for f1 in f1s:
+            result.trials.append(Metrics(f1, f1, f1))
+            result.runtimes.append(1.0)
+        return result
+
+    def test_median_row(self):
+        results = {"5%": self._result([0.2, 0.5, 0.8])}
+        table = sweep_table(results, parameter_name="T size")
+        assert "T size" in table
+        assert "0.500" in table  # median trial
+
+    def test_runtime_column_optional(self):
+        results = {"x": self._result([0.5])}
+        assert "runtime" not in sweep_table(results)
+        assert "runtime" in sweep_table(results, include_runtime=True)
+
+    def test_mean_std_formatting(self):
+        results = {"x": self._result([0.4, 0.6])}
+        assert "0.500±0.100" in sweep_table(results)

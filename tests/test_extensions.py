@@ -1,0 +1,159 @@
+"""Tests for extension features: AL strategies, multi-edit channel,
+constraint discovery entry point, training-step floor."""
+
+import numpy as np
+import pytest
+
+from repro.augmentation.policy import CompositePolicy, Policy
+from repro.baselines.active_learning import (
+    SELECTION_STRATEGIES,
+    entropy_selection,
+    error_seeking_selection,
+    random_selection,
+    uncertainty_selection,
+)
+from repro.constraints import discover_constraints
+from repro.constraints.discovery import score_candidate_fds
+from repro.core.training import TrainerConfig
+from repro.dataset import Dataset
+
+
+class TestSelectionStrategies:
+    probs = np.array([0.05, 0.45, 0.95, 0.55, 0.5])
+
+    def test_uncertainty_picks_boundary_first(self):
+        order = uncertainty_selection(self.probs, np.random.default_rng(0))
+        assert order[0] == 4  # p = 0.5
+
+    def test_entropy_matches_uncertainty_ranking(self):
+        rng = np.random.default_rng(0)
+        np.testing.assert_array_equal(
+            entropy_selection(self.probs, rng)[:1], uncertainty_selection(self.probs, rng)[:1]
+        )
+
+    def test_error_seeking_picks_highest_first(self):
+        order = error_seeking_selection(self.probs, np.random.default_rng(0))
+        assert order[0] == 2  # p = 0.95
+
+    def test_random_is_permutation(self):
+        order = random_selection(self.probs, np.random.default_rng(0))
+        assert sorted(order) == list(range(5))
+
+    def test_registry_complete(self):
+        assert set(SELECTION_STRATEGIES) == {
+            "uncertainty",
+            "entropy",
+            "error_seeking",
+            "random",
+        }
+
+    def test_unknown_strategy_rejected(self):
+        from repro.baselines import ActiveLearningDetector
+
+        with pytest.raises(ValueError, match="unknown strategy"):
+            ActiveLearningDetector(lambda c: None, [], strategy="nope")
+
+
+class TestCompositePolicy:
+    @pytest.fixture
+    def base(self):
+        return Policy.learn([("60612", "6x612"), ("60614", "6061x"), ("ab", "axb")])
+
+    def test_single_edit_when_continue_zero(self, base):
+        policy = CompositePolicy(base, max_edits=3, continue_probability=0.0)
+        rng = np.random.default_rng(0)
+        out = policy.transform("60612", rng)
+        assert out is not None and out != "60612"
+
+    def test_multi_edit_changes_value(self, base):
+        policy = CompositePolicy(base, max_edits=4, continue_probability=0.9)
+        rng = np.random.default_rng(1)
+        results = {policy.transform("60612", rng) for _ in range(30)}
+        results.discard(None)
+        assert results  # produces transformed values
+        assert all(r != "60612" for r in results)
+
+    def test_never_returns_original(self, base):
+        policy = CompositePolicy(base, max_edits=5, continue_probability=0.8)
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            out = policy.transform("60612", rng)
+            assert out != "60612"
+
+    def test_invalid_params(self, base):
+        with pytest.raises(ValueError):
+            CompositePolicy(base, max_edits=0)
+        with pytest.raises(ValueError):
+            CompositePolicy(base, continue_probability=1.0)
+
+    def test_inherits_distribution(self, base):
+        policy = CompositePolicy(base)
+        for t in base.transformations:
+            assert policy.probability(t) == pytest.approx(base.probability(t))
+
+
+class TestDiscoverConstraints:
+    @pytest.fixture
+    def dataset(self):
+        rows = []
+        for i in range(60):
+            key = f"k{i % 6}"
+            rows.append([key, f"v{i % 6}", f"{(i % 6) // 2}", f"noise{i % 17}"])
+        return Dataset.from_rows(["k", "v", "w", "noise"], rows)
+
+    def test_finds_valid_fds(self, dataset):
+        found = discover_constraints(dataset, min_alpha=0.999)
+        names = {c.name for c in found}
+        assert "k->v" in names and "v->k" in names and "k->w" in names
+
+    def test_ordered_by_alpha(self, dataset):
+        found = discover_constraints(dataset, min_alpha=0.5)
+        scored = {s.constraint.name: s.alpha for s in score_candidate_fds(dataset)}
+        alphas = [scored[c.name] for c in found if c.name in scored]
+        assert alphas == sorted(alphas, reverse=True)
+
+    def test_limit(self, dataset):
+        assert len(discover_constraints(dataset, min_alpha=0.0, limit=2)) == 2
+
+    def test_pair_lhs_discovery(self):
+        # c is determined only by the pair (a, b).
+        rows = []
+        for i in range(40):
+            a, b = f"a{i % 4}", f"b{(i // 4) % 3}"
+            rows.append([a, b, f"c-{a}-{b}"])
+        d = Dataset.from_rows(["a", "b", "c"], rows)
+        singles = discover_constraints(d, min_alpha=0.999, max_lhs_size=1)
+        pairs = discover_constraints(d, min_alpha=0.999, max_lhs_size=2)
+        single_names = {c.name for c in singles}
+        pair_names = {c.name for c in pairs}
+        assert "a&b->c" in pair_names
+        assert "a&b->c" not in single_names
+
+    def test_invalid_lhs_size(self, dataset):
+        with pytest.raises(ValueError):
+            score_candidate_fds(dataset, max_lhs_size=3)
+
+
+class TestTrainingStepFloor:
+    def test_min_steps_raises_epochs(self):
+        from repro.core import JointModel, train_model
+        from repro.features.pipeline import CellFeatures
+
+        feats = CellFeatures(numeric=np.random.default_rng(0).normal(size=(16, 3)), branches={})
+        labels = np.zeros(16, dtype=int)
+        model = JointModel(numeric_dim=3, branch_dims={}, rng=0)
+        history = train_model(
+            model, feats, labels, TrainerConfig(epochs=2, batch_size=16, min_steps=10, seed=0)
+        )
+        # 1 step/epoch, floor of 10 steps -> 10 epochs despite epochs=2.
+        assert len(history) == 10
+
+    def test_no_floor_keeps_epochs(self):
+        from repro.core import JointModel, train_model
+        from repro.features.pipeline import CellFeatures
+
+        feats = CellFeatures(numeric=np.ones((8, 2)), branches={})
+        labels = np.zeros(8, dtype=int)
+        model = JointModel(numeric_dim=2, branch_dims={}, rng=0)
+        history = train_model(model, feats, labels, TrainerConfig(epochs=3, min_steps=0, seed=0))
+        assert len(history) == 3

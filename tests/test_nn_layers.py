@@ -1,0 +1,131 @@
+"""Unit tests for layers and module containers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dropout,
+    Highway,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+)
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(4, 3, rng=0)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_affine_math(self):
+        layer = Linear(2, 2, rng=0)
+        layer.weight.data = np.array([[1.0, 0.0], [0.0, 2.0]])
+        layer.bias.data = np.array([[1.0, -1.0]])
+        out = layer(Tensor(np.array([[3.0, 4.0]])))
+        np.testing.assert_allclose(out.numpy(), [[4.0, 7.0]])
+
+    def test_parameters_discovered(self):
+        layer = Linear(3, 2, rng=0)
+        params = list(layer.parameters())
+        assert len(params) == 2
+
+
+class TestActivations:
+    def test_relu(self):
+        out = ReLU()(Tensor(np.array([[-1.0, 2.0]])))
+        np.testing.assert_allclose(out.numpy(), [[0.0, 2.0]])
+
+    def test_sigmoid_range(self):
+        out = Sigmoid()(Tensor(np.array([[-100.0, 0.0, 100.0]])))
+        assert out.numpy()[0, 0] == pytest.approx(0.0, abs=1e-9)
+        assert out.numpy()[0, 1] == pytest.approx(0.5)
+        assert out.numpy()[0, 2] == pytest.approx(1.0, abs=1e-9)
+
+    def test_tanh(self):
+        out = Tanh()(Tensor(np.array([[0.0]])))
+        assert out.numpy()[0, 0] == 0.0
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5, rng=0).eval()
+        x = np.ones((10, 10))
+        np.testing.assert_allclose(layer(Tensor(x)).numpy(), x)
+
+    def test_training_mode_scales_survivors(self):
+        layer = Dropout(0.5, rng=0)
+        out = layer(Tensor(np.ones((200, 200)))).numpy()
+        # Survivors are scaled by 1/keep = 2; mean stays ~1.
+        assert set(np.unique(out)) <= {0.0, 2.0}
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_zero_probability_identity(self):
+        layer = Dropout(0.0)
+        x = np.random.default_rng(0).normal(size=(4, 4))
+        np.testing.assert_allclose(layer(Tensor(x)).numpy(), x)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestHighway:
+    def test_preserves_width(self):
+        layer = Highway(8, rng=0)
+        out = layer(Tensor(np.random.default_rng(0).normal(size=(3, 8))))
+        assert out.shape == (3, 8)
+
+    def test_starts_near_identity(self):
+        """Negative gate bias means a fresh layer mostly passes input through."""
+        layer = Highway(16, rng=0)
+        x = np.random.default_rng(1).normal(size=(20, 16))
+        out = layer(Tensor(x)).numpy()
+        # Output correlates strongly with input at init.
+        corr = np.corrcoef(out.ravel(), x.ravel())[0, 1]
+        assert corr > 0.7
+
+    def test_trainable(self):
+        layer = Highway(4, rng=0)
+        out = layer(Tensor(np.ones((2, 4)), requires_grad=False))
+        loss = (out * out).sum()
+        loss.backward()
+        grads = [p.grad for p in layer.parameters()]
+        assert all(g is not None for g in grads)
+
+
+class TestSequentialAndModule:
+    def test_composition(self):
+        model = Sequential(Linear(4, 8, rng=0), ReLU(), Linear(8, 2, rng=1))
+        out = model(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+        assert len(model) == 3
+
+    def test_parameter_recursion(self):
+        model = Sequential(Linear(2, 2, rng=0), Sequential(Linear(2, 2, rng=1)))
+        assert len(list(model.parameters())) == 4
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Sequential(Dropout(0.5)))
+        model.eval()
+        assert all(not m.training for m in model.children())
+        model.train()
+        assert all(m.training for m in model.children())
+
+    def test_num_parameters(self):
+        model = Linear(3, 2, rng=0)
+        assert model.num_parameters() == 3 * 2 + 2
+
+    def test_zero_grad(self):
+        model = Linear(2, 1, rng=0)
+        model(Tensor(np.ones((1, 2)))).sum().backward()
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_forward_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward(Tensor([1.0]))

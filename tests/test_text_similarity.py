@@ -1,0 +1,63 @@
+"""Unit + property tests for string similarity primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import longest_common_substring, sequence_similarity
+
+short_text = st.text(alphabet="abc01", max_size=12)
+
+
+class TestLongestCommonSubstring:
+    def test_basic(self):
+        start_a, start_b, length = longest_common_substring("60612", "6061x2")
+        assert ("60612"[start_a : start_a + length]) == "6061"
+        assert length == 4
+
+    def test_no_overlap(self):
+        assert longest_common_substring("abc", "xyz")[2] == 0
+
+    def test_empty(self):
+        assert longest_common_substring("", "abc") == (0, 0, 0)
+
+    def test_identical(self):
+        _, _, length = longest_common_substring("hello", "hello")
+        assert length == 5
+
+    @given(short_text, short_text)
+    def test_result_is_common_substring(self, a, b):
+        start_a, start_b, length = longest_common_substring(a, b)
+        assert a[start_a : start_a + length] == b[start_b : start_b + length]
+
+    @given(short_text, short_text)
+    def test_symmetry_of_length(self, a, b):
+        assert longest_common_substring(a, b)[2] == longest_common_substring(b, a)[2]
+
+
+class TestSequenceSimilarity:
+    def test_identical_strings(self):
+        assert sequence_similarity("abc", "abc") == 1.0
+
+    def test_disjoint_strings(self):
+        assert sequence_similarity("abc", "xyz") == 0.0
+
+    def test_both_empty(self):
+        assert sequence_similarity("", "") == 1.0
+
+    def test_known_value(self):
+        # common multiset chars of "abcd"/"abxd" = a,b,d -> 2*3/8
+        assert sequence_similarity("abcd", "abxd") == pytest.approx(0.75)
+
+    @given(short_text, short_text)
+    def test_bounds(self, a, b):
+        sim = sequence_similarity(a, b)
+        assert 0.0 <= sim <= 1.0
+
+    @given(short_text, short_text)
+    def test_symmetric(self, a, b):
+        assert sequence_similarity(a, b) == pytest.approx(sequence_similarity(b, a))
+
+    @given(short_text)
+    def test_self_similarity_is_one(self, a):
+        assert sequence_similarity(a, a) == 1.0

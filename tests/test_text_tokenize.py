@@ -1,0 +1,48 @@
+"""Unit tests for tokenisers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import char_tokens, symbolic_signature, word_tokens
+
+
+class TestCharTokens:
+    def test_basic(self):
+        assert char_tokens("ab1") == ["a", "b", "1"]
+
+    def test_empty(self):
+        assert char_tokens("") == []
+
+
+class TestWordTokens:
+    def test_splits_on_punctuation(self):
+        assert word_tokens("Pass w/ Conditions") == ["pass", "w", "conditions"]
+
+    def test_lowercases(self):
+        assert word_tokens("Chicago IL") == ["chicago", "il"]
+
+    def test_alphanumeric_kept_together(self):
+        assert word_tokens("scip-inf-4") == ["scip", "inf", "4"]
+
+    def test_empty(self):
+        assert word_tokens("") == []
+        assert word_tokens("---") == []
+
+
+class TestSymbolicSignature:
+    def test_mixed(self):
+        assert symbolic_signature("60612-A") == "NNNNNSC"
+
+    def test_letters(self):
+        assert symbolic_signature("abc") == "CCC"
+
+    def test_empty(self):
+        assert symbolic_signature("") == ""
+
+    @given(st.text(max_size=50))
+    def test_length_preserved(self, value):
+        assert len(symbolic_signature(value)) == len(value)
+
+    @given(st.text(max_size=50))
+    def test_alphabet(self, value):
+        assert set(symbolic_signature(value)) <= {"C", "N", "S"}

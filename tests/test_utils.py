@@ -1,0 +1,101 @@
+"""Tests for the shared utilities (RNG plumbing, timing, statistics)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, as_generator, spawn_generators
+from repro.utils.stats import normalized_mutual_information
+
+
+class TestAsGenerator:
+    def test_from_int_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=5)
+        b = as_generator(42).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_yields_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(as_generator(np.int64(7)), np.random.Generator)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+
+class TestSpawnGenerators:
+    def test_count_and_independence(self):
+        gens = spawn_generators(0, 3)
+        assert len(gens) == 3
+        draws = [g.integers(0, 10**9) for g in gens]
+        assert len(set(draws)) == 3  # astronomically unlikely to collide
+
+    def test_reproducible_from_parent_seed(self):
+        a = [g.integers(0, 10**9) for g in spawn_generators(5, 4)]
+        b = [g.integers(0, 10**9) for g in spawn_generators(5, 4)]
+        assert a == b
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= first
+
+
+class TestNormalizedMutualInformation:
+    def test_perfect_dependence(self):
+        col = [str(i % 4) for i in range(40)]
+        assert normalized_mutual_information(col, col) == pytest.approx(1.0)
+
+    def test_independence_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = [str(int(x)) for x in rng.integers(0, 2, 2000)]
+        b = [str(int(x)) for x in rng.integers(0, 2, 2000)]
+        assert normalized_mutual_information(a, b) < 0.05
+
+    def test_constant_column_zero(self):
+        assert normalized_mutual_information(["x"] * 10, ["a", "b"] * 5) == 0.0
+
+    def test_bias_correction_reduces_spurious_nmi(self):
+        """Two random high-cardinality columns: raw NMI is inflated, the
+        bias-corrected value collapses toward zero."""
+        rng = np.random.default_rng(1)
+        a = [f"a{int(x)}" for x in rng.integers(0, 80, 200)]
+        b = [f"b{int(x)}" for x in rng.integers(0, 80, 200)]
+        raw = normalized_mutual_information(a, b)
+        corrected = normalized_mutual_information(a, b, bias_corrected=True)
+        assert corrected < raw
+        assert corrected < 0.1
+
+    def test_bias_correction_keeps_true_dependence(self):
+        col_a = [str(i % 8) for i in range(400)]
+        col_b = [str((i % 8) // 2) for i in range(400)]
+        assert normalized_mutual_information(col_a, col_b, bias_corrected=True) > 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(["a"], ["a", "b"])
