@@ -1,0 +1,77 @@
+"""Feature-engine runtime: cached vs uncached full-dataset prediction.
+
+Companion to the Table 5 runtime benchmark (§6.7).  Table 5 times whole
+methods end-to-end; this harness isolates the batched featurization engine:
+the same fitted AUG detector predicts over every cell of the dataset with
+the feature cache detached, cold, and warm.  The speedup is *measured*, and
+the cached blocks are asserted byte-identical to the uncached path — the
+cache must never change a prediction.
+
+Run with ``pytest benchmarks/bench_feature_engine.py -s`` to see the table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import bench_config, print_table
+
+from repro.core import HoloDetect
+from repro.evaluation.splits import make_split
+from repro.features.base import CellBatch
+from repro.features.cache import FeatureCache
+from repro.utils.timing import Timer
+
+
+@pytest.mark.parametrize("dataset_name", ["hospital"])
+def test_feature_engine_speedup(benchmark, core_bundles, dataset_name):
+    bundle = core_bundles[dataset_name]
+    split = make_split(bundle, 0.05, rng=7)
+    detector = HoloDetect(bench_config())
+    detector.fit(bundle.dirty, split.training, bundle.constraints)
+    cells = list(bundle.dirty.cells())
+
+    def run():
+        # Uncached baseline: every block recomputed.
+        detector.pipeline.cache = None
+        with Timer() as uncached:
+            baseline = detector.predict(cells)
+        # Cold pass fills the cache, warm pass is served from it.
+        cache = FeatureCache()
+        detector.pipeline.cache = cache
+        with Timer() as cold:
+            detector.predict(cells)
+        with Timer() as warm:
+            cached = detector.predict(cells)
+        return baseline, cached, cache, uncached.elapsed, cold.elapsed, warm.elapsed
+
+    baseline, cached, cache, t_uncached, t_cold, t_warm = benchmark.pedantic(
+        run, iterations=1, rounds=1
+    )
+    speedup = t_uncached / max(t_warm, 1e-9)
+    print_table(
+        f"Feature engine — full-dataset prediction on {dataset_name} "
+        f"({len(cells)} cells)",
+        ["pass", "seconds"],
+        [
+            ["uncached", f"{t_uncached:.3f}"],
+            ["cache cold", f"{t_cold:.3f}"],
+            ["cache warm", f"{t_warm:.3f}"],
+            ["speedup (uncached/warm)", f"{speedup:.1f}x"],
+            ["cache", cache.stats.summary()],
+        ],
+    )
+
+    # The cache must be invisible in the output...
+    np.testing.assert_array_equal(baseline.probabilities, cached.probabilities)
+    # ...and each cached block byte-identical to a fresh uncached transform.
+    probe = CellBatch(cells[: min(512, len(cells))], bundle.dirty)
+    for featurizer in detector.pipeline.featurizers:
+        fresh = featurizer.transform_batch(probe)
+        via_cache = cache.get_or_compute(featurizer, probe)
+        via_cache_again = cache.get_or_compute(featurizer, probe)
+        assert fresh.tobytes() == via_cache.tobytes() == via_cache_again.tobytes()
+    # ISSUE 1 acceptance: >=2x on warm full-dataset prediction.
+    assert speedup >= 2.0, f"expected >=2x speedup, got {speedup:.2f}x"
+    assert cache.stats.hits > 0

@@ -8,6 +8,11 @@ the dataset scale (e.g. to the paper's original sizes) and
 
 Rows are printed with the same structure the paper reports, so a run of
 ``pytest benchmarks/ --benchmark-only -s`` reproduces each table's layout.
+The benchmark→paper index lives in ``docs/architecture.md``.
+
+All detector-based benchmarks run with the batched featurization engine and
+feature cache on (the ``DetectorConfig`` defaults); its speedup is measured
+— not assumed — by ``bench_feature_engine.py``.
 """
 
 from __future__ import annotations

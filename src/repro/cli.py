@@ -82,6 +82,9 @@ def _detector_config(args: argparse.Namespace) -> DetectorConfig:
         embedding_dim=args.embedding_dim,
         seed=args.seed,
         augment=not args.no_augment,
+        prediction_batch=args.prediction_batch,
+        prediction_workers=args.prediction_workers,
+        feature_cache=not args.no_feature_cache,
     )
 
 
@@ -122,6 +125,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
             )
     flagged = sum(1 for _, p in zip(predictions.cells, predictions.probabilities) if p >= args.threshold)
     print(f"wrote {args.output}: {flagged} cells flagged", file=sys.stderr)
+    if detector.cache_stats is not None:
+        print(f"feature cache: {detector.cache_stats.summary()}", file=sys.stderr)
     if args.save_model:
         from repro.persistence import save_detector
 
@@ -175,6 +180,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0, help="random seed")
         p.add_argument(
             "--no-augment", action="store_true", help="disable data augmentation (SuperL mode)"
+        )
+        p.add_argument(
+            "--prediction-batch",
+            type=int,
+            default=512,
+            help="cells featurised per prediction chunk",
+        )
+        p.add_argument(
+            "--prediction-workers",
+            type=int,
+            default=1,
+            help="threads featurising prediction chunks concurrently",
+        )
+        p.add_argument(
+            "--no-feature-cache",
+            action="store_true",
+            help="disable memoisation of transformed feature blocks",
         )
 
     detect = sub.add_parser("detect", help="detect errors in a CSV")

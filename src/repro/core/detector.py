@@ -11,6 +11,7 @@ model, supervision limited to T — which the baselines package reuses.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -25,6 +26,8 @@ from repro.core.model import JointModel
 from repro.core.training import TrainerConfig, train_model
 from repro.dataset.table import Cell, Dataset
 from repro.dataset.training import LabeledCell, TrainingSet
+from repro.features.base import CellBatch
+from repro.features.cache import CacheStats, FeatureCache
 from repro.features.pipeline import FeaturePipeline, default_pipeline
 from repro.utils.rng import as_generator
 
@@ -60,7 +63,17 @@ class DetectorConfig:
     weak_supervision_max_cells: int = 20_000
     #: Representation models to drop (ablation studies).
     exclude_models: tuple[str, ...] = ()
+    #: Cells featurised per prediction chunk.  Chunk boundaries are
+    #: deterministic, so repeated predictions over the same cells hit the
+    #: feature cache block-for-block.
     prediction_batch: int = 512
+    #: Memoise transformed feature blocks (see ``repro.features.cache``).
+    feature_cache: bool = True
+    #: LRU capacity of the feature cache, in blocks.
+    cache_max_entries: int = 1024
+    #: Threads featurising prediction chunks concurrently (1 = sequential).
+    #: Scoring stays on the calling thread; only featurization fans out.
+    prediction_workers: int = 1
     seed: int = 0
     #: Override the learned policy (augmentation-strategy ablations, Table 4).
     policy_override: Policy | None = field(default=None, repr=False)
@@ -100,9 +113,19 @@ class HoloDetect:
         self.model: JointModel | None = None
         self.scaler: PlattScaler | None = None
         self.policy: Policy | None = None
+        self.cache: FeatureCache | None = (
+            FeatureCache(self.config.cache_max_entries)
+            if self.config.feature_cache
+            else None
+        )
         self.augmented_count = 0
         self._dataset: Dataset | None = None
         self._train_cells: set[Cell] = set()
+
+    @property
+    def cache_stats(self) -> CacheStats | None:
+        """Feature-cache accounting, or ``None`` when caching is disabled."""
+        return self.cache.stats if self.cache is not None else None
 
     # ------------------------------------------------------------------ #
     # Fitting
@@ -131,7 +154,9 @@ class HoloDetect:
             embedding_epochs=cfg.embedding_epochs,
             exclude=cfg.exclude_models,
             rng=rng,
-        ).fit(dataset)
+        )
+        self.pipeline.cache = self.cache
+        self.pipeline.fit(dataset)
 
         # Module 1: noisy channel learning + augmentation.
         examples: list[LabeledCell] = list(train_main)
@@ -204,19 +229,51 @@ class HoloDetect:
 
         Defaults to every cell of D outside the training set (the paper's
         prediction target, §3.3 Module 3).
+
+        Prediction is chunked into ``config.prediction_batch``-cell batches;
+        with the feature cache enabled, a repeated prediction over the same
+        cells (or a second pass after e.g. threshold tuning) reuses every
+        transformed block.  ``config.prediction_workers > 1`` featurises
+        chunks on a thread pool; the model forward pass stays sequential on
+        the calling thread because the nn layer toggles global state.
         """
         if self.model is None or self.pipeline is None or self._dataset is None:
             raise RuntimeError("detector used before fit()")
         if cells is None:
             cells = [c for c in self._dataset.cells() if c not in self._train_cells]
         cells = list(cells)
+        batch = max(1, self.config.prediction_batch)
+        chunks = [
+            CellBatch(cells[start : start + batch], self._dataset)
+            for start in range(0, len(cells), batch)
+        ]
+        workers = max(1, self.config.prediction_workers)
         probabilities = np.zeros(len(cells))
-        batch = self.config.prediction_batch
-        for start in range(0, len(cells), batch):
-            chunk = cells[start : start + batch]
-            features = self.pipeline.transform(chunk, self._dataset)
+        start = 0
+
+        def score(features) -> None:
+            nonlocal start
             scores = self.model.error_scores(features)
-            probabilities[start : start + batch] = self.scaler.probability(scores)
+            probabilities[start : start + features.batch_size] = (
+                self.scaler.probability(scores)
+            )
+            start += features.batch_size
+
+        if workers > 1 and len(chunks) > 1:
+            # Featurise a bounded window of chunks in parallel, then score it
+            # before moving on: peak memory stays O(window x batch), not
+            # O(all cells), no matter how large the relation is.
+            window = 4 * workers
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for lo in range(0, len(chunks), window):
+                    for features in pool.map(
+                        self.pipeline.transform_batch, chunks[lo : lo + window]
+                    ):
+                        score(features)
+        else:
+            # Sequential path streams chunk-by-chunk.
+            for chunk in chunks:
+                score(self.pipeline.transform_batch(chunk))
         return ErrorPredictions(cells=cells, probabilities=probabilities)
 
     def predict_error_cells(self, cells: Sequence[Cell] | None = None) -> set[Cell]:

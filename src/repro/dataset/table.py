@@ -11,6 +11,7 @@ statistics — the dominant access pattern in featurisation — cheap.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -64,6 +65,7 @@ class Dataset:
             a: [str(v) for v in columns[a]] for a in schema.attributes
         }
         self._num_rows = lengths.pop() if lengths else 0
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -128,6 +130,27 @@ class Dataset:
     def set_value(self, cell: Cell, value: str) -> None:
         """Mutate a cell in place (used by error injection and repair)."""
         self._columns[cell.attr][cell.row] = str(value)
+        self._fingerprint = None
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the relation (schema order + all values).
+
+        The feature cache keys transformed blocks on this value, so any
+        in-place mutation through :meth:`set_value` invalidates cached
+        features automatically.  The hash is computed lazily and memoised
+        until the next mutation.
+        """
+        if self._fingerprint is None:
+            h = hashlib.blake2b(digest_size=16)
+            for attr in self.schema.attributes:
+                h.update(attr.encode("utf-8"))
+                h.update(b"\x1f")
+                for value in self._columns[attr]:
+                    h.update(value.encode("utf-8"))
+                    h.update(b"\x1e")
+                h.update(b"\x1d")
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def row_dict(self, row: int) -> dict[str, str]:
         """One tuple as an ``{attr: value}`` mapping."""

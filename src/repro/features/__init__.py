@@ -15,9 +15,14 @@ Each model is a :class:`~repro.features.base.Featurizer`.  The
 dataset D, transforms cells into a fixed ``numeric`` block plus named
 embedding branches, and supports dropping any single model for the Fig. 3
 ablation study.
+
+Transforms are batched through :class:`~repro.features.base.CellBatch` and
+optionally memoised by a :class:`~repro.features.cache.FeatureCache` — see
+``docs/architecture.md`` for where the cache sits in the system.
 """
 
-from repro.features.base import Featurizer, FeatureContext
+from repro.features.base import CellBatch, Featurizer, FeatureContext
+from repro.features.cache import CacheStats, FeatureCache
 from repro.features.attribute import (
     CharEmbeddingFeaturizer,
     ColumnIdFeaturizer,
@@ -37,6 +42,9 @@ from repro.features.pipeline import CellFeatures, FeaturePipeline, default_pipel
 __all__ = [
     "Featurizer",
     "FeatureContext",
+    "CellBatch",
+    "FeatureCache",
+    "CacheStats",
     "CharEmbeddingFeaturizer",
     "WordEmbeddingFeaturizer",
     "FormatNGramFeaturizer",

@@ -3,31 +3,23 @@
 All models here are per-attribute: a separate statistic (or embedding) is
 learned for every column, because "Zip Code" and "City" have entirely
 different value, format, and frequency distributions.
+
+Every transform is batched (see :class:`~repro.features.base.CellBatch`):
+per-value statistics are computed once per *unique* value of a column and
+scattered to all cells carrying it, which is where most of the speedup of
+the batched engine comes from — real columns are heavily repetitive.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
-from repro.dataset.table import Cell, Dataset
+from repro.dataset.table import Dataset
 from repro.embeddings.corpus import char_corpus, word_corpus
 from repro.embeddings.fasttext import FastTextEmbedding
-from repro.features.base import FeatureContext, Featurizer
+from repro.features.base import CellBatch, FeatureContext, Featurizer
 from repro.text.ngrams import NGramModel, SymbolicNGramModel
 from repro.text.tokenize import char_tokens, word_tokens
-
-
-def _resolved_values(
-    cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None
-) -> list[str]:
-    """Observed values, honouring the per-cell override used for augmentation."""
-    if values is None:
-        return [dataset.value(c) for c in cells]
-    if len(values) != len(cells):
-        raise ValueError("values override must match cells length")
-    return [str(v) for v in values]
 
 
 class CharEmbeddingFeaturizer(Featurizer):
@@ -58,15 +50,14 @@ class CharEmbeddingFeaturizer(Featurizer):
             self._models[attr] = model.fit(char_corpus(dataset, attr))
         return self
 
-    def transform(
-        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
-    ) -> np.ndarray:
+    def transform_batch(self, batch: CellBatch) -> np.ndarray:
         self._require_fitted("_models")
-        resolved = _resolved_values(cells, dataset, values)
-        out = np.zeros((len(cells), self._dim))
-        for i, (cell, value) in enumerate(zip(cells, resolved)):
-            tokens = char_tokens(value) or ["<empty>"]
-            out[i] = self._models[cell.attr].sentence_vector(tokens)
+        out = np.zeros((len(batch), self._dim))
+        for attr, by_value in batch.value_groups.items():
+            model = self._models[attr]
+            for value, idx in by_value.items():
+                tokens = char_tokens(value) or ["<empty>"]
+                out[idx] = model.sentence_vector(tokens)
         return out
 
     @property
@@ -99,15 +90,14 @@ class WordEmbeddingFeaturizer(Featurizer):
             self._models[attr] = model.fit(word_corpus(dataset, attr))
         return self
 
-    def transform(
-        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
-    ) -> np.ndarray:
+    def transform_batch(self, batch: CellBatch) -> np.ndarray:
         self._require_fitted("_models")
-        resolved = _resolved_values(cells, dataset, values)
-        out = np.zeros((len(cells), self._dim))
-        for i, (cell, value) in enumerate(zip(cells, resolved)):
-            tokens = word_tokens(value) or ["<empty>"]
-            out[i] = self._models[cell.attr].sentence_vector(tokens)
+        out = np.zeros((len(batch), self._dim))
+        for attr, by_value in batch.value_groups.items():
+            model = self._models[attr]
+            for value, idx in by_value.items():
+                tokens = word_tokens(value) or ["<empty>"]
+                out[idx] = model.sentence_vector(tokens)
         return out
 
     @property
@@ -139,15 +129,13 @@ class FormatNGramFeaturizer(Featurizer):
         }
         return self
 
-    def transform(
-        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
-    ) -> np.ndarray:
+    def transform_batch(self, batch: CellBatch) -> np.ndarray:
         self._require_fitted("_models")
-        resolved = _resolved_values(cells, dataset, values)
-        out = np.zeros((len(cells), self._least_k))
-        for i, (cell, value) in enumerate(zip(cells, resolved)):
-            probs = self._models[cell.attr].least_probable_grams(value, self._least_k)
-            out[i] = np.log(probs)
+        out = np.zeros((len(batch), self._least_k))
+        for attr, by_value in batch.value_groups.items():
+            model = self._models[attr]
+            for value, idx in by_value.items():
+                out[idx] = np.log(model.least_probable_grams(value, self._least_k))
         return out
 
     @property
@@ -178,15 +166,13 @@ class SymbolicNGramFeaturizer(Featurizer):
         }
         return self
 
-    def transform(
-        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
-    ) -> np.ndarray:
+    def transform_batch(self, batch: CellBatch) -> np.ndarray:
         self._require_fitted("_models")
-        resolved = _resolved_values(cells, dataset, values)
-        out = np.zeros((len(cells), self._least_k))
-        for i, (cell, value) in enumerate(zip(cells, resolved)):
-            probs = self._models[cell.attr].least_probable_grams(value, self._least_k)
-            out[i] = np.log(probs)
+        out = np.zeros((len(batch), self._least_k))
+        for attr, by_value in batch.value_groups.items():
+            model = self._models[attr]
+            for value, idx in by_value.items():
+                out[idx] = np.log(model.least_probable_grams(value, self._least_k))
         return out
 
     @property
@@ -215,15 +201,14 @@ class EmpiricalDistributionFeaturizer(Featurizer):
         self._totals = {attr: dataset.num_rows for attr in dataset.attributes}
         return self
 
-    def transform(
-        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
-    ) -> np.ndarray:
+    def transform_batch(self, batch: CellBatch) -> np.ndarray:
         self._require_fitted("_counts")
-        resolved = _resolved_values(cells, dataset, values)
-        out = np.zeros((len(cells), 1))
-        for i, (cell, value) in enumerate(zip(cells, resolved)):
-            total = self._totals[cell.attr] or 1
-            out[i, 0] = self._counts[cell.attr].get(value, 0) / total
+        out = np.zeros((len(batch), 1))
+        for attr, by_value in batch.value_groups.items():
+            counts = self._counts[attr]
+            total = self._totals[attr] or 1
+            for value, idx in by_value.items():
+                out[idx, 0] = counts.get(value, 0) / total
         return out
 
     @property
@@ -245,13 +230,11 @@ class ColumnIdFeaturizer(Featurizer):
         self._index = {attr: i for i, attr in enumerate(dataset.attributes)}
         return self
 
-    def transform(
-        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
-    ) -> np.ndarray:
+    def transform_batch(self, batch: CellBatch) -> np.ndarray:
         self._require_fitted("_index")
-        out = np.zeros((len(cells), len(self._index)))
-        for i, cell in enumerate(cells):
-            out[i, self._index[cell.attr]] = 1.0
+        out = np.zeros((len(batch), len(self._index)))
+        for attr, idx in batch.by_attr.items():
+            out[idx, self._index[attr]] = 1.0
         return out
 
     @property

@@ -1,13 +1,29 @@
-"""Featurizer interface shared by all representation models."""
+"""Featurizer interface shared by all representation models.
+
+Featurization is *batched*: the unit of work is a :class:`CellBatch`, which
+bundles the cells to transform, the dataset supplying their tuple context,
+and the optional per-cell value overrides used for augmented examples.  The
+batch precomputes the groupings every vectorised featurizer needs — resolved
+values, positions grouped by attribute, unique-value groups per attribute —
+once, so per-column statistics are shared across all models of a pipeline
+instead of being recomputed per cell per featurizer.
+"""
 
 from __future__ import annotations
 
 import enum
+import hashlib
+import itertools
 from typing import Sequence
 
 import numpy as np
 
 from repro.dataset.table import Cell, Dataset
+
+#: Monotonic counter backing :attr:`Featurizer.cache_token` — every reset
+#: yields a token never seen before in the process, so stale cache entries
+#: from a previous fit can never collide with a refitted model.
+_TOKEN_COUNTER = itertools.count()
 
 
 class FeatureContext(enum.Enum):
@@ -18,6 +34,126 @@ class FeatureContext(enum.Enum):
     DATASET = "dataset"
 
 
+class CellBatch:
+    """A batch of cells to featurize against one dataset.
+
+    Built once per pipeline call and shared by every featurizer in the
+    pipeline.  All derived groupings are lazy: a featurizer that only needs
+    ``resolved`` values never pays for the per-attribute index.
+
+    ``values`` overrides the observed cell values — this is how augmented
+    examples are featurised: the synthetic value replaces the observed one
+    while the tuple context stays real.
+    """
+
+    __slots__ = (
+        "cells",
+        "dataset",
+        "values",
+        "resolved",
+        "_by_attr",
+        "_value_groups",
+        "_overridden",
+        "_digest",
+    )
+
+    def __init__(
+        self,
+        cells: Sequence[Cell],
+        dataset: Dataset,
+        values: Sequence[str] | None = None,
+    ):
+        self.cells: list[Cell] = list(cells)
+        self.dataset = dataset
+        if values is not None and len(values) != len(self.cells):
+            raise ValueError("values override must match cells length")
+        self.values: list[str] | None = (
+            None if values is None else [str(v) for v in values]
+        )
+        #: Per-cell value, honouring the override when present.
+        self.resolved: list[str] = (
+            self.values
+            if self.values is not None
+            else [dataset.value(c) for c in self.cells]
+        )
+        self._by_attr: dict[str, np.ndarray] | None = None
+        self._value_groups: dict[str, dict[str, np.ndarray]] | None = None
+        self._overridden: np.ndarray | None = None
+        self._digest: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @property
+    def by_attr(self) -> dict[str, np.ndarray]:
+        """Batch positions grouped by attribute (insertion order preserved)."""
+        if self._by_attr is None:
+            groups: dict[str, list[int]] = {}
+            for i, cell in enumerate(self.cells):
+                groups.setdefault(cell.attr, []).append(i)
+            self._by_attr = {
+                attr: np.asarray(idx, dtype=np.intp) for attr, idx in groups.items()
+            }
+        return self._by_attr
+
+    @property
+    def value_groups(self) -> dict[str, dict[str, np.ndarray]]:
+        """Positions grouped by ``(attribute, resolved value)``.
+
+        The core vectorisation structure: per-value statistics (n-gram
+        probabilities, embeddings, frequencies) are computed once per unique
+        value of a column and scattered to every cell carrying it.
+        """
+        if self._value_groups is None:
+            groups: dict[str, dict[str, list[int]]] = {}
+            for i, cell in enumerate(self.cells):
+                groups.setdefault(cell.attr, {}).setdefault(self.resolved[i], []).append(i)
+            self._value_groups = {
+                attr: {
+                    value: np.asarray(idx, dtype=np.intp)
+                    for value, idx in by_value.items()
+                }
+                for attr, by_value in groups.items()
+            }
+        return self._value_groups
+
+    @property
+    def overridden(self) -> np.ndarray:
+        """Boolean mask: cell value differs from the observed one."""
+        if self._overridden is None:
+            if self.values is None:
+                self._overridden = np.zeros(len(self.cells), dtype=bool)
+            else:
+                self._overridden = np.array(
+                    [
+                        value != self.dataset.value(cell)
+                        for cell, value in zip(self.cells, self.resolved)
+                    ],
+                    dtype=bool,
+                )
+        return self._overridden
+
+    @property
+    def dataset_fingerprint(self) -> str:
+        """Content hash of the backing dataset (see ``Dataset.fingerprint``)."""
+        return self.dataset.fingerprint()
+
+    @property
+    def digest(self) -> str:
+        """Stable hash of the batch's cells and resolved values.
+
+        Together with :attr:`dataset_fingerprint` and a featurizer's
+        ``cache_token``, this fully keys a transformed block: same cells,
+        same overrides, same dataset, same fitted model → same output.
+        """
+        if self._digest is None:
+            h = hashlib.blake2b(digest_size=16)
+            for cell, value in zip(self.cells, self.resolved):
+                h.update(f"{cell.row}\x1f{cell.attr}\x1f{value}\x1e".encode("utf-8"))
+            self._digest = h.hexdigest()
+        return self._digest
+
+
 class Featurizer:
     """One representation model: fit on the noisy dataset, transform cells.
 
@@ -26,28 +162,78 @@ class Featurizer:
     fixed numeric features and a branch label (``"char"``, ``"word"``,
     ``"tuple"``) for outputs that feed a learnable representation layer
     (Fig. 2B) inside the joint model.
+
+    The primary transform contract is :meth:`transform_batch`, which receives
+    a :class:`CellBatch` and returns the feature block for all of its cells
+    at once; :meth:`transform` is a convenience wrapper that builds the batch
+    from loose arguments.  Legacy subclasses that override only
+    :meth:`transform` keep working — the base :meth:`transform_batch`
+    delegates to it.
     """
 
     name: str = "featurizer"
     context: FeatureContext = FeatureContext.ATTRIBUTE
     branch: str | None = None
+    _cache_token: str | None = None
 
     def fit(self, dataset: Dataset) -> "Featurizer":
-        """Learn the model's statistics from the (noisy) input dataset D."""
+        """Learn the model's statistics from the (noisy) input dataset D.
+
+        Refitting an already-fitted featurizer should be followed by
+        :meth:`reset_cache_token` so cached blocks from the previous fit
+        cannot be served (``FeaturePipeline.fit`` does this automatically).
+        """
         raise NotImplementedError
 
-    def transform(self, cells: Sequence[Cell], dataset: Dataset) -> np.ndarray:
+    def transform_batch(self, batch: CellBatch) -> np.ndarray:
+        """Feature block ``[len(batch), self.dim]`` for the batch's cells.
+
+        Implementations should vectorise over :attr:`CellBatch.value_groups`
+        (or :attr:`CellBatch.by_attr`) so per-column statistics are computed
+        once per unique value, not once per cell.
+        """
+        if type(self).transform is Featurizer.transform:
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement transform_batch()"
+            )
+        # Legacy subclass: only the loose-argument transform() is overridden.
+        # Older subclasses may predate the ``values`` parameter, so only pass
+        # the override when there is one to honour.
+        if batch.values is None:
+            return self.transform(batch.cells, batch.dataset)
+        return self.transform(batch.cells, batch.dataset, batch.values)
+
+    def transform(
+        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
+    ) -> np.ndarray:
         """Feature block ``[len(cells), self.dim]`` for the given cells.
 
         ``dataset`` supplies the observed values; it may differ from the fit
         dataset only in cell values (augmented examples reuse row context).
+        ``values`` overrides observed cell values position-by-position.
         """
-        raise NotImplementedError
+        return self.transform_batch(CellBatch(cells, dataset, values))
 
     @property
     def dim(self) -> int:
-        """Output width of :meth:`transform`."""
+        """Output width of :meth:`transform_batch`."""
         raise NotImplementedError
+
+    @property
+    def cache_token(self) -> str:
+        """Opaque token identifying this featurizer's *fitted state*.
+
+        Feature-cache keys include this token; it changes on every
+        :meth:`reset_cache_token`, so blocks computed under an older fit can
+        never be confused with the current one.
+        """
+        if self._cache_token is None:
+            self.reset_cache_token()
+        return self._cache_token
+
+    def reset_cache_token(self) -> None:
+        """Issue a fresh cache token (call after refitting in place)."""
+        self._cache_token = f"{type(self).__name__}:{self.name}#{next(_TOKEN_COUNTER)}"
 
     def _require_fitted(self, attribute: str) -> None:
         if getattr(self, attribute, None) is None:

@@ -1,0 +1,153 @@
+"""Keyed, invalidation-aware cache of transformed feature blocks.
+
+Featurization dominates runtime at scale: every augmentation epoch, repeated
+evaluation run, and full-dataset prediction pass re-derives the same blocks
+from the same fitted models.  :class:`FeatureCache` memoises each block
+under the triple
+
+    ``(featurizer fitted-state token, dataset fingerprint, batch digest)``
+
+so identical work is done once:
+
+- the **featurizer token** (``Featurizer.cache_token``) changes whenever a
+  model is (re)fitted, so blocks from a stale fit can never be served;
+- the **dataset fingerprint** (``Dataset.fingerprint``) changes on any
+  in-place cell mutation, so edits invalidate dependent blocks implicitly;
+- the **batch digest** hashes the cells *and* their resolved (possibly
+  overridden) values, so augmented variants of the same cells key
+  separately.
+
+Entries are bounded LRU; eviction and hit/miss counts are tracked in
+:class:`CacheStats` (``cache.stats``).  Lookups are thread-safe, which the
+detector's ``prediction_workers`` featurization pool relies on.
+
+Cached arrays are returned by reference — treat them as read-only.  The
+pipeline obeys this: standardisation and clipping allocate new arrays.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.features.base import CellBatch, Featurizer
+
+#: A fully resolved cache key (featurizer token, dataset fingerprint, digest).
+CacheKey = tuple[str, str, str]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for one :class:`FeatureCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} hits / {self.lookups} lookups "
+            f"({self.hit_rate:.0%}), {self.evictions} evicted, "
+            f"{self.invalidations} invalidated"
+        )
+
+
+@dataclass
+class _Entry:
+    block: np.ndarray
+    nbytes: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.nbytes = int(self.block.nbytes)
+
+
+class FeatureCache:
+    """Bounded LRU cache of transformed feature blocks.
+
+    ``max_entries`` bounds the entry count (an entry is one featurizer's
+    block for one batch).  All operations are thread-safe; a miss computes
+    outside the lock so concurrent workers never serialise on featurization.
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by cached blocks."""
+        with self._lock:
+            return sum(e.nbytes for e in self._entries.values())
+
+    @staticmethod
+    def key_for(featurizer: Featurizer, batch: CellBatch) -> CacheKey:
+        return (featurizer.cache_token, batch.dataset_fingerprint, batch.digest)
+
+    def get_or_compute(self, featurizer: Featurizer, batch: CellBatch) -> np.ndarray:
+        """The featurizer's block for ``batch``, computed at most once.
+
+        The returned array is shared with the cache — do not mutate it.
+        """
+        key = self.key_for(featurizer, batch)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry.block
+        # Miss: compute without holding the lock (parallel misses allowed).
+        block = featurizer.transform_batch(batch)
+        with self._lock:
+            self.stats.misses += 1
+            if key not in self._entries:
+                self._entries[key] = _Entry(block)
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+        return block
+
+    def invalidate_dataset(self, fingerprint: str) -> int:
+        """Drop every block computed against the given dataset fingerprint.
+
+        Normally unnecessary — a mutated dataset gets a new fingerprint and
+        old entries age out — but lets callers reclaim memory eagerly when a
+        relation is known to be gone.  Returns the number of entries dropped.
+        """
+        with self._lock:
+            stale = [k for k in self._entries if k[1] == fingerprint]
+            for k in stale:
+                del self._entries[k]
+            self.stats.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are preserved)."""
+        with self._lock:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"FeatureCache(entries={len(self._entries)}/{self.max_entries}, "
+            f"{self.stats.summary()})"
+        )

@@ -17,8 +17,7 @@ from repro.constraints.violations import ViolationEngine
 from repro.dataset.table import Cell, Dataset
 from repro.embeddings.corpus import EMPTY_TOKEN, tuple_value_corpus
 from repro.embeddings.fasttext import FastTextEmbedding
-from repro.features.attribute import _resolved_values
-from repro.features.base import FeatureContext, Featurizer
+from repro.features.base import CellBatch, FeatureContext, Featurizer
 
 
 class ConstraintViolationFeaturizer(Featurizer):
@@ -105,22 +104,34 @@ class ConstraintViolationFeaturizer(Featurizer):
                 same_residual -= 1
         return float(same_key - same_residual)
 
-    def transform(
-        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
-    ) -> np.ndarray:
+    def transform_batch(self, batch: CellBatch) -> np.ndarray:
         self._require_fitted("_tuple_counts")
-        resolved = _resolved_values(cells, dataset, values)
-        out = np.zeros((len(cells), len(self._constraints)))
-        for i, (cell, value) in enumerate(zip(cells, resolved)):
-            overridden = value != dataset.value(cell)
-            for k, constraint in enumerate(self._constraints):
-                if cell.attr not in constraint.attributes():
-                    continue
-                index = self._fd_indexes[k]
-                if overridden and index is not None:
-                    out[i, k] = self._count_with_override(index, cell, value, dataset)
-                elif cell.row < self._tuple_counts.shape[0]:
-                    out[i, k] = self._tuple_counts[cell.row, k]
+        dataset = batch.dataset
+        out = np.zeros((len(batch), len(self._constraints)))
+        overridden = batch.overridden
+        rows = np.fromiter((c.row for c in batch.cells), dtype=np.intp, count=len(batch))
+        for k, constraint in enumerate(self._constraints):
+            # Constraint attribute sets and the per-attribute position index
+            # are resolved once per constraint, not once per cell.
+            attrs = constraint.attributes()
+            index = self._fd_indexes[k]
+            touched = [
+                idx for attr, idx in batch.by_attr.items() if attr in attrs
+            ]
+            if not touched:
+                continue
+            sel = np.concatenate(touched)
+            # Without an FD index the override cannot be recomputed exactly;
+            # those cells keep the fit-time count (as before the batching).
+            plain = sel if index is None else sel[~overridden[sel]]
+            # Fit-time counts for unmodified tuples: one vectorised gather.
+            in_range = plain[rows[plain] < self._tuple_counts.shape[0]]
+            out[in_range, k] = self._tuple_counts[rows[in_range], k]
+            if index is not None:
+                for i in sel[overridden[sel]]:
+                    out[i, k] = self._count_with_override(
+                        index, batch.cells[i], batch.resolved[i], dataset
+                    )
         # Log-compress: violation counts scale with group sizes.
         return np.log1p(np.maximum(out, 0.0))
 
@@ -158,17 +169,18 @@ class NeighborhoodFeaturizer(Featurizer):
         self._cache = {}
         return self
 
-    def transform(
-        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
-    ) -> np.ndarray:
+    def transform_batch(self, batch: CellBatch) -> np.ndarray:
         self._require_fitted("_model")
-        resolved = _resolved_values(cells, dataset, values)
-        out = np.zeros((len(cells), 1))
-        for i, value in enumerate(resolved):
-            token = value if value else EMPTY_TOKEN
+        out = np.zeros((len(batch), 1))
+        # Distance depends only on the value: compute per unique token, with
+        # the persistent per-fit memo carrying hits across batches.
+        unique: dict[str, list[int]] = {}
+        for i, value in enumerate(batch.resolved):
+            unique.setdefault(value if value else EMPTY_TOKEN, []).append(i)
+        for token, idx in unique.items():
             if token not in self._cache:
                 self._cache[token] = self._model.nearest_neighbor_distance(token)
-            out[i, 0] = self._cache[token]
+            out[idx, 0] = self._cache[token]
         return out
 
     @property

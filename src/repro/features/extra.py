@@ -1,31 +1,53 @@
-"""Optional extra representation models.
+"""Optional extra representation models beyond the paper's Table 7 set.
 
 §4.1: "Our architecture can trivially accommodate additional models or more
 complex variants of the current models."  These two are the variants we
-found most useful beyond the paper's bare-bone set; they are opt-in (append
-them to a :class:`~repro.features.pipeline.FeaturePipeline`'s featurizer
-list, or build a custom pipeline) so the default pipeline stays exactly the
-paper's Table 7.
+found most useful beyond the paper's bare-bone set; they are opt-in so the
+default pipeline stays exactly the paper's Table 7.
 
-- :class:`ValueLengthFeaturizer` — z-scored value length per attribute.
-  Insertion/deletion typos shift a value's length away from its column's
-  distribution; cheap and surprisingly discriminative on fixed-width
-  columns (zip codes, phone numbers, ids).
-- :class:`TokenFrequencyFeaturizer` — frequency of the value's *rarest word
-  token* within its attribute.  Complements the character 3-gram format
-  model at the word level: a swapped-in token that is valid characters-wise
-  but alien to the column surfaces here.
+Public API
+----------
+
+:class:`ValueLengthFeaturizer`
+    Z-scored value length per attribute.  Insertion/deletion typos shift a
+    value's length away from its column's distribution; cheap and
+    surprisingly discriminative on fixed-width columns (zip codes, phone
+    numbers, ids).  One output dimension; ``branch=None`` (feeds the wide
+    numeric block).
+
+:class:`TokenFrequencyFeaturizer`
+    Frequency of the value's *rarest word token* within its attribute,
+    Laplace-smoothed (``alpha``) and log-scaled.  Complements the character
+    3-gram format model at the word level: a swapped-in token that is valid
+    characters-wise but alien to the column surfaces here.  One output
+    dimension; ``branch=None``.
+
+Both follow the standard :class:`~repro.features.base.Featurizer` lifecycle
+— ``fit(dataset)`` learns per-attribute statistics, then the batched
+``transform_batch`` / ``transform`` produce ``[n_cells, 1]`` blocks — and
+are compatible with the feature cache and value overrides.
+
+Usage::
+
+    from repro.features import FeaturePipeline, default_pipeline
+    from repro.features.extra import ValueLengthFeaturizer, TokenFrequencyFeaturizer
+
+    base = default_pipeline(constraints)
+    pipeline = FeaturePipeline(
+        base.featurizers + [ValueLengthFeaturizer(), TokenFrequencyFeaturizer()]
+    ).fit(dataset)
+
+Note: detectors persisted with :mod:`repro.persistence` must only contain
+featurizers that module knows how to encode; the extra models here are not
+yet registered there.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
-from repro.dataset.table import Cell, Dataset
-from repro.features.attribute import _resolved_values
-from repro.features.base import FeatureContext, Featurizer
+from repro.dataset.table import Dataset
+from repro.features.base import CellBatch, FeatureContext, Featurizer
 from repro.text.tokenize import word_tokens
 
 
@@ -48,15 +70,15 @@ class ValueLengthFeaturizer(Featurizer):
             self._stats[attr] = (mean, std if std > 1e-9 else 1.0)
         return self
 
-    def transform(
-        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
-    ) -> np.ndarray:
+    def transform_batch(self, batch: CellBatch) -> np.ndarray:
         self._require_fitted("_stats")
-        resolved = _resolved_values(cells, dataset, values)
-        out = np.zeros((len(cells), 1))
-        for i, (cell, value) in enumerate(zip(cells, resolved)):
-            mean, std = self._stats[cell.attr]
-            out[i, 0] = (len(value) - mean) / std
+        out = np.zeros((len(batch), 1))
+        for attr, idx in batch.by_attr.items():
+            mean, std = self._stats[attr]
+            lengths = np.fromiter(
+                (len(batch.resolved[i]) for i in idx), dtype=np.float64, count=len(idx)
+            )
+            out[idx, 0] = (lengths - mean) / std
         return out
 
     @property
@@ -110,14 +132,12 @@ class TokenFrequencyFeaturizer(Featurizer):
         ]
         return float(np.log(min(freqs)))
 
-    def transform(
-        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
-    ) -> np.ndarray:
+    def transform_batch(self, batch: CellBatch) -> np.ndarray:
         self._require_fitted("_counts")
-        resolved = _resolved_values(cells, dataset, values)
-        out = np.zeros((len(cells), 1))
-        for i, (cell, value) in enumerate(zip(cells, resolved)):
-            out[i, 0] = self._min_token_logfreq(cell.attr, value)
+        out = np.zeros((len(batch), 1))
+        for attr, by_value in batch.value_groups.items():
+            for value, idx in by_value.items():
+                out[idx, 0] = self._min_token_logfreq(attr, value)
         return out
 
     @property

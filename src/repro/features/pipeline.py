@@ -4,12 +4,20 @@ The pipeline concatenates fixed numeric features into one standardised block
 (the "wide" part of the wide-and-deep architecture, Appendix A.1) and keeps
 each learnable-branch output separate (the "deep" part feeding highway
 layers).  Dropping a model by name reproduces the Fig. 3 ablation.
+
+Transforms are batched: one :class:`~repro.features.base.CellBatch` is built
+per call and shared by every featurizer, so resolved values and per-column
+groupings are computed once per batch rather than once per model.  Attaching
+a :class:`~repro.features.cache.FeatureCache` (``pipeline.cache``) memoises
+each featurizer's block per batch, which makes repeated passes over the same
+cells — augmentation epochs, repeated evaluation, full-dataset prediction —
+near-free.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -23,12 +31,15 @@ from repro.features.attribute import (
     SymbolicNGramFeaturizer,
     WordEmbeddingFeaturizer,
 )
-from repro.features.base import Featurizer
+from repro.features.base import CellBatch, Featurizer
 from repro.features.dataset_level import (
     ConstraintViolationFeaturizer,
     NeighborhoodFeaturizer,
 )
 from repro.features.tuple_level import CooccurrenceFeaturizer, TupleEmbeddingFeaturizer
+
+if TYPE_CHECKING:
+    from repro.features.cache import FeatureCache
 
 #: Names of all representation models in the default pipeline, usable with
 #: :func:`default_pipeline`'s ``exclude`` for ablation studies.
@@ -66,11 +77,16 @@ class CellFeatures:
 class FeaturePipeline:
     """Fits featurizers on a dataset and transforms cells into model inputs."""
 
-    def __init__(self, featurizers: Sequence[Featurizer]):
+    def __init__(
+        self, featurizers: Sequence[Featurizer], cache: "FeatureCache | None" = None
+    ):
         names = [f.name for f in featurizers]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate featurizer names: {names}")
         self.featurizers = list(featurizers)
+        #: Optional block cache; assign a ``FeatureCache`` at any time to
+        #: start memoising, or set back to ``None`` to bypass it.
+        self.cache = cache
         self._fitted = False
         self._numeric_mean: np.ndarray | None = None
         self._numeric_std: np.ndarray | None = None
@@ -84,16 +100,18 @@ class FeaturePipeline:
         remaining = [f for f in self.featurizers if f.name != name]
         if len(remaining) == len(self.featurizers):
             raise ValueError(f"no featurizer named {name!r}")
-        return FeaturePipeline(remaining)
+        return FeaturePipeline(remaining, cache=self.cache)
 
     def fit(self, dataset: Dataset) -> "FeaturePipeline":
         """Fit every representation model on the noisy input dataset D."""
         for featurizer in self.featurizers:
             featurizer.fit(dataset)
+            # A refit invalidates any cached blocks of the previous fit.
+            featurizer.reset_cache_token()
         # Standardisation statistics come from a sample of D's cells so that
         # feature scales are comparable regardless of the training subset.
         sample_cells = self._sample_cells(dataset, limit=2000)
-        numeric = self._numeric_block(sample_cells, dataset, None)
+        numeric = self._numeric_block(CellBatch(sample_cells, dataset))
         if numeric.shape[1]:
             self._numeric_mean = numeric.mean(axis=0)
             std = numeric.std(axis=0)
@@ -112,16 +130,20 @@ class FeaturePipeline:
         stride = max(1, len(cells) // limit)
         return cells[::stride][:limit]
 
-    def _numeric_block(
-        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None
-    ) -> np.ndarray:
+    def _block(self, featurizer: Featurizer, batch: CellBatch) -> np.ndarray:
+        """One featurizer's block for the batch, through the cache if any."""
+        if self.cache is None:
+            return featurizer.transform_batch(batch)
+        return self.cache.get_or_compute(featurizer, batch)
+
+    def _numeric_block(self, batch: CellBatch) -> np.ndarray:
         blocks = [
-            f.transform(cells, dataset, values)
+            self._block(f, batch)
             for f in self.featurizers
             if f.branch is None and f.dim > 0
         ]
         if not blocks:
-            return np.zeros((len(cells), 0))
+            return np.zeros((len(batch), 0))
         return np.concatenate(blocks, axis=1)
 
     def transform(
@@ -132,18 +154,27 @@ class FeaturePipeline:
         The override is how augmented examples are featurised: the synthetic
         value replaces the observed one while the tuple context stays real.
         """
+        return self.transform_batch(CellBatch(cells, dataset, values))
+
+    def transform_batch(self, batch: CellBatch) -> CellFeatures:
+        """Features for a prepared :class:`CellBatch`.
+
+        The batch's groupings are shared by all featurizers; with a cache
+        attached each featurizer's block is memoised per batch.
+        """
         if not self._fitted:
             raise RuntimeError("pipeline used before fit()")
-        numeric = self._numeric_block(cells, dataset, values)
+        numeric = self._numeric_block(batch)
         if numeric.shape[1]:
+            # Standardisation allocates a fresh array, so cached blocks stay
+            # pristine.  Standardised features are clipped: a value whose raw
+            # statistic is wildly outside the fit sample (e.g. an unseen
+            # n-gram in a near-constant column) should read "extreme", not
+            # destabilise the optimiser.
             numeric = (numeric - self._numeric_mean) / self._numeric_std
-            # Standardised features are clipped: a value whose raw statistic
-            # is wildly outside the fit sample (e.g. an unseen n-gram in a
-            # near-constant column) should read "extreme", not destabilise
-            # the optimiser.
             numeric = np.clip(numeric, -10.0, 10.0)
         branches = {
-            f.branch: f.transform(cells, dataset, values)
+            f.branch: self._block(f, batch)
             for f in self.featurizers
             if f.branch is not None
         }

@@ -4,20 +4,22 @@ These capture the joint distribution across attributes of a tuple: value
 co-occurrence statistics, and a learnable embedding of the whole tuple.
 Swapped values — which look perfectly normal to every attribute-level model —
 break co-occurrence patterns, and these models are what surfaces them.
+
+Both models are batched: co-occurrence statistics are looked up once per
+unique ``(attribute, value)`` pair of the batch, and tuple/context embedding
+vectors are memoised per unique value and per ``(row, attribute)`` context.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Sequence
 
 import numpy as np
 
 from repro.dataset.table import Cell, Dataset
 from repro.embeddings.corpus import tuple_corpus
 from repro.embeddings.fasttext import FastTextEmbedding
-from repro.features.attribute import _resolved_values
-from repro.features.base import FeatureContext, Featurizer
+from repro.features.base import CellBatch, FeatureContext, Featurizer
 from repro.text.tokenize import word_tokens
 
 
@@ -64,27 +66,28 @@ class CooccurrenceFeaturizer(Featurizer):
         self._value_counts = dict(value_counts)
         return self
 
-    def transform(
-        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
-    ) -> np.ndarray:
+    def transform_batch(self, batch: CellBatch) -> np.ndarray:
         self._require_fitted("_joint")
-        resolved = _resolved_values(cells, dataset, values)
+        dataset = batch.dataset
         width = len(self._attributes) - 1
-        out = np.zeros((len(cells), width))
-        for i, (cell, value) in enumerate(zip(cells, resolved)):
-            key = (cell.attr, value)
-            total = self._value_counts.get(key, 0)
-            buckets = self._joint.get(key, {})
-            row_values = dataset.row_dict(cell.row)
-            j = 0
-            for attr_b in self._attributes:
-                if attr_b == cell.attr:
+        out = np.zeros((len(batch), width))
+        for attr, by_value in batch.value_groups.items():
+            # Other-attribute order and their columns, resolved once per attr.
+            others = [a for a in self._attributes if a != attr]
+            other_cols = [dataset.column(a) for a in others]
+            for value, idx in by_value.items():
+                key = (attr, value)
+                total = self._value_counts.get(key, 0)
+                if not total:
+                    # Unseen value: all conditionals are 0, the strongest
+                    # signal — the zero initialisation already encodes it.
                     continue
-                if total:
-                    count = buckets.get(attr_b, {}).get(row_values[attr_b], 0)
-                    out[i, j] = count / total
-                # Unseen value: all conditionals are 0, the strongest signal.
-                j += 1
+                buckets = self._joint[key]
+                for i in idx:
+                    row = batch.cells[i].row
+                    for j, (attr_b, col_b) in enumerate(zip(others, other_cols)):
+                        count = buckets.get(attr_b, {}).get(col_b[row], 0)
+                        out[i, j] = count / total
         return out
 
     @property
@@ -117,18 +120,20 @@ class TupleEmbeddingFeaturizer(Featurizer):
         ).fit(tuple_corpus(dataset))
         return self
 
-    def transform(
-        self, cells: Sequence[Cell], dataset: Dataset, values: Sequence[str] | None = None
-    ) -> np.ndarray:
+    def transform_batch(self, batch: CellBatch) -> np.ndarray:
         self._require_fitted("_model")
-        resolved = _resolved_values(cells, dataset, values)
-        out = np.zeros((len(cells), 2 * self._dim))
+        dataset = batch.dataset
+        out = np.zeros((len(batch), 2 * self._dim))
+        # The model is dataset-global, so the cell's own vector depends only
+        # on its value — memoise per unique value across the whole batch.
+        value_vectors: dict[str, np.ndarray] = {}
         # Context excludes the cell's own attribute, so the cache key is
         # (row, attr); the override never changes the context.
         context_cache: dict[tuple[int, str], np.ndarray] = {}
-        for i, (cell, value) in enumerate(zip(cells, resolved)):
-            cell_tokens = word_tokens(value) or ["<empty>"]
-            cell_vec = self._model.sentence_vector(cell_tokens)
+        for i, (cell, value) in enumerate(zip(batch.cells, batch.resolved)):
+            if value not in value_vectors:
+                cell_tokens = word_tokens(value) or ["<empty>"]
+                value_vectors[value] = self._model.sentence_vector(cell_tokens)
             key = (cell.row, cell.attr)
             if key not in context_cache:
                 context_tokens: list[str] = []
@@ -138,7 +143,7 @@ class TupleEmbeddingFeaturizer(Featurizer):
                 context_cache[key] = self._model.sentence_vector(
                     context_tokens or ["<empty>"]
                 )
-            out[i, : self._dim] = cell_vec
+            out[i, : self._dim] = value_vectors[value]
             out[i, self._dim :] = context_cache[key]
         return out
 

@@ -1,13 +1,40 @@
 """Save/load a fitted HoloDetect detector to an explicit on-disk format.
 
-Layout of a saved detector directory::
+Public API
+----------
+
+:func:`save_detector(detector, path)`
+    Serialise a *fitted* :class:`~repro.core.detector.HoloDetect` to
+    ``path`` (a directory, created if needed).  Raises ``ValueError`` on an
+    unfitted detector.  Everything needed to predict is captured: the
+    detector config, every fitted featurizer of the pipeline (including
+    per-attribute embedding tables), the joint model's weights, the Platt
+    scaler, the learned augmentation policy, and the training-cell set.
+
+:func:`load_detector(path, dataset)`
+    Reconstruct the detector and re-attach it to ``dataset`` — the same
+    relation it was fitted on (data stays with the user; it is never
+    written to disk by this module).  The loaded detector predicts exactly
+    as the original did.  A fresh feature cache is attached according to
+    the saved config; caches themselves are never persisted.
+
+On-disk layout
+--------------
+
+::
 
     <path>/state.json   # structured state; arrays appear as {"__array__": key}
-    <path>/arrays.npz   # the referenced arrays
+    <path>/arrays.npz   # the referenced arrays, compressed
 
-The dataset itself is *not* saved — data stays with the user.  Loading takes
-the (same) dataset as an argument and re-attaches it, so a loaded detector
-predicts exactly as the original did.
+``state.json`` carries a ``format_version`` (currently 1); loading rejects
+unknown versions rather than guessing.  Configs saved by older versions of
+the code load with defaults for any fields added since (``DetectorConfig``
+fills them in), so the format is forward-extensible without a version bump
+for config-only additions.
+
+Custom featurizers (e.g. the opt-in models in :mod:`repro.features.extra`)
+have no encode/decode handler here yet; saving a pipeline containing one
+raises ``TypeError`` listing the offending type.
 """
 
 from __future__ import annotations
@@ -362,6 +389,9 @@ def load_detector(path: str | Path, dataset: Dataset) -> HoloDetect:
 
     detector = HoloDetect(_decode_config(state["config"]))
     detector.pipeline = _decode_pipeline(state["pipeline"], store)
+    # Re-attach the block cache the config asked for (caches are never
+    # persisted — they rebuild from hits on the first prediction pass).
+    detector.pipeline.cache = detector.cache
     model_state = state["model"]
     detector.model = JointModel(
         numeric_dim=model_state["numeric_dim"],
