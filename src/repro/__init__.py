@@ -19,17 +19,19 @@ generators), ``repro.constraints`` / ``repro.nn`` / ``repro.embeddings`` /
 (metrics and the experiment runner).
 """
 
-from repro.core import DetectorConfig, ErrorPredictions, HoloDetect
+from repro.core import DetectionSession, DetectorConfig, ErrorPredictions, HoloDetect
 from repro.data import DATASET_NAMES, DatasetBundle, load_dataset
-from repro.dataset import Cell, Dataset, GroundTruth, LabeledCell, TrainingSet
+from repro.dataset import Cell, Dataset, DatasetDelta, GroundTruth, LabeledCell, TrainingSet
 from repro.evaluation import Metrics, evaluate_predictions, make_split, run_trials
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HoloDetect",
+    "DetectionSession",
     "DetectorConfig",
     "ErrorPredictions",
+    "DatasetDelta",
     "load_dataset",
     "DatasetBundle",
     "DATASET_NAMES",

@@ -14,7 +14,12 @@ public few-shot error detector.
 from repro.core.model import JointModel
 from repro.core.training import TrainerConfig, train_model
 from repro.core.calibration import PlattScaler
-from repro.core.detector import DetectorConfig, ErrorPredictions, HoloDetect
+from repro.core.detector import (
+    DetectionSession,
+    DetectorConfig,
+    ErrorPredictions,
+    HoloDetect,
+)
 
 __all__ = [
     "JointModel",
@@ -22,6 +27,7 @@ __all__ = [
     "train_model",
     "PlattScaler",
     "HoloDetect",
+    "DetectionSession",
     "DetectorConfig",
     "ErrorPredictions",
 ]

@@ -7,13 +7,19 @@ of the learnable layers and classifier M plus Platt calibration (Module 3).
 
 Setting ``augment=False`` yields the SuperL variant of §6.1 — identical
 model, supervision limited to T — which the baselines package reuses.
+
+:class:`DetectionSession` wraps a fitted detector for the interactive
+label→repair→re-score loop: ``apply(edits)`` mutates the dataset through the
+versioned batch mutators and patches probabilities for only the cells whose
+features the edit can change (derived from featurizer scopes), instead of
+re-running a full ``predict()``.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -24,11 +30,11 @@ from repro.constraints.dc import DenialConstraint
 from repro.core.calibration import PlattScaler
 from repro.core.model import JointModel
 from repro.core.training import TrainerConfig, train_model
-from repro.dataset.table import Cell, Dataset
+from repro.dataset.table import Cell, Dataset, DatasetDelta
 from repro.dataset.training import LabeledCell, TrainingSet
-from repro.features.base import CellBatch
+from repro.features.base import CellBatch, FeatureContext
 from repro.features.cache import CacheStats, FeatureCache
-from repro.features.pipeline import FeaturePipeline, default_pipeline
+from repro.features.pipeline import CellFeatures, FeaturePipeline, default_pipeline
 from repro.utils.rng import as_generator
 
 
@@ -86,6 +92,11 @@ class ErrorPredictions:
     cells: list[Cell]
     probabilities: np.ndarray
     threshold: float = 0.5
+    #: Lazily built ``Cell -> position`` map backing O(1) lookups; rebuilt
+    #: automatically when the cell list grows (appended rows).
+    _index: dict[Cell, int] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def error_cells(self) -> set[Cell]:
@@ -93,12 +104,21 @@ class ErrorPredictions:
             c for c, p in zip(self.cells, self.probabilities) if p >= self.threshold
         }
 
-    def is_error(self, cell: Cell) -> bool:
+    def index_of(self, cell: Cell) -> int:
+        """Position of ``cell`` in :attr:`cells` (O(1) after the first call)."""
+        if self._index is None or len(self._index) != len(self.cells):
+            self._index = {c: i for i, c in enumerate(self.cells)}
         try:
-            idx = self.cells.index(cell)
-        except ValueError:
+            return self._index[cell]
+        except KeyError:
             raise KeyError(f"no prediction for {cell}") from None
-        return bool(self.probabilities[idx] >= self.threshold)
+
+    def probability(self, cell: Cell) -> float:
+        """Calibrated error probability of one cell."""
+        return float(self.probabilities[self.index_of(cell)])
+
+    def is_error(self, cell: Cell) -> bool:
+        return bool(self.probabilities[self.index_of(cell)] >= self.threshold)
 
     def as_dict(self) -> dict[Cell, float]:
         return dict(zip(self.cells, self.probabilities))
@@ -242,6 +262,17 @@ class HoloDetect:
         if cells is None:
             cells = [c for c in self._dataset.cells() if c not in self._train_cells]
         cells = list(cells)
+        return ErrorPredictions(
+            cells=cells, probabilities=self._score_probabilities(cells)
+        )
+
+    def _score_probabilities(self, cells: list[Cell]) -> np.ndarray:
+        """Calibrated probabilities for an explicit cell list (chunked).
+
+        Per-cell outputs are independent of chunk composition, so callers
+        (``predict``, ``DetectionSession``) may chunk any subset of cells
+        and obtain the same per-cell values.
+        """
         batch = max(1, self.config.prediction_batch)
         chunks = [
             CellBatch(cells[start : start + batch], self._dataset)
@@ -251,13 +282,26 @@ class HoloDetect:
         probabilities = np.zeros(len(cells))
         start = 0
 
+        def pad(block: np.ndarray) -> np.ndarray:
+            filler = np.zeros((batch - block.shape[0], block.shape[1]), dtype=block.dtype)
+            return np.concatenate([block, filler], axis=0)
+
         def score(features) -> None:
             nonlocal start
-            scores = self.model.error_scores(features)
-            probabilities[start : start + features.batch_size] = (
-                self.scaler.probability(scores)
-            )
-            start += features.batch_size
+            n = features.batch_size
+            if n < batch:
+                # Forward every chunk at the same fixed shape: BLAS kernel
+                # selection (and hence reduction order) is shape-dependent,
+                # and per-cell scores must not depend on chunk composition —
+                # DetectionSession patches subsets and relies on bit-for-bit
+                # agreement with a full prediction pass.
+                features = CellFeatures(
+                    numeric=pad(features.numeric),
+                    branches={k: pad(v) for k, v in features.branches.items()},
+                )
+            scores = self.model.error_scores(features)[:n]
+            probabilities[start : start + n] = self.scaler.probability(scores)
+            start += n
 
         if workers > 1 and len(chunks) > 1:
             # Featurise a bounded window of chunks in parallel, then score it
@@ -274,8 +318,159 @@ class HoloDetect:
             # Sequential path streams chunk-by-chunk.
             for chunk in chunks:
                 score(self.pipeline.transform_batch(chunk))
-        return ErrorPredictions(cells=cells, probabilities=probabilities)
+        return probabilities
 
     def predict_error_cells(self, cells: Sequence[Cell] | None = None) -> set[Cell]:
         """Convenience wrapper returning just the flagged cells."""
         return self.predict(cells).error_cells
+
+
+class DetectionSession:
+    """Incremental re-scoring loop around a fitted :class:`HoloDetect`.
+
+    The paper's deployment loop (§6, Fig. 4) is interactive: a user repairs
+    or labels a few cells, the detector re-scores, and the loop repeats.  A
+    full ``predict()`` re-featurizes and re-scores *every* cell after each
+    repair; a session instead re-scores only the cells whose features an
+    edit can actually change, derived from the pipeline's featurizer scopes:
+
+    - the **edited cells** themselves (their value — hence every
+      attribute-scoped feature — changed);
+    - their **row-mates**, when any tuple-scoped model is in the pipeline
+      (co-occurrence and tuple-embedding features read the whole tuple);
+    - **everything**, only if a dataset-scoped model is present (none of
+      the built-in models are dataset-scoped at transform time).
+
+    The patched probabilities are identical to a fresh full ``predict()``
+    on the edited dataset — the session never trades accuracy for speed
+    (``benchmarks/bench_incremental.py`` asserts bit-for-bit equality).
+
+    Usage::
+
+        session = DetectionSession(detector)          # initial full pass
+        session.apply({Cell(3, "city"): "Chicago"})   # repair → fast re-score
+        session.predictions.probability(Cell(3, "city"))
+
+    ``apply(..., refresh=True)`` additionally refits the representation
+    models that the edit dirties (per-column for attribute-context models)
+    via :meth:`FeaturePipeline.refresh`, then re-scores every cell whose
+    features a refit model touches — the whole column for a refitted
+    per-column model, everything for a refitted tuple/dataset-context model.
+    """
+
+    def __init__(
+        self,
+        detector: HoloDetect,
+        cells: Sequence[Cell] | None = None,
+        predictions: ErrorPredictions | None = None,
+    ):
+        if detector.model is None or detector.pipeline is None or detector._dataset is None:
+            raise RuntimeError("DetectionSession needs a fitted detector")
+        self.detector = detector
+        self.dataset: Dataset = detector._dataset
+        #: Live predictions, patched in place by :meth:`apply` / :meth:`append`.
+        #: Passing ``predictions`` from an earlier ``detector.predict()`` of
+        #: the *current* dataset state skips the initial full pass.
+        self.predictions: ErrorPredictions = (
+            predictions if predictions is not None else detector.predict(cells)
+        )
+        #: Cells re-scored across all incremental updates (accounting).
+        self.rescored_cells = 0
+        #: Effective cell edits applied across all :meth:`apply` calls.
+        self.applied_edits = 0
+        self.last_delta: DatasetDelta | None = None
+
+    @property
+    def scopes(self) -> set[FeatureContext]:
+        """The transform-time scopes present in the detector's pipeline."""
+        return {f.scope for f in self.detector.pipeline.featurizers}
+
+    def apply(
+        self,
+        edits: Mapping[Cell, str] | Iterable[tuple[Cell, str]],
+        *,
+        refresh: bool = False,
+    ) -> ErrorPredictions:
+        """Apply cell repairs to the dataset and re-score affected cells.
+
+        Returns the session's predictions with probabilities patched in
+        place.  ``refresh=True`` also refits the dirtied representation
+        models before re-scoring (see class docstring).
+        """
+        delta = self.dataset.apply_edits(edits)
+        return self._rescore(delta, refresh=refresh)
+
+    def append(
+        self, rows: Iterable[Sequence[str]], *, refresh: bool = False
+    ) -> ErrorPredictions:
+        """Append new tuples and score their cells (plus any ripple effects)."""
+        delta = self.dataset.append_rows(rows)
+        return self._rescore(delta, refresh=refresh)
+
+    def _rescore(self, delta: DatasetDelta, *, refresh: bool = False) -> ErrorPredictions:
+        self.last_delta = delta
+        if delta.is_empty:
+            return self.predictions
+        self.applied_edits += len(delta.cells)
+        refitted: list[str] = []
+        if refresh:
+            refitted = self.detector.pipeline.refresh(self.dataset, delta)
+        # New rows become new prediction targets, appended in row order.
+        appended_cells = [
+            cell
+            for row in delta.appended
+            for cell in self.dataset.cells_of_row(row)
+            if cell not in self.detector._train_cells
+        ]
+        if appended_cells:
+            preds = self.predictions
+            preds.cells.extend(appended_cells)
+            preds.probabilities = np.concatenate(
+                [preds.probabilities, np.zeros(len(appended_cells))]
+            )
+            preds._index = None
+        affected = self._affected_cells(delta, refitted, appended_cells)
+        if affected:
+            probabilities = self.detector._score_probabilities(affected)
+            for cell, probability in zip(affected, probabilities):
+                self.predictions.probabilities[
+                    self.predictions.index_of(cell)
+                ] = probability
+            self.rescored_cells += len(affected)
+        return self.predictions
+
+    def _affected_cells(
+        self,
+        delta: DatasetDelta,
+        refitted: Sequence[str],
+        appended_cells: Sequence[Cell] = (),
+    ) -> list[Cell]:
+        """The prediction cells whose features ``delta`` can change.
+
+        Derived from the scopes of the pipeline's (possibly just refitted)
+        featurizers; see the class docstring for the rules.  Preserves the
+        prediction order so chunking stays deterministic.
+        """
+        pipeline = self.detector.pipeline
+        predicted = self.predictions
+        refit_by_name = {f.name: f for f in pipeline.featurizers if f.name in refitted}
+        # A refitted model with relation-wide fit statistics invalidates
+        # every block it feeds; a refitted per-column model the touched
+        # columns; an untouched pipeline only what the scopes imply.
+        everything = FeatureContext.DATASET in self.scopes or any(
+            f.context is not FeatureContext.ATTRIBUTE for f in refit_by_name.values()
+        )
+        if everything:
+            return list(predicted.cells)
+        # Appended cells have no score yet — always (re)score them.
+        edited = set(delta.cells) | set(appended_cells)
+        rows = set(delta.rows)
+        columns = set(delta.columns) if refit_by_name else set()
+        row_scoped = FeatureContext.TUPLE in self.scopes
+        return [
+            cell
+            for cell in predicted.cells
+            if cell in edited
+            or (row_scoped and cell.row in rows)
+            or cell.attr in columns
+        ]

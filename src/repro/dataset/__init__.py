@@ -7,7 +7,7 @@ labelled training set abstraction (:class:`TrainingSet`) that the paper calls
 ``T = {(c, v_c, v*_c)}``.
 """
 
-from repro.dataset.table import Cell, Dataset, Schema
+from repro.dataset.table import Cell, Dataset, DatasetDelta, Schema
 from repro.dataset.ground_truth import GroundTruth
 from repro.dataset.training import LabeledCell, TrainingSet
 from repro.dataset.loader import read_csv, write_csv
@@ -15,6 +15,7 @@ from repro.dataset.loader import read_csv, write_csv
 __all__ = [
     "Cell",
     "Dataset",
+    "DatasetDelta",
     "Schema",
     "GroundTruth",
     "LabeledCell",

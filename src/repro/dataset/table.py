@@ -1,4 +1,4 @@
-"""In-memory relation with cell-level addressing.
+"""In-memory relation with cell-level addressing and column-scoped versioning.
 
 The paper's data model (§3.1): a dataset ``D`` is a set of tuples over
 attributes ``A1..AN``; a *cell* is the value of one attribute in one tuple.
@@ -7,11 +7,20 @@ numerics are compared lexically exactly as the original system did).
 
 Storage is columnar (``dict[attr, list[str]]``) which keeps per-attribute
 statistics — the dominant access pattern in featurisation — cheap.
+
+Versioning is column-scoped: every column carries its own memoised content
+fingerprint, and the relation fingerprint is derived from the column
+fingerprints.  A mutation therefore re-hashes only the touched columns, and
+downstream consumers (the feature cache, :class:`DetectionSession`) can tell
+*which* columns changed.  The batch mutators :meth:`Dataset.apply_edits` and
+:meth:`Dataset.append_rows` return a structured :class:`DatasetDelta`
+describing exactly the touched rows and columns.
 """
 
 from __future__ import annotations
 
 import hashlib
+from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -47,6 +56,54 @@ class Schema:
         return self.attributes.index(attr)
 
 
+@dataclass(frozen=True)
+class DatasetDelta:
+    """Structured description of one batch mutation of a :class:`Dataset`.
+
+    ``cells`` lists the pre-existing cells whose value actually changed
+    (no-op edits — writing the value already present — are excluded, because
+    they cannot invalidate anything).  ``columns`` are the touched attributes
+    in schema order; ``rows`` the touched row indices in ascending order,
+    including any appended rows, which are additionally listed in
+    ``appended``.
+    """
+
+    cells: tuple[Cell, ...] = ()
+    columns: tuple[str, ...] = ()
+    rows: tuple[int, ...] = ()
+    appended: tuple[int, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the mutation changed nothing."""
+        return not self.cells and not self.appended
+
+    def merge(self, other: "DatasetDelta") -> "DatasetDelta":
+        """Combine two deltas of the *same* dataset (self first, then other)."""
+        columns = dict.fromkeys(self.columns)
+        columns.update(dict.fromkeys(other.columns))
+        return DatasetDelta(
+            cells=self.cells + other.cells,
+            columns=tuple(columns),
+            rows=tuple(sorted({*self.rows, *other.rows})),
+            appended=tuple(sorted({*self.appended, *other.appended})),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DatasetDelta({len(self.cells)} cells, {len(self.columns)} columns, "
+            f"{len(self.rows)} rows, {len(self.appended)} appended)"
+        )
+
+
+def _hash_column(values: Sequence[str]) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    for value in values:
+        h.update(value.encode("utf-8"))
+        h.update(b"\x1e")
+    return h.hexdigest()
+
+
 class Dataset:
     """A relation: ordered rows over a fixed schema, all values strings.
 
@@ -65,7 +122,12 @@ class Dataset:
             a: [str(v) for v in columns[a]] for a in schema.attributes
         }
         self._num_rows = lengths.pop() if lengths else 0
+        #: Per-column memoised content hashes; None = recompute on demand.
+        self._column_fingerprints: dict[str, str | None] = {
+            a: None for a in schema.attributes
+        }
         self._fingerprint: str | None = None
+        self._version = 0
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -95,7 +157,11 @@ class Dataset:
 
     def copy(self) -> "Dataset":
         """Deep copy (cells can be mutated independently)."""
-        return Dataset(self.schema, {a: list(v) for a, v in self._columns.items()})
+        clone = Dataset(self.schema, {a: list(v) for a, v in self._columns.items()})
+        # Content is identical, so memoised hashes carry over for free.
+        clone._column_fingerprints = dict(self._column_fingerprints)
+        clone._fingerprint = self._fingerprint
+        return clone
 
     # ------------------------------------------------------------------ #
     # Access
@@ -113,6 +179,11 @@ class Dataset:
     def num_cells(self) -> int:
         return self._num_rows * len(self.schema)
 
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by every effective mutation)."""
+        return self._version
+
     def __len__(self) -> int:
         return self._num_rows
 
@@ -127,30 +198,149 @@ class Dataset:
     def __getitem__(self, cell: Cell) -> str:
         return self.value(cell)
 
-    def set_value(self, cell: Cell, value: str) -> None:
-        """Mutate a cell in place (used by error injection and repair)."""
-        self._columns[cell.attr][cell.row] = str(value)
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def _mark_dirty(self, attrs: Iterable[str]) -> None:
+        for attr in attrs:
+            self._column_fingerprints[attr] = None
         self._fingerprint = None
+        self._version += 1
+
+    def set_value(self, cell: Cell, value: str) -> None:
+        """Mutate a cell in place (used by error injection and repair).
+
+        Writing the value already present is a no-op: fingerprints and the
+        version counter stay untouched.
+        """
+        value = str(value)
+        column = self._columns[cell.attr]
+        if column[cell.row] == value:
+            return
+        column[cell.row] = value
+        self._mark_dirty((cell.attr,))
+
+    def apply_edits(
+        self, edits: Mapping[Cell, str] | Iterable[tuple[Cell, str]]
+    ) -> DatasetDelta:
+        """Apply a batch of cell edits; returns the delta of effective changes.
+
+        ``edits`` maps cells to their new values (or is an iterable of
+        ``(cell, value)`` pairs; later entries win on duplicate cells).
+        Edits that restate the current value are dropped from the delta —
+        they dirty nothing.  Only the touched columns are re-fingerprinted.
+        """
+        items = edits.items() if isinstance(edits, Mapping) else edits
+        # Validate (and coerce) the whole batch before touching anything, so
+        # an invalid edit can never leave the relation half-mutated with
+        # stale fingerprints.
+        staged: list[tuple[Cell, str]] = []
+        for cell, value in items:
+            if cell.attr not in self._columns:
+                raise KeyError(f"unknown attribute {cell.attr!r}")
+            if not 0 <= cell.row < self._num_rows:
+                raise IndexError(f"row {cell.row} out of range")
+            staged.append((cell, str(value)))
+        changed: dict[Cell, None] = {}
+        touched_attrs: set[str] = set()
+        touched_rows: set[int] = set()
+        for cell, value in staged:
+            column = self._columns[cell.attr]
+            if column[cell.row] == value:
+                continue
+            column[cell.row] = value
+            changed[cell] = None
+            touched_attrs.add(cell.attr)
+            touched_rows.add(cell.row)
+        if changed:
+            self._mark_dirty(touched_attrs)
+        return DatasetDelta(
+            cells=tuple(changed),
+            columns=tuple(a for a in self.schema.attributes if a in touched_attrs),
+            rows=tuple(sorted(touched_rows)),
+        )
+
+    def append_rows(self, rows: Iterable[Sequence[str]]) -> DatasetDelta:
+        """Append row-major tuples; returns the delta with the new row ids.
+
+        Appending touches every column (each gains values), so all column
+        fingerprints are invalidated; the new rows appear in both
+        ``delta.rows`` and ``delta.appended``.
+        """
+        staged: list[list[str]] = []
+        for row in rows:
+            if len(row) != len(self.schema.attributes):
+                raise ValueError("row arity does not match schema")
+            staged.append([str(v) for v in row])
+        if not staged:
+            return DatasetDelta()
+        start = self._num_rows
+        for row in staged:
+            for attr, value in zip(self.schema.attributes, row):
+                self._columns[attr].append(value)
+        self._num_rows += len(staged)
+        self._mark_dirty(self.schema.attributes)
+        appended = tuple(range(start, self._num_rows))
+        return DatasetDelta(
+            columns=self.schema.attributes, rows=appended, appended=appended
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fingerprints
+    # ------------------------------------------------------------------ #
+
+    def column_fingerprint(self, attr: str) -> str:
+        """Stable content hash of one column, memoised until it is mutated.
+
+        The feature cache keys attribute-scoped blocks on this value, so an
+        edit to column A never invalidates cached blocks of column B.
+        """
+        fp = self._column_fingerprints[attr]
+        if fp is None:
+            fp = _hash_column(self._columns[attr])
+            self._column_fingerprints[attr] = fp
+        return fp
 
     def fingerprint(self) -> str:
         """Stable content hash of the relation (schema order + all values).
 
-        The feature cache keys transformed blocks on this value, so any
-        in-place mutation through :meth:`set_value` invalidates cached
-        features automatically.  The hash is computed lazily and memoised
-        until the next mutation.
+        Derived from the per-column fingerprints, so after a mutation only
+        the dirty columns are re-hashed — never the whole relation.  The
+        feature cache keys dataset-scoped blocks on this value; any in-place
+        mutation invalidates them automatically.
         """
         if self._fingerprint is None:
             h = hashlib.blake2b(digest_size=16)
             for attr in self.schema.attributes:
                 h.update(attr.encode("utf-8"))
                 h.update(b"\x1f")
-                for value in self._columns[attr]:
-                    h.update(value.encode("utf-8"))
-                    h.update(b"\x1e")
+                h.update(self.column_fingerprint(attr).encode("ascii"))
                 h.update(b"\x1d")
             self._fingerprint = h.hexdigest()
         return self._fingerprint
+
+    def rows_fingerprint(self, rows: Iterable[int]) -> str:
+        """Content hash of the given rows across all attributes.
+
+        Keys tuple-scoped feature blocks: a block depending only on some
+        rows' contents stays valid as long as those rows are untouched,
+        whatever happens elsewhere in the relation.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        columns = [self._columns[a] for a in self.schema.attributes]
+        for row in sorted(set(rows)):
+            h.update(str(row).encode("ascii"))
+            h.update(b"\x1f")
+            for column in columns:
+                h.update(column[row].encode("utf-8"))
+                h.update(b"\x1e")
+            h.update(b"\x1d")
+        return h.hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # Row / cell access
+    # ------------------------------------------------------------------ #
 
     def row_dict(self, row: int) -> dict[str, str]:
         """One tuple as an ``{attr: value}`` mapping."""
@@ -177,17 +367,11 @@ class Dataset:
 
     def value_counts(self, attr: str) -> dict[str, int]:
         """Frequency of each distinct value within one attribute."""
-        counts: dict[str, int] = {}
-        for v in self._columns[attr]:
-            counts[v] = counts.get(v, 0) + 1
-        return counts
+        return dict(Counter(self._columns[attr]))
 
     def domain(self, attr: str) -> list[str]:
         """Distinct values of an attribute, in first-seen order."""
-        seen: dict[str, None] = {}
-        for v in self._columns[attr]:
-            seen.setdefault(v, None)
-        return list(seen)
+        return list(dict.fromkeys(self._columns[attr]))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Dataset):

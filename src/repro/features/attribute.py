@@ -8,21 +8,31 @@ Every transform is batched (see :class:`~repro.features.base.CellBatch`):
 per-value statistics are computed once per *unique* value of a column and
 scattered to all cells carrying it, which is where most of the speedup of
 the batched engine comes from — real columns are heavily repetitive.
+
+All models here declare ``scope = ATTRIBUTE`` — their transforms read
+nothing beyond the cell's own (possibly overridden) value and the fitted
+per-column statistics — and implement column-scoped :meth:`refresh`: after a
+batch edit, only the models of the touched columns are refitted.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.dataset.table import Dataset
+from repro.dataset.table import Dataset, DatasetDelta
 from repro.embeddings.corpus import char_corpus, word_corpus
 from repro.embeddings.fasttext import FastTextEmbedding
-from repro.features.base import CellBatch, FeatureContext, Featurizer
+from repro.features.base import (
+    CellBatch,
+    ColumnScopedFeaturizer,
+    FeatureContext,
+    Featurizer,
+)
 from repro.text.ngrams import NGramModel, SymbolicNGramModel
 from repro.text.tokenize import char_tokens, word_tokens
 
 
-class CharEmbeddingFeaturizer(Featurizer):
+class CharEmbeddingFeaturizer(ColumnScopedFeaturizer):
     """FastText embedding of the cell value as a *character* sequence.
 
     One embedding model per attribute; the cell feature is the mean of its
@@ -31,6 +41,7 @@ class CharEmbeddingFeaturizer(Featurizer):
 
     name = "char_embedding"
     context = FeatureContext.ATTRIBUTE
+    scope = FeatureContext.ATTRIBUTE
     branch = "char"
 
     def __init__(self, dim: int = 16, epochs: int = 2, rng=None):
@@ -39,15 +50,18 @@ class CharEmbeddingFeaturizer(Featurizer):
         self._rng = rng
         self._models: dict[str, FastTextEmbedding] | None = None
 
+    def _fit_column(self, dataset: Dataset, attr: str) -> None:
+        # Default n-gram range: a single-character token "c" is wrapped
+        # to "<c>" whose only 3-gram is itself, giving each character a
+        # dedicated bucket.  (n_min=1 would make every character share
+        # the "<" and ">" buckets, which destabilises training.)
+        model = FastTextEmbedding(dim=self._dim, epochs=self._epochs, rng=self._rng)
+        self._models[attr] = model.fit(char_corpus(dataset, attr))
+
     def fit(self, dataset: Dataset) -> "CharEmbeddingFeaturizer":
         self._models = {}
         for attr in dataset.attributes:
-            # Default n-gram range: a single-character token "c" is wrapped
-            # to "<c>" whose only 3-gram is itself, giving each character a
-            # dedicated bucket.  (n_min=1 would make every character share
-            # the "<" and ">" buckets, which destabilises training.)
-            model = FastTextEmbedding(dim=self._dim, epochs=self._epochs, rng=self._rng)
-            self._models[attr] = model.fit(char_corpus(dataset, attr))
+            self._fit_column(dataset, attr)
         return self
 
     def transform_batch(self, batch: CellBatch) -> np.ndarray:
@@ -65,7 +79,7 @@ class CharEmbeddingFeaturizer(Featurizer):
         return self._dim
 
 
-class WordEmbeddingFeaturizer(Featurizer):
+class WordEmbeddingFeaturizer(ColumnScopedFeaturizer):
     """FastText embedding of the cell value as a *word* sequence.
 
     One model per attribute; cell feature is the mean of its word vectors.
@@ -75,6 +89,7 @@ class WordEmbeddingFeaturizer(Featurizer):
 
     name = "word_embedding"
     context = FeatureContext.ATTRIBUTE
+    scope = FeatureContext.ATTRIBUTE
     branch = "word"
 
     def __init__(self, dim: int = 16, epochs: int = 2, rng=None):
@@ -83,11 +98,14 @@ class WordEmbeddingFeaturizer(Featurizer):
         self._rng = rng
         self._models: dict[str, FastTextEmbedding] | None = None
 
+    def _fit_column(self, dataset: Dataset, attr: str) -> None:
+        model = FastTextEmbedding(dim=self._dim, epochs=self._epochs, rng=self._rng)
+        self._models[attr] = model.fit(word_corpus(dataset, attr))
+
     def fit(self, dataset: Dataset) -> "WordEmbeddingFeaturizer":
         self._models = {}
         for attr in dataset.attributes:
-            model = FastTextEmbedding(dim=self._dim, epochs=self._epochs, rng=self._rng)
-            self._models[attr] = model.fit(word_corpus(dataset, attr))
+            self._fit_column(dataset, attr)
         return self
 
     def transform_batch(self, batch: CellBatch) -> np.ndarray:
@@ -105,7 +123,7 @@ class WordEmbeddingFeaturizer(Featurizer):
         return self._dim
 
 
-class FormatNGramFeaturizer(Featurizer):
+class FormatNGramFeaturizer(ColumnScopedFeaturizer):
     """Character 3-gram format model: frequency of the least frequent gram.
 
     A clean "60614" contains only common digit grams; "606x4" contains a gram
@@ -115,6 +133,7 @@ class FormatNGramFeaturizer(Featurizer):
 
     name = "format_3gram"
     context = FeatureContext.ATTRIBUTE
+    scope = FeatureContext.ATTRIBUTE
     branch = None
 
     def __init__(self, n: int = 3, least_k: int = 1):
@@ -122,11 +141,13 @@ class FormatNGramFeaturizer(Featurizer):
         self._least_k = least_k
         self._models: dict[str, NGramModel] | None = None
 
+    def _fit_column(self, dataset: Dataset, attr: str) -> None:
+        self._models[attr] = NGramModel(n=self._n).fit(dataset.column(attr))
+
     def fit(self, dataset: Dataset) -> "FormatNGramFeaturizer":
-        self._models = {
-            attr: NGramModel(n=self._n).fit(dataset.column(attr))
-            for attr in dataset.attributes
-        }
+        self._models = {}
+        for attr in dataset.attributes:
+            self._fit_column(dataset, attr)
         return self
 
     def transform_batch(self, batch: CellBatch) -> np.ndarray:
@@ -143,7 +164,7 @@ class FormatNGramFeaturizer(Featurizer):
         return self._least_k
 
 
-class SymbolicNGramFeaturizer(Featurizer):
+class SymbolicNGramFeaturizer(ColumnScopedFeaturizer):
     """Symbolic 3-gram format model over the {C, N, S} signature.
 
     Captures shape violations (a letter inside a numeric column) even when
@@ -152,6 +173,7 @@ class SymbolicNGramFeaturizer(Featurizer):
 
     name = "symbolic_3gram"
     context = FeatureContext.ATTRIBUTE
+    scope = FeatureContext.ATTRIBUTE
     branch = None
 
     def __init__(self, n: int = 3, least_k: int = 1):
@@ -159,11 +181,13 @@ class SymbolicNGramFeaturizer(Featurizer):
         self._least_k = least_k
         self._models: dict[str, SymbolicNGramModel] | None = None
 
+    def _fit_column(self, dataset: Dataset, attr: str) -> None:
+        self._models[attr] = SymbolicNGramModel(n=self._n).fit(dataset.column(attr))
+
     def fit(self, dataset: Dataset) -> "SymbolicNGramFeaturizer":
-        self._models = {
-            attr: SymbolicNGramModel(n=self._n).fit(dataset.column(attr))
-            for attr in dataset.attributes
-        }
+        self._models = {}
+        for attr in dataset.attributes:
+            self._fit_column(dataset, attr)
         return self
 
     def transform_batch(self, batch: CellBatch) -> np.ndarray:
@@ -180,7 +204,7 @@ class SymbolicNGramFeaturizer(Featurizer):
         return self._least_k
 
 
-class EmpiricalDistributionFeaturizer(Featurizer):
+class EmpiricalDistributionFeaturizer(ColumnScopedFeaturizer):
     """Empirical probability of the cell value within its column.
 
     Errors are usually rare values; a swap of a frequent value into the wrong
@@ -190,15 +214,25 @@ class EmpiricalDistributionFeaturizer(Featurizer):
 
     name = "empirical_dist"
     context = FeatureContext.ATTRIBUTE
+    scope = FeatureContext.ATTRIBUTE
+    state_attribute = "_counts"
     branch = None
 
     def __init__(self) -> None:
         self._counts: dict[str, dict[str, int]] | None = None
         self._totals: dict[str, int] = {}
 
+    def _fit_column(self, dataset: Dataset, attr: str) -> None:
+        # Appends change num_rows for every column, but they also list every
+        # column in the delta, so per-column totals stay consistent.
+        self._counts[attr] = dataset.value_counts(attr)
+        self._totals[attr] = dataset.num_rows
+
     def fit(self, dataset: Dataset) -> "EmpiricalDistributionFeaturizer":
-        self._counts = {attr: dataset.value_counts(attr) for attr in dataset.attributes}
-        self._totals = {attr: dataset.num_rows for attr in dataset.attributes}
+        self._counts = {}
+        self._totals = {}
+        for attr in dataset.attributes:
+            self._fit_column(dataset, attr)
         return self
 
     def transform_batch(self, batch: CellBatch) -> np.ndarray:
@@ -221,6 +255,7 @@ class ColumnIdFeaturizer(Featurizer):
 
     name = "column_id"
     context = FeatureContext.ATTRIBUTE
+    scope = FeatureContext.ATTRIBUTE
     branch = None
 
     def __init__(self) -> None:
@@ -229,6 +264,10 @@ class ColumnIdFeaturizer(Featurizer):
     def fit(self, dataset: Dataset) -> "ColumnIdFeaturizer":
         self._index = {attr: i for i, attr in enumerate(dataset.attributes)}
         return self
+
+    def refresh(self, dataset: Dataset, delta: DatasetDelta) -> bool:
+        # Depends only on the schema, which mutations never change.
+        return False
 
     def transform_batch(self, batch: CellBatch) -> np.ndarray:
         self._require_fitted("_index")

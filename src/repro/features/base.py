@@ -18,7 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.dataset.table import Cell, Dataset
+from repro.dataset.table import Cell, Dataset, DatasetDelta
 
 #: Monotonic counter backing :attr:`Featurizer.cache_token` — every reset
 #: yields a token never seen before in the process, so stale cache entries
@@ -27,7 +27,20 @@ _TOKEN_COUNTER = itertools.count()
 
 
 class FeatureContext(enum.Enum):
-    """The three granularities of §4.1."""
+    """The three granularities of §4.1.
+
+    Used in two distinct roles:
+
+    - :attr:`Featurizer.context` — the *fit-time* granularity of the model
+      (the paper's classification: what the statistics describe);
+    - :attr:`Featurizer.scope` — the *transform-time* dependency: which part
+      of the dataset a transformed block reads beyond the batch's own
+      resolved values.  ``ATTRIBUTE`` = nothing beyond the batch's columns,
+      ``TUPLE`` = the batch rows' contents across all columns, ``DATASET`` =
+      potentially anything.  The scope drives cache keying and incremental
+      re-scoring; the two often differ (e.g. the neighborhood model *fits*
+      on the whole dataset but *transforms* from the cell value alone).
+    """
 
     ATTRIBUTE = "attribute"
     TUPLE = "tuple"
@@ -55,6 +68,8 @@ class CellBatch:
         "_value_groups",
         "_overridden",
         "_digest",
+        "_columns_fingerprint",
+        "_rows_fingerprint",
     )
 
     def __init__(
@@ -80,6 +95,8 @@ class CellBatch:
         self._value_groups: dict[str, dict[str, np.ndarray]] | None = None
         self._overridden: np.ndarray | None = None
         self._digest: str | None = None
+        self._columns_fingerprint: str | None = None
+        self._rows_fingerprint: str | None = None
 
     def __len__(self) -> int:
         return len(self.cells)
@@ -139,6 +156,36 @@ class CellBatch:
         return self.dataset.fingerprint()
 
     @property
+    def columns_fingerprint(self) -> str:
+        """Combined content hash of the columns the batch's cells live in.
+
+        Keys attribute-scoped blocks: it changes when any of the batch's
+        columns is mutated, and is untouched by edits to other columns.
+        """
+        if self._columns_fingerprint is None:
+            h = hashlib.blake2b(digest_size=16)
+            for attr in sorted(self.by_attr):
+                h.update(attr.encode("utf-8"))
+                h.update(b"\x1f")
+                h.update(self.dataset.column_fingerprint(attr).encode("ascii"))
+                h.update(b"\x1d")
+            self._columns_fingerprint = h.hexdigest()
+        return self._columns_fingerprint
+
+    @property
+    def rows_fingerprint(self) -> str:
+        """Content hash of the batch's rows across all attributes.
+
+        Keys tuple-scoped blocks: it changes when any cell of any of the
+        batch's rows is mutated, and is untouched by edits to other rows.
+        """
+        if self._rows_fingerprint is None:
+            self._rows_fingerprint = self.dataset.rows_fingerprint(
+                c.row for c in self.cells
+            )
+        return self._rows_fingerprint
+
+    @property
     def digest(self) -> str:
         """Stable hash of the batch's cells and resolved values.
 
@@ -158,10 +205,17 @@ class Featurizer:
     """One representation model: fit on the noisy dataset, transform cells.
 
     Subclasses set :attr:`name` (used by the ablation study to address
-    models), :attr:`context`, and :attr:`branch`.  ``branch`` is ``None`` for
-    fixed numeric features and a branch label (``"char"``, ``"word"``,
-    ``"tuple"``) for outputs that feed a learnable representation layer
-    (Fig. 2B) inside the joint model.
+    models), :attr:`context`, :attr:`scope`, and :attr:`branch`.  ``branch``
+    is ``None`` for fixed numeric features and a branch label (``"char"``,
+    ``"word"``, ``"tuple"``) for outputs that feed a learnable representation
+    layer (Fig. 2B) inside the joint model.
+
+    ``scope`` declares the transform-time dependency granularity — what a
+    transformed block reads from the dataset beyond the batch's own resolved
+    values — and selects the fingerprint that keys the block in the feature
+    cache (see :meth:`scoped_fingerprint`).  The default is the conservative
+    ``DATASET`` (any mutation invalidates); built-in models declare the
+    tightest scope that is honest for their transform.
 
     The primary transform contract is :meth:`transform_batch`, which receives
     a :class:`CellBatch` and returns the feature block for all of its cells
@@ -173,6 +227,9 @@ class Featurizer:
 
     name: str = "featurizer"
     context: FeatureContext = FeatureContext.ATTRIBUTE
+    #: Transform-time dependency granularity (cache scoping + incremental
+    #: re-scoring).  DATASET is the safe default for custom subclasses.
+    scope: FeatureContext = FeatureContext.DATASET
     branch: str | None = None
     _cache_token: str | None = None
 
@@ -184,6 +241,36 @@ class Featurizer:
         cannot be served (``FeaturePipeline.fit`` does this automatically).
         """
         raise NotImplementedError
+
+    def refresh(self, dataset: Dataset, delta: DatasetDelta) -> bool:
+        """Refit on ``dataset`` if ``delta`` dirties this model's fitted state.
+
+        Returns whether a refit happened (and hence a fresh cache token was
+        issued).  The base implementation refits fully on any effective
+        change; per-column models override this to refit only the touched
+        columns, and models whose fitted state cannot go stale (e.g. a
+        schema-only one-hot) override it to do nothing.
+        """
+        if delta.is_empty:
+            return False
+        self.fit(dataset)
+        self.reset_cache_token()
+        return True
+
+    def scoped_fingerprint(self, batch: CellBatch) -> str:
+        """The dataset fingerprint keying this model's block for ``batch``.
+
+        Selected by :attr:`scope`: attribute-scoped models key on the
+        batch's column fingerprints, tuple-scoped models on the batch rows'
+        content hash, dataset-scoped models on the whole-relation
+        fingerprint.  Together with :attr:`cache_token` and the batch digest
+        this fully determines a transformed block.
+        """
+        if self.scope is FeatureContext.ATTRIBUTE:
+            return batch.columns_fingerprint
+        if self.scope is FeatureContext.TUPLE:
+            return batch.rows_fingerprint
+        return batch.dataset_fingerprint
 
     def transform_batch(self, batch: CellBatch) -> np.ndarray:
         """Feature block ``[len(batch), self.dim]`` for the batch's cells.
@@ -241,3 +328,41 @@ class Featurizer:
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r}, context={self.context.value})"
+
+
+class ColumnScopedFeaturizer(Featurizer):
+    """Base for featurizers whose fitted state is an independent per-column
+    mapping (one model/statistic per attribute).
+
+    Subclasses implement :meth:`_fit_column` (refit one column's state) and
+    set :attr:`state_attribute` to the instance attribute holding the
+    per-column mapping (``None`` before :meth:`fit`).  In exchange they get
+    a column-scoped :meth:`refresh` — after a batch edit only the touched
+    columns are refitted.
+
+    Note the cache-token granularity: a refresh still issues one fresh
+    token for the whole featurizer, so cached blocks of *untouched* columns
+    are also recomputed on next use.  That is a deliberate trade-off —
+    refitting a column's model (e.g. a FastText embedding) dwarfs
+    re-transforming its cached blocks, and a per-column token would
+    complicate every cache key for a cost that is already marginal.
+    """
+
+    scope = FeatureContext.ATTRIBUTE
+    #: Name of the instance attribute holding the per-column fitted state.
+    state_attribute: str = "_models"
+
+    def _fit_column(self, dataset: Dataset, attr: str) -> None:
+        """(Re)fit the state of one column in place."""
+        raise NotImplementedError
+
+    def refresh(self, dataset: Dataset, delta: DatasetDelta) -> bool:
+        if delta.is_empty:
+            return False
+        if getattr(self, self.state_attribute, None) is None:
+            self.fit(dataset)
+        else:
+            for attr in delta.columns:
+                self._fit_column(dataset, attr)
+        self.reset_cache_token()
+        return True

@@ -5,14 +5,20 @@ evaluation run, and full-dataset prediction pass re-derives the same blocks
 from the same fitted models.  :class:`FeatureCache` memoises each block
 under the triple
 
-    ``(featurizer fitted-state token, dataset fingerprint, batch digest)``
+    ``(featurizer fitted-state token, scoped fingerprint, batch digest)``
 
 so identical work is done once:
 
 - the **featurizer token** (``Featurizer.cache_token``) changes whenever a
   model is (re)fitted, so blocks from a stale fit can never be served;
-- the **dataset fingerprint** (``Dataset.fingerprint``) changes on any
-  in-place cell mutation, so edits invalidate dependent blocks implicitly;
+- the **scoped fingerprint** (``Featurizer.scoped_fingerprint``) hashes
+  exactly the part of the dataset the model's ``scope`` declares its
+  transform depends on — the batch's columns for attribute-scoped models,
+  the batch rows' contents for tuple-scoped models, the whole relation for
+  dataset-scoped models.  In-place edits therefore invalidate only the
+  blocks that could actually change: an edit to column A never evicts
+  attribute-scoped blocks of column B, and tuple-scoped blocks of untouched
+  rows survive edits elsewhere;
 - the **batch digest** hashes the cells *and* their resolved (possibly
   overridden) values, so augmented variants of the same cells key
   separately.
@@ -35,7 +41,7 @@ import numpy as np
 
 from repro.features.base import CellBatch, Featurizer
 
-#: A fully resolved cache key (featurizer token, dataset fingerprint, digest).
+#: A fully resolved cache key (featurizer token, scoped fingerprint, digest).
 CacheKey = tuple[str, str, str]
 
 
@@ -101,7 +107,7 @@ class FeatureCache:
 
     @staticmethod
     def key_for(featurizer: Featurizer, batch: CellBatch) -> CacheKey:
-        return (featurizer.cache_token, batch.dataset_fingerprint, batch.digest)
+        return (featurizer.cache_token, featurizer.scoped_fingerprint(batch), batch.digest)
 
     def get_or_compute(self, featurizer: Featurizer, batch: CellBatch) -> np.ndarray:
         """The featurizer's block for ``batch``, computed at most once.
@@ -126,12 +132,15 @@ class FeatureCache:
                     self.stats.evictions += 1
         return block
 
-    def invalidate_dataset(self, fingerprint: str) -> int:
-        """Drop every block computed against the given dataset fingerprint.
+    def invalidate_scope(self, fingerprint: str) -> int:
+        """Drop every block keyed under the given scoped fingerprint.
 
-        Normally unnecessary — a mutated dataset gets a new fingerprint and
-        old entries age out — but lets callers reclaim memory eagerly when a
-        relation is known to be gone.  Returns the number of entries dropped.
+        ``fingerprint`` may be any scoped fingerprint — a whole-relation
+        fingerprint, a batch columns fingerprint, or a batch rows
+        fingerprint.  Normally unnecessary — a mutated dataset produces new
+        scoped fingerprints and old entries age out — but lets callers
+        reclaim memory eagerly when a relation is known to be gone.  Returns
+        the number of entries dropped.
         """
         with self._lock:
             stale = [k for k in self._entries if k[1] == fingerprint]

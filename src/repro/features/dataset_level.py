@@ -35,6 +35,9 @@ class ConstraintViolationFeaturizer(Featurizer):
 
     name = "constraint_violations"
     context = FeatureContext.DATASET
+    #: The transform reads fit-time counts plus, for overridden cells, the
+    #: cell's row — so a block depends on at most the batch rows' contents.
+    scope = FeatureContext.TUPLE
     branch = None
 
     def __init__(self, constraints: Sequence[DenialConstraint]):
@@ -153,6 +156,9 @@ class NeighborhoodFeaturizer(Featurizer):
 
     name = "neighborhood"
     context = FeatureContext.DATASET
+    #: Fits on the whole dataset, but the transform reads only the cell's
+    #: resolved value (covered by the batch digest) — attribute-scoped.
+    scope = FeatureContext.ATTRIBUTE
     branch = None
 
     def __init__(self, dim: int = 16, epochs: int = 2, rng=None):

@@ -47,27 +47,32 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dataset.table import Dataset
-from repro.features.base import CellBatch, FeatureContext, Featurizer
+from repro.features.base import CellBatch, ColumnScopedFeaturizer, FeatureContext
 from repro.text.tokenize import word_tokens
 
 
-class ValueLengthFeaturizer(Featurizer):
+class ValueLengthFeaturizer(ColumnScopedFeaturizer):
     """Z-score of the cell value's length within its attribute."""
 
     name = "value_length"
     context = FeatureContext.ATTRIBUTE
+    scope = FeatureContext.ATTRIBUTE
+    state_attribute = "_stats"
     branch = None
 
     def __init__(self) -> None:
         self._stats: dict[str, tuple[float, float]] | None = None
 
+    def _fit_column(self, dataset: Dataset, attr: str) -> None:
+        lengths = np.array([len(v) for v in dataset.column(attr)], dtype=np.float64)
+        mean = float(lengths.mean()) if lengths.size else 0.0
+        std = float(lengths.std()) if lengths.size else 0.0
+        self._stats[attr] = (mean, std if std > 1e-9 else 1.0)
+
     def fit(self, dataset: Dataset) -> "ValueLengthFeaturizer":
         self._stats = {}
         for attr in dataset.attributes:
-            lengths = np.array([len(v) for v in dataset.column(attr)], dtype=np.float64)
-            mean = float(lengths.mean()) if lengths.size else 0.0
-            std = float(lengths.std()) if lengths.size else 0.0
-            self._stats[attr] = (mean, std if std > 1e-9 else 1.0)
+            self._fit_column(dataset, attr)
         return self
 
     def transform_batch(self, batch: CellBatch) -> np.ndarray:
@@ -86,7 +91,7 @@ class ValueLengthFeaturizer(Featurizer):
         return 1
 
 
-class TokenFrequencyFeaturizer(Featurizer):
+class TokenFrequencyFeaturizer(ColumnScopedFeaturizer):
     """Frequency of the rarest word token of the cell within its attribute.
 
     Log-scaled relative frequency with Laplace smoothing; values with no
@@ -96,6 +101,8 @@ class TokenFrequencyFeaturizer(Featurizer):
 
     name = "token_frequency"
     context = FeatureContext.ATTRIBUTE
+    scope = FeatureContext.ATTRIBUTE
+    state_attribute = "_counts"
     branch = None
 
     _EMPTY = "<no-token>"
@@ -107,19 +114,22 @@ class TokenFrequencyFeaturizer(Featurizer):
         self._counts: dict[str, dict[str, int]] | None = None
         self._totals: dict[str, int] = {}
 
+    def _fit_column(self, dataset: Dataset, attr: str) -> None:
+        counts: dict[str, int] = {}
+        total = 0
+        for value in dataset.column(attr):
+            tokens = word_tokens(value) or [self._EMPTY]
+            for token in tokens:
+                counts[token] = counts.get(token, 0) + 1
+                total += 1
+        self._counts[attr] = counts
+        self._totals[attr] = total
+
     def fit(self, dataset: Dataset) -> "TokenFrequencyFeaturizer":
         self._counts = {}
         self._totals = {}
         for attr in dataset.attributes:
-            counts: dict[str, int] = {}
-            total = 0
-            for value in dataset.column(attr):
-                tokens = word_tokens(value) or [self._EMPTY]
-                for token in tokens:
-                    counts[token] = counts.get(token, 0) + 1
-                    total += 1
-            self._counts[attr] = counts
-            self._totals[attr] = total
+            self._fit_column(dataset, attr)
         return self
 
     def _min_token_logfreq(self, attr: str, value: str) -> float:

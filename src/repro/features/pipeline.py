@@ -12,6 +12,10 @@ a :class:`~repro.features.cache.FeatureCache` (``pipeline.cache``) memoises
 each featurizer's block per batch, which makes repeated passes over the same
 cells — augmentation epochs, repeated evaluation, full-dataset prediction —
 near-free.
+
+After in-place dataset mutations, :meth:`FeaturePipeline.refresh` refits
+only the models whose fitted state the :class:`~repro.dataset.table.DatasetDelta`
+dirties (per-column models refit just the touched columns).
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.constraints.dc import DenialConstraint
-from repro.dataset.table import Cell, Dataset
+from repro.dataset.table import Cell, Dataset, DatasetDelta
 from repro.features.attribute import (
     CharEmbeddingFeaturizer,
     ColumnIdFeaturizer,
@@ -108,6 +112,33 @@ class FeaturePipeline:
             featurizer.fit(dataset)
             # A refit invalidates any cached blocks of the previous fit.
             featurizer.reset_cache_token()
+        self._fit_standardisation(dataset)
+        self._fitted = True
+        return self
+
+    def refresh(self, dataset: Dataset, delta: DatasetDelta) -> list[str]:
+        """Refit only the models whose fitted state ``delta`` dirties.
+
+        Per-column models (the attribute-context featurizers) refit just the
+        touched columns; tuple- and dataset-context models, whose statistics
+        span the whole relation, refit fully on any effective change; models
+        that depend only on the schema never refit.  Returns the names of
+        the refitted models (empty for an empty delta).
+
+        Standardisation statistics are deliberately *not* recomputed: they
+        are fit-time normalisation constants (eval-mode semantics, like a
+        normalisation layer's running statistics).  Recomputing them would
+        shift every cell's numeric features globally, destroying the
+        locality that lets :class:`~repro.core.detector.DetectionSession`
+        re-score only the cells a refit actually touches.
+        """
+        if not self._fitted:
+            raise RuntimeError("pipeline used before fit()")
+        if delta.is_empty:
+            return []
+        return [f.name for f in self.featurizers if f.refresh(dataset, delta)]
+
+    def _fit_standardisation(self, dataset: Dataset) -> None:
         # Standardisation statistics come from a sample of D's cells so that
         # feature scales are comparable regardless of the training subset.
         sample_cells = self._sample_cells(dataset, limit=2000)
@@ -119,8 +150,6 @@ class FeaturePipeline:
         else:
             self._numeric_mean = np.zeros(0)
             self._numeric_std = np.ones(0)
-        self._fitted = True
-        return self
 
     @staticmethod
     def _sample_cells(dataset: Dataset, limit: int) -> list[Cell]:

@@ -35,6 +35,8 @@ class CooccurrenceFeaturizer(Featurizer):
 
     name = "cooccurrence"
     context = FeatureContext.TUPLE
+    #: The transform reads the cell's row-mates — tuple-scoped.
+    scope = FeatureContext.TUPLE
     branch = None
 
     def __init__(self) -> None:
@@ -106,6 +108,8 @@ class TupleEmbeddingFeaturizer(Featurizer):
 
     name = "tuple_embedding"
     context = FeatureContext.TUPLE
+    #: The context half of the output reads the cell's row-mates.
+    scope = FeatureContext.TUPLE
     branch = "tuple"
 
     def __init__(self, dim: int = 16, epochs: int = 2, rng=None):

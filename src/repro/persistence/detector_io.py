@@ -16,7 +16,10 @@ Public API
     relation it was fitted on (data stays with the user; it is never
     written to disk by this module).  The loaded detector predicts exactly
     as the original did.  A fresh feature cache is attached according to
-    the saved config; caches themselves are never persisted.
+    the saved config; caches themselves are never persisted.  Featurizer
+    ``scope`` declarations are class-level, so a loaded detector drops
+    straight into a :class:`~repro.core.detector.DetectionSession` for
+    incremental re-scoring (``repro rescore --model <path>``).
 
 On-disk layout
 --------------

@@ -159,12 +159,15 @@ class TestFeatureCache:
         assert cache.stats.misses == 3
         assert after[0, 0] == pytest.approx(4 / 5)
 
-    def test_explicit_dataset_invalidation(self, dataset, cells):
+    def test_explicit_scope_invalidation(self, dataset, cells):
         f = EmpiricalDistributionFeaturizer().fit(dataset)
         cache = FeatureCache()
-        cache.get_or_compute(f, CellBatch(cells, dataset))
+        batch = CellBatch(cells, dataset)
+        cache.get_or_compute(f, batch)
         assert len(cache) == 1
-        dropped = cache.invalidate_dataset(dataset.fingerprint())
+        # The block is keyed under the featurizer's scoped fingerprint (the
+        # batch's column fingerprints for this attribute-scoped model).
+        dropped = cache.invalidate_scope(f.scoped_fingerprint(batch))
         assert dropped == 1 and len(cache) == 0
         assert cache.stats.invalidations == 1
         # And the next lookup recomputes.
