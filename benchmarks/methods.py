@@ -1,113 +1,54 @@
 """Method registry shared by the Table 2 / Table 5 benchmarks.
 
-Each entry builds a detector following the common protocol and returns the
-cells it flags, given a bundle and an evaluation split — the ``MethodFn``
-shape the experiment runner consumes.
+Thin wrappers over :mod:`repro.baselines.adapters` — the library's uniform
+method registry — kept here so benchmark modules can keep passing a
+prepared :class:`DetectorConfig` instead of a parameter mapping.  Each
+wrapper returns the ``MethodFn`` shape the experiment runner consumes.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import asdict
 
-from repro.baselines import (
-    ActiveLearningDetector,
-    ConstraintViolationDetector,
-    ForbiddenItemsetDetector,
-    GroundTruthOracle,
-    HoloCleanDetector,
-    LogisticRegressionDetector,
-    OutlierDetector,
-    SemiSupervisedDetector,
-    SupervisedDetector,
-)
-from repro.core import DetectorConfig, HoloDetect
-from repro.data.bundle import DatasetBundle
-from repro.evaluation.splits import EvaluationSplit
+from repro.baselines.adapters import build_method
+from repro.core import DetectorConfig
 
 
 def aug_method(config: DetectorConfig):
-    def run(bundle: DatasetBundle, split: EvaluationSplit, rng):
-        detector = HoloDetect(replace(config, seed=int(rng.integers(0, 2**31))))
-        detector.fit(bundle.dirty, split.training, bundle.constraints)
-        return detector.predict_error_cells(split.test_cells)
-
-    return run
+    return build_method("holodetect", asdict(config))
 
 
 def cv_method():
-    def run(bundle, split, rng):
-        det = ConstraintViolationDetector().fit(bundle.dirty, constraints=bundle.constraints)
-        return det.predict_error_cells(split.test_cells)
-
-    return run
+    return build_method("cv")
 
 
 def hc_method():
-    def run(bundle, split, rng):
-        det = HoloCleanDetector().fit(bundle.dirty, constraints=bundle.constraints)
-        return det.predict_error_cells(split.test_cells)
-
-    return run
+    return build_method("hc")
 
 
 def od_method():
-    def run(bundle, split, rng):
-        det = OutlierDetector().fit(bundle.dirty)
-        return det.predict_error_cells(split.test_cells)
-
-    return run
+    return build_method("od")
 
 
 def fbi_method():
-    def run(bundle, split, rng):
-        det = ForbiddenItemsetDetector().fit(bundle.dirty)
-        return det.predict_error_cells(split.test_cells)
-
-    return run
+    return build_method("fbi")
 
 
 def lr_method():
-    def run(bundle, split, rng):
-        det = LogisticRegressionDetector(seed=int(rng.integers(0, 2**31)))
-        det.fit(bundle.dirty, split.training, bundle.constraints)
-        return det.predict_error_cells(split.test_cells)
-
-    return run
+    return build_method("lr")
 
 
 def superl_method(config: DetectorConfig):
-    def run(bundle, split, rng):
-        det = SupervisedDetector(replace(config, seed=int(rng.integers(0, 2**31))))
-        det.fit(bundle.dirty, split.training, bundle.constraints)
-        return det.predict_error_cells(split.test_cells)
-
-    return run
+    return build_method("superl", asdict(config))
 
 
 def semil_method(config: DetectorConfig, rounds: int = 1):
-    def run(bundle, split, rng):
-        det = SemiSupervisedDetector(
-            replace(config, seed=int(rng.integers(0, 2**31))),
-            rounds=rounds,
-            unlabeled_pool_size=1000,
-        )
-        det.fit(bundle.dirty, split.training, bundle.constraints)
-        return det.predict_error_cells(split.test_cells)
-
-    return run
+    return build_method(
+        "semil", {**asdict(config), "rounds": rounds, "unlabeled_pool_size": 1000}
+    )
 
 
 def activel_method(config: DetectorConfig, loops: int):
-    def run(bundle, split, rng):
-        oracle = GroundTruthOracle(bundle)
-        det = ActiveLearningDetector(
-            oracle,
-            split.sampling_cells,
-            loops=loops,
-            labels_per_loop=50,
-            config=replace(config, seed=int(rng.integers(0, 2**31))),
-        )
-        det.fit(bundle.dirty, split.training, bundle.constraints)
-        return det.predict_error_cells(split.test_cells)
-
-    return run
+    return build_method(
+        "activel", {**asdict(config), "loops": loops, "labels_per_loop": 50}
+    )

@@ -22,9 +22,19 @@ generators), ``repro.constraints`` / ``repro.nn`` / ``repro.embeddings`` /
 from repro.core import DetectionSession, DetectorConfig, ErrorPredictions, HoloDetect
 from repro.data import DATASET_NAMES, DatasetBundle, load_dataset
 from repro.dataset import Cell, Dataset, DatasetDelta, GroundTruth, LabeledCell, TrainingSet
-from repro.evaluation import Metrics, evaluate_predictions, make_split, run_trials
+from repro.evaluation import (
+    Metrics,
+    ResultStore,
+    ScenarioMatrix,
+    ScenarioSpec,
+    evaluate_predictions,
+    make_split,
+    run_matrix,
+    run_scenario,
+    run_trials,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "HoloDetect",
@@ -44,5 +54,10 @@ __all__ = [
     "evaluate_predictions",
     "make_split",
     "run_trials",
+    "ScenarioMatrix",
+    "ScenarioSpec",
+    "ResultStore",
+    "run_matrix",
+    "run_scenario",
     "__version__",
 ]

@@ -31,8 +31,11 @@ from repro.baselines.augmentation_variants import (
     RandomChannelPolicy,
     uniform_policy_from,
 )
+from repro.baselines.adapters import build_method, method_names
 
 __all__ = [
+    "build_method",
+    "method_names",
     "ConstraintViolationDetector",
     "HoloCleanDetector",
     "OutlierDetector",

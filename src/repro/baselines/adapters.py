@@ -1,0 +1,190 @@
+"""Uniform method adapters: name → ``MethodFn`` for the sweep harness.
+
+Every detector in the library — the HoloDetect model, its ablations, and
+the §6.1 baselines — is wrapped here behind one calling convention, the
+``MethodFn`` shape the experiment runner consumes::
+
+    method(bundle, split, rng) -> set[Cell]      # predicted error cells
+
+:func:`build_method` resolves a method *name* plus a parameter mapping into
+such a callable, so sweep specs (and the benchmark harness) can refer to
+methods declaratively.  Stochastic methods draw their model seed from the
+per-trial ``rng`` stream, which keeps a sweep reproducible end-to-end from
+a single seed while still varying the seed across trials.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import replace
+from typing import Callable, Mapping
+
+from repro.baselines.active_learning import ActiveLearningDetector, GroundTruthOracle
+from repro.baselines.constraint_violations import ConstraintViolationDetector
+from repro.baselines.forbidden_itemsets import ForbiddenItemsetDetector
+from repro.baselines.holoclean import HoloCleanDetector
+from repro.baselines.logistic_regression import LogisticRegressionDetector
+from repro.baselines.outlier import OutlierDetector
+from repro.baselines.resampling import ResamplingDetector
+from repro.baselines.semi_supervised import SemiSupervisedDetector
+from repro.baselines.supervised import SupervisedDetector
+from repro.core.detector import DetectorConfig, HoloDetect
+
+#: A method under evaluation (same shape as ``repro.evaluation.runner.MethodFn``).
+MethodFn = Callable[..., set]
+
+_CONFIG_FIELDS = {f.name for f in dataclasses.fields(DetectorConfig)}
+
+
+def _trial_seed(rng) -> int:
+    """The per-trial model seed, drawn from the trial's RNG stream."""
+    return int(rng.integers(0, 2**31))
+
+
+def detector_config(params: Mapping[str, object]) -> DetectorConfig:
+    """Build a :class:`DetectorConfig` from a sweep-spec parameter mapping.
+
+    Unknown keys raise so typos in spec files fail loudly instead of being
+    silently ignored.  (Ablation overrides like SuperL's ``augment=False``
+    live in the detector wrappers themselves, not here.)
+    """
+    unknown = set(params) - _CONFIG_FIELDS
+    if unknown:
+        raise ValueError(
+            f"unknown detector parameters {sorted(unknown)}; "
+            f"valid keys: {sorted(_CONFIG_FIELDS)}"
+        )
+    return DetectorConfig(**params)  # type: ignore[arg-type]
+
+
+def _holodetect(params: Mapping[str, object]) -> MethodFn:
+    config = detector_config(params)
+
+    def run(bundle, split, rng):
+        det = HoloDetect(replace(config, seed=_trial_seed(rng)))
+        det.fit(bundle.dirty, split.training, bundle.constraints)
+        return det.predict_error_cells(split.test_cells)
+
+    return run
+
+
+def _superl(params: Mapping[str, object]) -> MethodFn:
+    config = detector_config(params)
+
+    def run(bundle, split, rng):
+        det = SupervisedDetector(replace(config, seed=_trial_seed(rng)))
+        det.fit(bundle.dirty, split.training, bundle.constraints)
+        return det.predict_error_cells(split.test_cells)
+
+    return run
+
+
+def _semil(params: Mapping[str, object]) -> MethodFn:
+    params = dict(params)
+    rounds = int(params.pop("rounds", 1))
+    pool = int(params.pop("unlabeled_pool_size", 1000))
+    config = detector_config(params)
+
+    def run(bundle, split, rng):
+        det = SemiSupervisedDetector(
+            replace(config, seed=_trial_seed(rng)),
+            rounds=rounds,
+            unlabeled_pool_size=pool,
+        )
+        det.fit(bundle.dirty, split.training, bundle.constraints)
+        return det.predict_error_cells(split.test_cells)
+
+    return run
+
+
+def _activel(params: Mapping[str, object]) -> MethodFn:
+    params = dict(params)
+    loops = int(params.pop("loops", 3))
+    labels_per_loop = int(params.pop("labels_per_loop", 50))
+    config = detector_config(params)
+
+    def run(bundle, split, rng):
+        det = ActiveLearningDetector(
+            GroundTruthOracle(bundle),
+            split.sampling_cells,
+            loops=loops,
+            labels_per_loop=labels_per_loop,
+            config=replace(config, seed=_trial_seed(rng)),
+        )
+        det.fit(bundle.dirty, split.training, bundle.constraints)
+        return det.predict_error_cells(split.test_cells)
+
+    return run
+
+
+def _resampling(params: Mapping[str, object]) -> MethodFn:
+    config = detector_config(params)
+
+    def run(bundle, split, rng):
+        det = ResamplingDetector(replace(config, seed=_trial_seed(rng)))
+        det.fit(bundle.dirty, split.training, bundle.constraints)
+        return det.predict_error_cells(split.test_cells)
+
+    return run
+
+
+def _lr(params: Mapping[str, object]) -> MethodFn:
+    if params:
+        raise ValueError(f"takes no parameters, got {sorted(params)}")
+
+    def run(bundle, split, rng):
+        det = LogisticRegressionDetector(seed=_trial_seed(rng))
+        det.fit(bundle.dirty, split.training, bundle.constraints)
+        return det.predict_error_cells(split.test_cells)
+
+    return run
+
+
+def _unsupervised(detector_cls, needs_constraints: bool):
+    def build(params: Mapping[str, object]) -> MethodFn:
+        if params:
+            raise ValueError(f"takes no parameters, got {sorted(params)}")
+
+        def run(bundle, split, rng):
+            det = detector_cls()
+            if needs_constraints:
+                det.fit(bundle.dirty, constraints=bundle.constraints)
+            else:
+                det.fit(bundle.dirty)
+            return det.predict_error_cells(split.test_cells)
+
+        return run
+
+    return build
+
+
+#: name → builder(params) → MethodFn.  "aug" is the paper's name for the
+#: full HoloDetect model (augmentation on).
+_BUILDERS: dict[str, Callable[[Mapping[str, object]], MethodFn]] = {
+    "holodetect": _holodetect,
+    "aug": _holodetect,
+    "superl": _superl,
+    "semil": _semil,
+    "activel": _activel,
+    "resampling": _resampling,
+    "lr": _lr,
+    "cv": _unsupervised(ConstraintViolationDetector, needs_constraints=True),
+    "hc": _unsupervised(HoloCleanDetector, needs_constraints=True),
+    "od": _unsupervised(OutlierDetector, needs_constraints=False),
+    "fbi": _unsupervised(ForbiddenItemsetDetector, needs_constraints=False),
+}
+
+
+def method_names() -> tuple[str, ...]:
+    """Names accepted by :func:`build_method` (spec-file vocabulary)."""
+    return tuple(_BUILDERS)
+
+
+def build_method(name: str, params: Mapping[str, object] | None = None) -> MethodFn:
+    """Resolve a method name + parameter mapping into a ``MethodFn``."""
+    if name not in _BUILDERS:
+        raise ValueError(f"unknown method {name!r}; choose from {method_names()}")
+    try:
+        return _BUILDERS[name](dict(params or {}))
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"method {name!r}: {exc}") from exc

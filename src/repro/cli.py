@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro detect    --input data.csv --labels labels.csv ...
     python -m repro rescore   --input data.csv --labels labels.csv --edits edits.csv ...
     python -m repro benchmark --dataset hospital --rows 300
+    python -m repro sweep     --spec sweep.toml --workers 4 --store results.jsonl --resume
     python -m repro policy    --input data.csv --labels labels.csv --value "60612"
 
 ``detect`` runs the full detector on a CSV and writes a triage CSV of
@@ -12,9 +13,11 @@ per-cell error probabilities.  ``rescore`` drives the interactive repair
 loop incrementally: it applies a batch of cell edits through a
 :class:`~repro.core.detector.DetectionSession` and re-scores only the
 affected cells instead of re-predicting the whole relation.  ``benchmark``
-evaluates the detector on one of the built-in benchmark bundles.
-``policy`` prints the learned noisy channel's conditional distribution for
-a probe value.
+evaluates the detector on one of the built-in benchmark bundles.  ``sweep``
+expands a declarative scenario matrix (datasets × error profiles × label
+budgets × methods) and executes it on a worker pool with a resumable
+on-disk result store (see ``docs/architecture.md``).  ``policy`` prints
+the learned noisy channel's conditional distribution for a probe value.
 
 File formats:
 
@@ -33,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 import time
 from pathlib import Path
@@ -242,6 +246,74 @@ def cmd_benchmark(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.evaluation.matrix import MatrixSpecError, ScenarioMatrix, run_matrix
+    from repro.evaluation.store import ResultStore
+
+    try:
+        matrix = ScenarioMatrix.from_file(args.spec)
+    except MatrixSpecError as exc:
+        raise SystemExit(f"sweep spec error: {exc}") from exc
+    store = None
+    if args.store:
+        store_path = Path(args.store)
+        if store_path.exists() and not args.resume:
+            raise SystemExit(
+                f"{store_path} already exists; pass --resume to serve completed "
+                "scenarios from it, or remove it for a fresh sweep"
+            )
+        store = ResultStore(store_path)
+        if store.skipped_lines:
+            print(
+                f"store: skipped {store.skipped_lines} unparseable line(s) "
+                "(tail of a killed run?)",
+                file=sys.stderr,
+            )
+    elif args.resume:
+        raise SystemExit("--resume requires --store (there is nothing to resume from)")
+
+    total = len(matrix.expand())
+    done = 0
+
+    def progress(record: dict) -> None:
+        nonlocal done
+        done += 1
+        spec = record["spec"]
+        source = "cached" if record.get("cached") else "run"
+        print(
+            f"[{done}/{total}] {spec['dataset']}/{spec['error_profile']}"
+            f"/{spec['label_budget']:g}/{spec['method']}: "
+            f"F1={record['metrics']['f1']:.3f} ({source})",
+            file=sys.stderr,
+        )
+
+    started = time.perf_counter()
+    report = run_matrix(
+        matrix,
+        store=store,
+        workers=args.workers,
+        resume=args.resume,
+        executor=args.executor,
+        on_result=progress,
+    )
+    elapsed = time.perf_counter() - started
+    print(report.table())
+    print(
+        f"sweep: {report.total} scenarios ({report.executed} run, "
+        f"{report.cached} cached) with {report.workers} worker(s) in {elapsed:.1f}s",
+        file=sys.stderr,
+    )
+    if args.report:
+        payload = report.to_json()
+        payload["spec_file"] = str(args.spec)
+        payload["wall_time"] = elapsed
+        Path(args.report).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.report}", file=sys.stderr)
+    return 0
+
+
 def cmd_policy(args: argparse.Namespace) -> int:
     dataset = read_csv(args.input)
     training = load_labels(args.labels, dataset)
@@ -325,6 +397,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_model_args(bench)
     bench.set_defaults(func=cmd_benchmark)
+
+    sweep = sub.add_parser("sweep", help="run a declarative scenario-matrix sweep")
+    sweep.add_argument("--spec", required=True, help="matrix spec file (.toml or .json)")
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel workers (clamped to the pending-scenario count)",
+    )
+    sweep.add_argument(
+        "--executor",
+        choices=("process", "thread", "serial"),
+        default="process",
+        help="worker pool flavour (scenarios are CPU-bound: use process)",
+    )
+    sweep.add_argument("--store", help="resumable JSONL result store path")
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="serve scenarios already in --store from disk; run only the missing ones",
+    )
+    sweep.add_argument("--report", help="write the full sweep summary as JSON")
+    sweep.set_defaults(func=cmd_sweep)
 
     policy = sub.add_parser("policy", help="inspect the learned noisy channel")
     policy.add_argument("--input", required=True, help="input CSV")

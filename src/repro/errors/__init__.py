@@ -15,6 +15,12 @@ from repro.errors.typos import (
     transpose_chars,
 )
 from repro.errors.bart import ErrorProfile, inject_errors
+from repro.errors.profiles import (
+    PROFILES,
+    apply_profile,
+    profile_names,
+    resolve_profile,
+)
 
 __all__ = [
     "inject_x",
@@ -25,4 +31,8 @@ __all__ = [
     "random_typo",
     "ErrorProfile",
     "inject_errors",
+    "PROFILES",
+    "apply_profile",
+    "profile_names",
+    "resolve_profile",
 ]

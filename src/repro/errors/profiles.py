@@ -1,0 +1,99 @@
+"""Named error-generation profiles for the scenario matrix.
+
+The benchmark datasets each bake in the noise channel the paper reports for
+them (Table 1).  The sweep harness additionally needs to vary the channel
+*independently* of the dataset — e.g. run Hospital under a BART-style
+typo/swap mix, or Food under pure value swaps — so this module names a
+small library of reusable :class:`~repro.errors.bart.ErrorProfile` presets
+and knows how to re-inject errors into a bundle's clean relation.
+
+``"native"`` is the identity profile: the bundle keeps the errors its
+generator injected.  Every other profile discards the generator's dirty
+relation and corrupts the clean relation afresh, which keeps ground truth
+exact and makes error characteristics a first-class sweep axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.data.bundle import DatasetBundle
+from repro.errors.bart import ErrorProfile, inject_errors
+
+#: Identity profile: keep the bundle's generator-injected errors.
+NATIVE = "native"
+
+#: Reusable noise channels.  ``None`` marks the identity profile.
+PROFILES: dict[str, ErrorProfile | None] = {
+    NATIVE: None,
+    # Pure character typos at Hospital-like density.
+    "typos": ErrorProfile(error_rate=0.03, typo_fraction=1.0),
+    # Hospital's published channel: 'x'-substitution typos.
+    "x-typos": ErrorProfile(error_rate=0.03, typo_fraction=1.0, x_style_typos=True),
+    # The BART mix used for Soccer/Adult: half typos, half cross-tuple swaps.
+    "bart-mix": ErrorProfile(error_rate=0.05, typo_fraction=0.5),
+    # Pure value swaps: every error is plausible in isolation.
+    "swaps": ErrorProfile(error_rate=0.05, typo_fraction=0.0),
+}
+
+
+def profile_names() -> tuple[str, ...]:
+    """Names of the built-in profiles (including ``"native"``)."""
+    return tuple(PROFILES)
+
+
+def resolve_profile(name: str, **overrides: object) -> ErrorProfile | None:
+    """Look up profile ``name``, optionally overriding its parameters.
+
+    A known name returns its preset (with ``overrides`` applied via
+    :func:`dataclasses.replace`).  An unknown name defines an ad-hoc profile
+    and must supply at least ``error_rate``.  ``"native"`` accepts no
+    overrides — there is no channel to parameterise.
+    """
+    if "attributes" in overrides and overrides["attributes"] is not None:
+        overrides["attributes"] = tuple(overrides["attributes"])  # type: ignore[arg-type]
+    if name in PROFILES:
+        base = PROFILES[name]
+        if base is None:
+            if overrides:
+                raise ValueError(f"profile {name!r} takes no parameters, got {sorted(overrides)}")
+            return None
+        try:
+            return replace(base, **overrides) if overrides else base
+        except TypeError as exc:
+            raise ValueError(f"profile {name!r}: {exc}") from exc
+    if "error_rate" not in overrides:
+        raise ValueError(
+            f"unknown profile {name!r}; choose from {profile_names()} "
+            "or define a custom profile with at least error_rate"
+        )
+    try:
+        return ErrorProfile(**overrides)  # type: ignore[arg-type]
+    except TypeError as exc:
+        raise ValueError(f"profile {name!r}: {exc}") from exc
+
+
+def apply_profile(
+    bundle: DatasetBundle,
+    profile: ErrorProfile | None,
+    rng: int | np.random.Generator | None = 0,
+) -> DatasetBundle:
+    """Re-corrupt ``bundle``'s clean relation under ``profile``.
+
+    ``None`` (the native profile) returns the bundle unchanged.  Otherwise
+    the generator-injected errors are discarded and fresh ones drawn from
+    ``profile``; the clean relation, constraints, and name carry over, so
+    downstream code sees an ordinary :class:`DatasetBundle`.
+    """
+    if profile is None:
+        return bundle
+    dirty, truth = inject_errors(bundle.clean, profile, rng=rng)
+    return DatasetBundle(
+        name=bundle.name,
+        clean=bundle.clean,
+        dirty=dirty,
+        truth=truth,
+        constraints=bundle.constraints,
+    )

@@ -1,15 +1,29 @@
-"""Evaluation harness: metrics, splits, and the seeded experiment runner.
+"""Evaluation harness: metrics, splits, the seeded experiment runner, and
+the parallel scenario-matrix sweep.
 
 Implements the paper's protocol (§6.1): precision / recall / F1 over cell
 predictions, a three-way split of the ground truth into training / sampling
 (active-learning pool) / test sets, and multi-seed repetition reporting the
-median so P, R, and F1 stay coupled.
+median so P, R, and F1 stay coupled.  ``matrix``/``store`` scale that
+protocol to the paper's full evaluation grid — datasets × error profiles ×
+label budgets × methods on a worker pool with a resumable result store
+(see ``docs/architecture.md``, "Scenario matrix & sweeps").
 """
 
 from repro.evaluation.metrics import Metrics, evaluate_predictions
 from repro.evaluation.splits import EvaluationSplit, make_split
 from repro.evaluation.runner import ExperimentResult, run_trials
 from repro.evaluation.report import markdown_table, metrics_table, sweep_table
+from repro.evaluation.matrix import (
+    MatrixSpecError,
+    ScenarioMatrix,
+    ScenarioSpec,
+    SweepReport,
+    clamp_workers,
+    run_matrix,
+    run_scenario,
+)
+from repro.evaluation.store import ResultStore
 
 __all__ = [
     "Metrics",
@@ -21,4 +35,12 @@ __all__ = [
     "markdown_table",
     "metrics_table",
     "sweep_table",
+    "MatrixSpecError",
+    "ScenarioMatrix",
+    "ScenarioSpec",
+    "SweepReport",
+    "clamp_workers",
+    "run_matrix",
+    "run_scenario",
+    "ResultStore",
 ]

@@ -1,0 +1,565 @@
+"""Declarative scenario matrix + parallel sweep execution.
+
+The paper's evaluation is a grid — datasets × error profiles × label
+budgets × methods, several seeded trials each (§6.1, Tables 2–5).  This
+module makes that grid a first-class object:
+
+- :class:`ScenarioMatrix` declares the axes (loaded from a TOML/JSON spec
+  file or built in code) and expands to concrete :class:`ScenarioSpec`\\ s;
+- :class:`ScenarioSpec` is a pure-data description of one grid point with a
+  stable content *fingerprint* (SHA-256 over canonical JSON) and
+  deterministic derived seeds, so a scenario's result is a function of its
+  spec alone — independent of execution order, worker count, or executor;
+- :func:`run_scenario` executes one spec end-to-end (generate bundle →
+  apply error profile → build method adapter → seeded trials);
+- :func:`run_matrix` fans specs out over a process/thread pool and streams
+  finished records into a resumable
+  :class:`~repro.evaluation.store.ResultStore`.
+
+Seed derivation is *scoped*, not global: the dataset seed depends only on
+(matrix seed, dataset, rows) and the trial seed additionally on the error
+profile and label budget — but never on the method.  Two methods at the
+same grid point therefore see byte-identical dirty data and splits, which
+is what makes Table-2-style columns comparable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.baselines.adapters import build_method, method_names
+from repro.data.registry import DATASET_NAMES, DEFAULT_ROWS, load_dataset
+from repro.errors.profiles import apply_profile, resolve_profile
+from repro.evaluation.report import markdown_table
+from repro.evaluation.runner import ExperimentResult, run_trials
+from repro.evaluation.store import ResultStore
+from repro.utils.timing import Timer
+
+#: Fingerprint format version; bump when the spec schema changes meaning.
+_FINGERPRINT_VERSION = "repro.scenario/v1"
+
+#: JSON report schema identifier.
+SWEEP_SCHEMA = "repro.sweep/v1"
+
+_EXECUTORS = ("process", "thread", "serial")
+
+
+class MatrixSpecError(ValueError):
+    """A sweep spec is malformed (unknown axis value, bad type, ...)."""
+
+
+def _canonical(payload: object) -> str:
+    """Canonical JSON: sorted keys at every depth, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _derive_seed(*parts: object) -> int:
+    """A stable 63-bit seed from a labelled tuple of spec components."""
+    digest = hashlib.sha256(_canonical(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (2**63)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One grid point: pure data, picklable, content-fingerprinted."""
+
+    dataset: str
+    error_profile: str
+    label_budget: float
+    method: str
+    rows: int | None = None
+    error_params: Mapping[str, object] = field(default_factory=dict)
+    method_params: Mapping[str, object] = field(default_factory=dict)
+    trials: int = 3
+    sampling_fraction: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Resolve the registry's default size *now*: the fingerprint (and
+        # dataset seed) must pin the relation actually generated, not a
+        # None that would silently track future DEFAULT_ROWS edits.
+        if self.rows is None:
+            object.__setattr__(self, "rows", DEFAULT_ROWS.get(self.dataset))
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-able canonical form (the fingerprint input)."""
+        return {
+            "dataset": self.dataset,
+            "rows": self.rows,
+            "error_profile": self.error_profile,
+            "error_params": dict(self.error_params),
+            "label_budget": self.label_budget,
+            "method": self.method,
+            "method_params": dict(self.method_params),
+            "trials": self.trials,
+            "sampling_fraction": self.sampling_fraction,
+            "seed": self.seed,
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical spec.  Stable across dict ordering,
+        processes, and sessions — the :class:`ResultStore` key."""
+        payload = f"{_FINGERPRINT_VERSION}:{_canonical(self.to_dict())}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- scoped seeds ----------------------------------------------------
+    # The scoping rule (see module docstring): widen the derivation tuple
+    # only with the axes that should change the artefact.
+
+    @property
+    def dataset_seed(self) -> int:
+        """Seeds bundle generation: same across profiles/budgets/methods."""
+        return _derive_seed("dataset", self.seed, self.dataset, self.rows)
+
+    @property
+    def errors_seed(self) -> int:
+        """Seeds error injection: same across budgets/methods."""
+        return _derive_seed(
+            "errors", self.seed, self.dataset, self.rows,
+            self.error_profile, dict(self.error_params),
+        )
+
+    @property
+    def trials_seed(self) -> int:
+        """Seeds the trial splits: same across methods (comparable columns)."""
+        return _derive_seed(
+            "trials", self.seed, self.dataset, self.rows,
+            self.error_profile, dict(self.error_params),
+            self.label_budget, self.sampling_fraction, self.trials,
+        )
+
+
+def _axis_entry(raw: object, axis: str) -> tuple[str, dict[str, object]]:
+    """Normalise a spec-file axis entry (string or table) to (name, params)."""
+    if isinstance(raw, str):
+        return raw, {}
+    if isinstance(raw, Mapping):
+        entry = dict(raw)
+        name = entry.pop("name", None)
+        if not isinstance(name, str):
+            raise MatrixSpecError(f"{axis} entry {raw!r} needs a string 'name'")
+        return name, entry
+    raise MatrixSpecError(f"{axis} entry {raw!r} must be a string or a table with 'name'")
+
+
+@dataclass
+class ScenarioMatrix:
+    """The declared grid: axes + shared knobs, expandable to specs.
+
+    Axis entries are ``(name, params)`` pairs; dataset params may carry
+    ``rows``, profile params override :mod:`repro.errors.profiles` presets,
+    method params feed :func:`repro.baselines.adapters.build_method`.
+    """
+
+    datasets: list[tuple[str, dict[str, object]]]
+    error_profiles: list[tuple[str, dict[str, object]]]
+    label_budgets: list[float]
+    methods: list[tuple[str, dict[str, object]]]
+    trials: int = 3
+    sampling_fraction: float = 0.2
+    seed: int = 0
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ScenarioMatrix":
+        """Validate and build a matrix from a parsed spec mapping.
+
+        The mapping may be the spec's top level or nested under a
+        ``"matrix"`` key (the TOML layout).  Every axis value is validated
+        eagerly — unknown datasets, methods, profiles, or parameters fail
+        here, before any scenario runs.
+        """
+        if "matrix" in payload and isinstance(payload["matrix"], Mapping):
+            strays = set(payload) - {"matrix"}
+            if strays:
+                raise MatrixSpecError(
+                    f"keys {sorted(strays)} sit outside the [matrix] table and "
+                    "would be silently ignored; move them under [matrix]"
+                )
+            payload = payload["matrix"]  # type: ignore[assignment]
+        known = {
+            "datasets", "error_profiles", "label_budgets", "methods",
+            "trials", "sampling_fraction", "seed",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise MatrixSpecError(f"unknown spec keys {sorted(unknown)}; valid: {sorted(known)}")
+
+        def non_empty_list(key: str, value: object) -> Sequence:
+            # str is a Sequence: without the explicit exclusion a bare
+            # "hospital" would be iterated per character.
+            if isinstance(value, (str, bytes)) or not isinstance(value, Sequence) or not value:
+                raise MatrixSpecError(f"spec needs a non-empty {key!r} list")
+            return value
+
+        for key in ("datasets", "label_budgets", "methods"):
+            non_empty_list(key, payload.get(key))
+
+        datasets = []
+        for raw in payload["datasets"]:  # type: ignore[union-attr]
+            name, params = _axis_entry(raw, "datasets")
+            if name not in DATASET_NAMES:
+                raise MatrixSpecError(
+                    f"unknown dataset {name!r}; choose from {DATASET_NAMES}"
+                )
+            extra = set(params) - {"rows"}
+            if extra:
+                raise MatrixSpecError(f"dataset {name!r}: unknown keys {sorted(extra)}")
+            rows = params.get("rows")
+            if rows is not None and (not isinstance(rows, int) or rows <= 0):
+                raise MatrixSpecError(f"dataset {name!r}: rows must be a positive integer")
+            datasets.append((name, params))
+
+        profiles_raw = non_empty_list("error_profiles", payload.get("error_profiles", ["native"]))
+        profiles = []
+        for raw in profiles_raw:  # type: ignore[union-attr]
+            name, params = _axis_entry(raw, "error_profiles")
+            try:
+                resolve_profile(name, **params)
+            except ValueError as exc:
+                raise MatrixSpecError(str(exc)) from exc
+            profiles.append((name, params))
+
+        budgets = []
+        for budget in payload["label_budgets"]:  # type: ignore[union-attr]
+            if not isinstance(budget, (int, float)) or not 0.0 < float(budget) < 1.0:
+                raise MatrixSpecError(f"label budget {budget!r} must be in (0, 1)")
+            budgets.append(float(budget))
+
+        methods = []
+        for raw in payload["methods"]:  # type: ignore[union-attr]
+            name, params = _axis_entry(raw, "methods")
+            if name not in method_names():
+                raise MatrixSpecError(
+                    f"unknown method {name!r}; choose from {method_names()}"
+                )
+            try:
+                build_method(name, params)
+            except ValueError as exc:
+                raise MatrixSpecError(str(exc)) from exc
+            methods.append((name, params))
+
+        trials = payload.get("trials", 3)
+        if not isinstance(trials, int) or trials < 1:
+            raise MatrixSpecError("trials must be a positive integer")
+        sampling = payload.get("sampling_fraction", 0.2)
+        if not isinstance(sampling, (int, float)) or not 0.0 <= float(sampling) < 1.0:
+            raise MatrixSpecError("sampling_fraction must be in [0, 1)")
+        seed = payload.get("seed", 0)
+        if not isinstance(seed, int):
+            raise MatrixSpecError("seed must be an integer")
+
+        return cls(
+            datasets=datasets,
+            error_profiles=profiles,
+            label_budgets=budgets,
+            methods=methods,
+            trials=trials,
+            sampling_fraction=float(sampling),
+            seed=seed,
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ScenarioMatrix":
+        """Load a spec file; format chosen by suffix (.toml or .json)."""
+        path = Path(path)
+        if not path.exists():
+            raise MatrixSpecError(f"spec file not found: {path}")
+        suffix = path.suffix.lower()
+        if suffix == ".toml":
+            import tomllib
+
+            try:
+                payload = tomllib.loads(path.read_text(encoding="utf-8"))
+            except tomllib.TOMLDecodeError as exc:
+                raise MatrixSpecError(f"{path}: invalid TOML: {exc}") from exc
+        elif suffix == ".json":
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError as exc:
+                raise MatrixSpecError(f"{path}: invalid JSON: {exc}") from exc
+        else:
+            raise MatrixSpecError(f"{path}: unsupported spec format {suffix!r} (use .toml or .json)")
+        if not isinstance(payload, Mapping):
+            raise MatrixSpecError(f"{path}: spec must be a mapping at top level")
+        try:
+            return cls.from_dict(payload)
+        except MatrixSpecError as exc:
+            raise MatrixSpecError(f"{path}: {exc}") from exc
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-able form (embedded in sweep reports)."""
+        def axis(entries):
+            return [{"name": n, **p} if p else n for n, p in entries]
+
+        return {
+            "datasets": axis(self.datasets),
+            "error_profiles": axis(self.error_profiles),
+            "label_budgets": list(self.label_budgets),
+            "methods": axis(self.methods),
+            "trials": self.trials,
+            "sampling_fraction": self.sampling_fraction,
+            "seed": self.seed,
+        }
+
+    def expand(self) -> list[ScenarioSpec]:
+        """The cartesian product in declared order, deduped by fingerprint."""
+        specs: list[ScenarioSpec] = []
+        seen: set[str] = set()
+        for dataset, dataset_params in self.datasets:
+            for profile, profile_params in self.error_profiles:
+                for budget in self.label_budgets:
+                    for method, method_params in self.methods:
+                        spec = ScenarioSpec(
+                            dataset=dataset,
+                            rows=dataset_params.get("rows"),  # type: ignore[arg-type]
+                            error_profile=profile,
+                            error_params=dict(profile_params),
+                            label_budget=budget,
+                            method=method,
+                            method_params=dict(method_params),
+                            trials=self.trials,
+                            sampling_fraction=self.sampling_fraction,
+                            seed=self.seed,
+                        )
+                        fingerprint = spec.fingerprint()
+                        if fingerprint not in seen:
+                            seen.add(fingerprint)
+                            specs.append(spec)
+        return specs
+
+
+def scenario_record(spec: ScenarioSpec, result: ExperimentResult, elapsed: float) -> dict:
+    """Serialise one executed scenario to the store/report record shape.
+
+    Accuracy fields (``metrics``, ``trials``, ``mean_f1``, ``std_f1``) are
+    pure functions of the spec; only ``runtimes``/``median_runtime``/
+    ``elapsed`` carry wall-clock noise, so equality checks across executors
+    should compare the accuracy fields.
+    """
+    median = result.median
+    return {
+        "fingerprint": spec.fingerprint(),
+        "spec": spec.to_dict(),
+        "metrics": {
+            "precision": median.precision,
+            "recall": median.recall,
+            "f1": median.f1,
+        },
+        "mean_f1": result.mean_f1,
+        "std_f1": result.std_f1,
+        "trials": [
+            {"precision": m.precision, "recall": m.recall, "f1": m.f1}
+            for m in result.trials
+        ],
+        "runtimes": list(result.runtimes),
+        "median_runtime": result.median_runtime,
+        "elapsed": elapsed,
+    }
+
+
+def run_scenario(spec: ScenarioSpec) -> dict:
+    """Execute one scenario end-to-end; deterministic given the spec."""
+    bundle = load_dataset(spec.dataset, num_rows=spec.rows, seed=spec.dataset_seed)
+    profile = resolve_profile(spec.error_profile, **dict(spec.error_params))
+    bundle = apply_profile(bundle, profile, rng=spec.errors_seed)
+    method = build_method(spec.method, spec.method_params)
+    with Timer() as timer:
+        result = run_trials(
+            method,
+            bundle,
+            spec.label_budget,
+            num_trials=spec.trials,
+            sampling_fraction=spec.sampling_fraction,
+            seed=spec.trials_seed,
+        )
+    return scenario_record(spec, result, timer.elapsed)
+
+
+#: Absolute ceiling on pool size — beyond this, worker startup cost
+#: dominates any timesharing benefit.
+MAX_WORKERS = 64
+
+
+def clamp_workers(requested: int, pending: int) -> int:
+    """Clamp a worker request to ``[1, min(pending, MAX_WORKERS)]``.
+
+    Zero/negative requests mean one worker, and there is never a reason
+    for more workers than pending scenarios.  Oversubscribing CPUs is
+    deliberately allowed: workers beyond the core count just timeshare,
+    and capping at ``os.cpu_count()`` would silently serialise sweeps on
+    small CI runners.
+    """
+    return max(1, min(int(requested), max(int(pending), 1), MAX_WORKERS))
+
+
+@dataclass
+class SweepReport:
+    """The outcome of one :func:`run_matrix` call."""
+
+    matrix: ScenarioMatrix
+    records: list[dict]
+    executed: int
+    cached: int
+    workers: int
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    def table(self) -> str:
+        """Markdown summary table, one scenario per row, expansion order."""
+        rows = []
+        for record in self.records:
+            spec = record["spec"]
+            metrics = record["metrics"]
+            rows.append([
+                spec["dataset"],
+                spec["error_profile"],
+                f"{spec['label_budget']:g}",
+                spec["method"],
+                f"{metrics['precision']:.3f}",
+                f"{metrics['recall']:.3f}",
+                f"{metrics['f1']:.3f}",
+                f"{record['mean_f1']:.3f}±{record['std_f1']:.3f}",
+                f"{record['median_runtime']:.2f}",
+                "cached" if record.get("cached") else "run",
+            ])
+        return markdown_table(
+            ["dataset", "profile", "budget", "method", "P", "R", "F1",
+             "F1 mean±std", "runtime (s)", "source"],
+            rows,
+        )
+
+    def to_json(self) -> dict:
+        """The ``repro.sweep/v1`` report payload."""
+        return {
+            "schema": SWEEP_SCHEMA,
+            "matrix": self.matrix.to_dict(),
+            "total": self.total,
+            "executed": self.executed,
+            "cached": self.cached,
+            "workers": self.workers,
+            "scenarios": self.records,
+        }
+
+
+def _make_pool(executor: str, workers: int) -> Executor:
+    if executor == "process":
+        return ProcessPoolExecutor(max_workers=workers)
+    return ThreadPoolExecutor(max_workers=workers)
+
+
+def run_matrix(
+    matrix: ScenarioMatrix,
+    store: ResultStore | None = None,
+    workers: int = 1,
+    resume: bool = False,
+    executor: str = "process",
+    on_result: Callable[[dict], None] | None = None,
+    scenario_runner: Callable[[ScenarioSpec], dict] = run_scenario,
+) -> SweepReport:
+    """Run every scenario in ``matrix``, fanning out over a worker pool.
+
+    With ``resume=True`` and a ``store``, scenarios whose fingerprint is
+    already on disk are served from the store (``record["cached"]`` is
+    True) and only the missing ones execute; every freshly executed record
+    is appended to the store as soon as it finishes, so a killed sweep
+    restarts where it left off.  Results are returned in expansion order
+    regardless of completion order, and each scenario is self-seeded, so
+    metrics are identical for any ``workers``/``executor`` choice.
+
+    ``executor`` is ``"process"`` (default; scenarios are CPU-bound),
+    ``"thread"``, or ``"serial"`` (in-process loop, also used when only one
+    worker is effective).  ``on_result`` is called in completion order from
+    the coordinating process.
+    """
+    if executor not in _EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; choose from {_EXECUTORS}")
+    specs = matrix.expand()
+    fingerprints = [spec.fingerprint() for spec in specs]
+    records: dict[str, dict] = {}
+    pending: list[ScenarioSpec] = []
+    for spec, fingerprint in zip(specs, fingerprints):
+        stored = store.get(fingerprint) if (resume and store is not None) else None
+        if stored is not None:
+            record = dict(stored)
+            record["cached"] = True
+            records[fingerprint] = record
+            if on_result is not None:
+                on_result(record)
+        else:
+            pending.append(spec)
+
+    def finish(record: dict) -> None:
+        record["cached"] = False
+        if store is not None:
+            store.put(record)
+        records[record["fingerprint"]] = record
+        if on_result is not None:
+            on_result(record)
+
+    def scenario_error(spec: ScenarioSpec, exc: Exception) -> RuntimeError:
+        return RuntimeError(
+            f"scenario {spec.dataset}/{spec.error_profile}/{spec.label_budget:g}"
+            f"/{spec.method} (fingerprint {spec.fingerprint()[:12]}) failed: {exc}"
+        )
+
+    effective = clamp_workers(workers, len(pending))
+    if pending:
+        if effective == 1 or executor == "serial":
+            effective = 1
+            for spec in pending:
+                try:
+                    record = scenario_runner(spec)
+                except Exception as exc:
+                    raise scenario_error(spec, exc) from exc
+                finish(record)
+        else:
+            with _make_pool(executor, effective) as pool:
+                futures = {pool.submit(scenario_runner, spec): spec for spec in pending}
+                not_done = set(futures)
+                try:
+                    while not_done:
+                        done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                        # The done set is unordered: flush every completed
+                        # sibling first so a failure never discards finished
+                        # work (the resume contract), then raise.
+                        failed = None
+                        for future in done:
+                            if future.exception() is not None:
+                                failed = failed or future
+                            else:
+                                finish(future.result())
+                        if failed is not None:
+                            # Drop queued-but-unstarted scenarios, but let
+                            # in-flight ones run to completion and flush
+                            # their records — a --resume rerun then repeats
+                            # only the failed scenario, not finished work.
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            for future in not_done:
+                                # wait() must not be used here: futures
+                                # cancelled by the shutdown queue-drain never
+                                # reach CANCELLED_AND_NOTIFIED, so wait()
+                                # would block forever.  exception() blocks
+                                # only on genuinely in-flight work.
+                                if not future.cancelled() and future.exception() is None:
+                                    finish(future.result())
+                            exc = failed.exception()
+                            raise scenario_error(futures[failed], exc) from exc
+                except BaseException:
+                    # Interrupts and store failures: don't burn CPU
+                    # finishing a doomed sweep.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+    return SweepReport(
+        matrix=matrix,
+        records=[records[fingerprint] for fingerprint in fingerprints],
+        executed=len(pending),
+        cached=len(specs) - len(pending),
+        workers=effective,
+    )

@@ -32,11 +32,19 @@ class ExperimentResult:
 
     @property
     def median(self) -> Metrics:
-        """The trial with median F1 (couples P, R, and F1, as in §6.1)."""
+        """The trial with median F1 (couples P, R, and F1, as in §6.1).
+
+        Trials are ranked by ``(f1, precision, recall)`` so ties break
+        deterministically.  For an **even** trial count the *lower* middle
+        trial (index ``(n - 1) // 2``) is reported: the result is always an
+        actually observed run — never an interpolated value — and the
+        choice is pessimistic rather than optimistic.  One trial reports
+        itself; two trials report the weaker one.
+        """
         if not self.trials:
             raise ValueError("no trials recorded")
-        ranked = sorted(self.trials, key=lambda m: m.f1)
-        return ranked[len(ranked) // 2]
+        ranked = sorted(self.trials, key=lambda m: (m.f1, m.precision, m.recall))
+        return ranked[(len(ranked) - 1) // 2]
 
     @property
     def mean_f1(self) -> float:

@@ -1,0 +1,76 @@
+"""Resumable on-disk result store for sweep runs.
+
+One JSONL file, one scenario record per line, keyed by the scenario's
+content fingerprint.  Appending is the only write operation, and every
+append is flushed, so a sweep killed mid-run loses at most the in-flight
+scenarios (up to the worker count — records are flushed by the
+coordinating process as workers hand results back); on restart,
+:meth:`ResultStore.get` serves every completed scenario from disk and only
+the missing fingerprints re-execute.
+
+Robustness rules:
+
+- a truncated or otherwise unparseable line (the tail of a killed run) is
+  skipped on load rather than poisoning the whole store;
+- duplicate fingerprints are legal — the *latest* record wins, so a store
+  can simply be appended to across resumed runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Mapping
+
+
+class ResultStore:
+    """Append-only JSONL store of scenario records, keyed by fingerprint."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._records: dict[str, dict] = {}
+        self.skipped_lines = 0
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        with self.path.open("r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    fingerprint = record["fingerprint"]
+                except (json.JSONDecodeError, TypeError, KeyError):
+                    self.skipped_lines += 1
+                    continue
+                self._records[fingerprint] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._records
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._records.values())
+
+    @property
+    def fingerprints(self) -> set[str]:
+        return set(self._records)
+
+    def get(self, fingerprint: str) -> dict | None:
+        """The stored record for ``fingerprint``, or None."""
+        return self._records.get(fingerprint)
+
+    def put(self, record: Mapping[str, object]) -> None:
+        """Append ``record`` (must carry a ``"fingerprint"`` key) and flush."""
+        fingerprint = record.get("fingerprint")
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise ValueError("record needs a non-empty string 'fingerprint'")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as f:
+            f.write(json.dumps(record, sort_keys=True) + "\n")
+            f.flush()
+        self._records[fingerprint] = dict(record)

@@ -40,6 +40,21 @@ def zip_clean() -> Dataset:
     )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden fixtures with freshly computed metrics",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should rewrite golden fixtures instead of asserting."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def zip_truth(zip_clean) -> GroundTruth:
     return GroundTruth.from_clean_dataset(zip_clean)

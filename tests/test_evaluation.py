@@ -112,3 +112,47 @@ class TestRunner:
 
         with pytest.raises(ValueError):
             _ = ExperimentResult().median
+
+
+class TestMedianTieBreak:
+    """The documented median rule: rank by (f1, precision, recall), take the
+    lower middle for even counts — always an observed trial, never an
+    interpolation, and pessimistic rather than optimistic."""
+
+    @staticmethod
+    def _result(*metrics):
+        from repro.evaluation.runner import ExperimentResult
+
+        result = ExperimentResult()
+        result.trials.extend(metrics)
+        return result
+
+    def test_zero_trials_raises(self):
+        with pytest.raises(ValueError, match="no trials"):
+            _ = self._result().median
+
+    def test_single_trial_is_its_own_median(self):
+        only = Metrics(precision=0.4, recall=0.6, f1=0.48)
+        assert self._result(only).median == only
+
+    def test_two_trials_report_the_weaker_one(self):
+        weak = Metrics(precision=0.2, recall=0.2, f1=0.2)
+        strong = Metrics(precision=0.9, recall=0.9, f1=0.9)
+        assert self._result(strong, weak).median == weak
+        assert self._result(weak, strong).median == weak
+
+    def test_even_count_takes_lower_middle(self):
+        trials = [Metrics(precision=f, recall=f, f1=f) for f in (0.1, 0.4, 0.6, 0.9)]
+        assert self._result(*reversed(trials)).median == trials[1]
+
+    def test_equal_f1_breaks_ties_on_precision_then_recall(self):
+        low_p = Metrics(precision=0.3, recall=0.7, f1=0.5)
+        high_p = Metrics(precision=0.8, recall=0.4, f1=0.5)
+        # Ranked by (f1, precision, recall): low_p sorts first and the
+        # lower middle of two is reported.
+        assert self._result(high_p, low_p).median == low_p
+        assert self._result(low_p, high_p).median == low_p
+
+    def test_odd_count_unchanged_by_tie_break(self):
+        trials = [Metrics(precision=f, recall=f, f1=f) for f in (0.2, 0.5, 0.8)]
+        assert self._result(*trials).median == trials[1]

@@ -1,0 +1,128 @@
+"""Golden-metrics regression suite.
+
+Each golden scenario pins the median P/R/F1 of one (dataset, method) pair
+on a small, fully seeded sweep scenario.  The fixtures live in
+``tests/golden/golden_metrics.json``; a future PR that silently degrades
+reproduction quality (a featurizer regression, an RNG plumbing change, a
+split-protocol drift) fails here instead of shipping.
+
+Tolerances are per-method: rule-based detectors (CV, OD) are exact set
+computations and get a near-zero tolerance; learned methods (LR, the
+HoloDetect model) get a small allowance for cross-BLAS floating-point
+differences — still far tighter than any real regression.
+
+To regenerate after an *intentional* metrics change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_metrics.py --update-golden
+
+and commit the diff (the diff itself documents the metric shift for review).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.matrix import ScenarioSpec, run_scenario
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_metrics.json"
+GOLDEN_SCHEMA = "repro.golden/v1"
+
+#: Shared knobs: small but non-trivial, seeded, quick enough for tier-1.
+_COMMON = dict(rows=120, label_budget=0.1, trials=3, sampling_fraction=0.2, seed=7)
+
+#: Near-zero for exact rule-based methods; small for learned methods.
+EXACT = 1e-9
+LEARNED = 0.02
+MODEL = 0.05
+
+GOLDEN_SCENARIOS: list[tuple[str, ScenarioSpec, float]] = [
+    ("hospital/cv", ScenarioSpec(dataset="hospital", error_profile="native", method="cv", **_COMMON), EXACT),
+    ("hospital/od", ScenarioSpec(dataset="hospital", error_profile="native", method="od", **_COMMON), EXACT),
+    ("hospital/lr", ScenarioSpec(dataset="hospital", error_profile="native", method="lr", **_COMMON), LEARNED),
+    ("food/cv", ScenarioSpec(dataset="food", error_profile="native", method="cv", **_COMMON), EXACT),
+    ("food/od", ScenarioSpec(dataset="food", error_profile="native", method="od", **_COMMON), EXACT),
+    ("food/lr", ScenarioSpec(dataset="food", error_profile="native", method="lr", **_COMMON), LEARNED),
+    (
+        "hospital/holodetect",
+        ScenarioSpec(
+            dataset="hospital",
+            error_profile="native",
+            method="holodetect",
+            method_params={"epochs": 3, "embedding_dim": 8, "min_training_steps": 100},
+            **{**_COMMON, "trials": 1},
+        ),
+        MODEL,
+    ),
+]
+
+
+def _load_golden() -> dict:
+    if not GOLDEN_PATH.exists():
+        return {"schema": GOLDEN_SCHEMA, "scenarios": {}}
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def _save_golden(payload: dict) -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+@pytest.mark.parametrize(
+    "key,spec,atol", GOLDEN_SCENARIOS, ids=[k for k, _, _ in GOLDEN_SCENARIOS]
+)
+def test_golden_metrics(key: str, spec: ScenarioSpec, atol: float, update_golden: bool):
+    record = run_scenario(spec)
+    metrics = record["metrics"]
+
+    if update_golden:
+        payload = _load_golden()
+        payload["schema"] = GOLDEN_SCHEMA
+        payload.setdefault("scenarios", {})[key] = {
+            "fingerprint": spec.fingerprint(),
+            "spec": spec.to_dict(),
+            "atol": atol,
+            "metrics": metrics,
+        }
+        _save_golden(payload)
+        return
+
+    golden = _load_golden()["scenarios"].get(key)
+    assert golden is not None, (
+        f"no golden fixture for {key!r}; run with --update-golden to record one"
+    )
+    assert golden["fingerprint"] == spec.fingerprint(), (
+        f"golden fixture for {key!r} was recorded for a different scenario spec; "
+        "rerun with --update-golden and review the metric diff"
+    )
+    for name in ("precision", "recall", "f1"):
+        got, want = metrics[name], golden["metrics"][name]
+        assert got == pytest.approx(want, abs=golden["atol"]), (
+            f"{key}: {name} drifted from golden {want:.6f} to {got:.6f} "
+            f"(tolerance {golden['atol']}) — reproduction quality regressed, "
+            "or rerun with --update-golden if the change is intentional"
+        )
+
+
+def test_golden_file_matches_scenario_list(update_golden: bool):
+    """The fixture file covers exactly the declared scenarios (no orphans).
+
+    In ``--update-golden`` mode this prunes fixtures whose scenario was
+    removed from :data:`GOLDEN_SCENARIOS` (it runs after the parametrized
+    tests have upserted their entries), so one update run always converges
+    the file.
+    """
+    golden = _load_golden()
+    expected = {k for k, _, _ in GOLDEN_SCENARIOS}
+    if update_golden:
+        stale = set(golden.get("scenarios", {})) - expected
+        for key in stale:
+            del golden["scenarios"][key]
+        if stale:
+            _save_golden(golden)
+    assert golden.get("schema") == GOLDEN_SCHEMA
+    assert set(golden.get("scenarios", {})) == expected

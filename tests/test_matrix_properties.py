@@ -1,0 +1,199 @@
+"""Property-based tests for matrix expansion and the result store.
+
+Hypothesis hunts for the failure modes a hand-picked example suite misses:
+fingerprints that depend on dict insertion order, expansions that collide
+or change across calls, stores that lose or duplicate records under
+truncation, and resumed sweeps that diverge from fresh ones.
+"""
+
+from __future__ import annotations
+
+import json
+import string
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.data.registry import DATASET_NAMES
+from repro.errors.profiles import profile_names
+from repro.evaluation.matrix import ScenarioMatrix, ScenarioSpec, run_matrix
+from repro.evaluation.store import ResultStore
+
+# Parameter dictionaries: finite floats only (NaN breaks any equality check
+# by definition) and lowercase keys so TOML/JSON round-trips are trivial.
+_keys = st.text(alphabet=string.ascii_lowercase + "_", min_size=1, max_size=8)
+_values = st.one_of(
+    st.integers(-1000, 1000),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(alphabet=string.ascii_letters, max_size=8),
+    st.booleans(),
+)
+_param_dicts = st.dictionaries(_keys, _values, max_size=5)
+
+_axes = st.fixed_dictionaries(
+    {
+        "datasets": st.lists(st.sampled_from(DATASET_NAMES), min_size=1, max_size=3, unique=True),
+        "error_profiles": st.lists(
+            st.sampled_from(profile_names()), min_size=1, max_size=3, unique=True
+        ),
+        "label_budgets": st.lists(
+            st.sampled_from([0.05, 0.1, 0.2, 0.3]), min_size=1, max_size=3, unique=True
+        ),
+        "methods": st.lists(
+            st.sampled_from(["cv", "od", "fbi", "lr"]), min_size=1, max_size=3, unique=True
+        ),
+        "trials": st.integers(1, 5),
+        "seed": st.integers(0, 2**31),
+    }
+)
+
+
+def _fake_runner(spec: ScenarioSpec) -> dict:
+    """Cheap deterministic stand-in for run_scenario (pure function of spec)."""
+    f1 = (spec.trials_seed % 1000) / 1000.0
+    return {
+        "fingerprint": spec.fingerprint(),
+        "spec": spec.to_dict(),
+        "metrics": {"precision": f1, "recall": f1, "f1": f1},
+        "mean_f1": f1,
+        "std_f1": 0.0,
+        "trials": [],
+        "runtimes": [],
+        "median_runtime": 0.0,
+        "elapsed": 0.0,
+    }
+
+
+@given(params=_param_dicts, error_params=_param_dicts, seed=st.integers(0, 2**31))
+def test_fingerprint_independent_of_dict_ordering(params, error_params, seed):
+    forward = ScenarioSpec(
+        dataset="hospital",
+        error_profile="custom",
+        label_budget=0.1,
+        method="holodetect",
+        method_params=dict(params),
+        error_params=dict(error_params),
+        seed=seed,
+    )
+    reversed_spec = ScenarioSpec(
+        dataset="hospital",
+        error_profile="custom",
+        label_budget=0.1,
+        method="holodetect",
+        method_params=dict(reversed(list(params.items()))),
+        error_params=dict(reversed(list(error_params.items()))),
+        seed=seed,
+    )
+    assert forward.fingerprint() == reversed_spec.fingerprint()
+    assert forward.trials_seed == reversed_spec.trials_seed
+
+
+@given(params=_param_dicts)
+def test_fingerprint_survives_json_roundtrip(params):
+    spec = ScenarioSpec(
+        dataset="food",
+        error_profile="typos",
+        label_budget=0.2,
+        method="od",
+        method_params=dict(params),
+    )
+    revived = ScenarioSpec(**json.loads(json.dumps(spec.to_dict())))
+    assert revived.fingerprint() == spec.fingerprint()
+
+
+@given(axes=_axes)
+def test_expansion_is_a_complete_unique_product(axes):
+    matrix = ScenarioMatrix.from_dict(axes)
+    specs = matrix.expand()
+    expected = (
+        len(axes["datasets"])
+        * len(axes["error_profiles"])
+        * len(axes["label_budgets"])
+        * len(axes["methods"])
+    )
+    assert len(specs) == expected
+    fingerprints = [s.fingerprint() for s in specs]
+    assert len(set(fingerprints)) == len(fingerprints)
+    # Expansion is deterministic: same matrix, same specs, same order.
+    assert [s.fingerprint() for s in matrix.expand()] == fingerprints
+    assert all(s.trials == axes["trials"] and s.seed == axes["seed"] for s in specs)
+
+
+@given(axes=_axes, keep=st.data())
+@settings(max_examples=25, deadline=None)
+def test_resume_equals_fresh_run_and_never_duplicates(axes, keep):
+    matrix = ScenarioMatrix.from_dict(axes)
+    total = len(matrix.expand())
+    executed: list[str] = []
+
+    def counting_runner(spec):
+        executed.append(spec.fingerprint())
+        return _fake_runner(spec)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "store.jsonl"
+        fresh = run_matrix(
+            matrix, store=ResultStore(store_path), resume=True, scenario_runner=counting_runner
+        )
+        assert len(executed) == len(set(executed)) == total
+
+        # Kill simulation: keep an arbitrary subset of completed lines.
+        lines = store_path.read_text().splitlines()
+        kept = [
+            line for line in lines if keep.draw(st.booleans(), label="keep line")
+        ]
+        store_path.write_text("".join(line + "\n" for line in kept))
+
+        executed.clear()
+        resumed = run_matrix(
+            matrix, store=ResultStore(store_path), resume=True, scenario_runner=counting_runner
+        )
+        # Only the dropped scenarios re-ran, none twice.
+        assert len(executed) == len(set(executed)) == total - len(kept)
+        assert resumed.cached == len(kept)
+        # Resume-equals-fresh: identical records modulo the cached flag.
+        for a, b in zip(fresh.records, resumed.records):
+            a, b = dict(a), dict(b)
+            a.pop("cached"), b.pop("cached")
+            assert a == b
+
+
+_records = st.lists(
+    st.tuples(st.text(alphabet="abcdef0123456789", min_size=4, max_size=8), st.integers()),
+    max_size=20,
+)
+
+
+@given(entries=_records)
+def test_store_latest_record_wins(entries):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "store.jsonl"
+        store = ResultStore(path)
+        expected: dict[str, int] = {}
+        for fingerprint, value in entries:
+            store.put({"fingerprint": fingerprint, "value": value})
+            expected[fingerprint] = value
+        reloaded = ResultStore(path)
+        assert reloaded.fingerprints == set(expected)
+        for fingerprint, value in expected.items():
+            assert store.get(fingerprint)["value"] == value
+            assert reloaded.get(fingerprint)["value"] == value
+
+
+@given(entries=_records, garbage=st.text(max_size=30))
+def test_store_tolerates_corrupt_tail(entries, garbage):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "store.jsonl"
+        store = ResultStore(path)
+        for fingerprint, value in entries:
+            store.put({"fingerprint": fingerprint, "value": value})
+        # Simulate a kill mid-append: a trailing partial line.  Quotes,
+        # braces, and newlines are stripped from the fuzz so the string
+        # literal can never be accidentally terminated into valid JSON.
+        tail = garbage.replace("\n", " ").replace('"', "").replace("}", "")
+        with path.open("a", encoding="utf-8") as f:
+            f.write('{"fingerprint": "trunc' + tail)
+        reloaded = ResultStore(path)
+        assert reloaded.fingerprints == store.fingerprints
+        assert reloaded.skipped_lines >= 1
