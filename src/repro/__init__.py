@@ -11,12 +11,22 @@ Quickstart::
     detector.fit(bundle.dirty, split.training, bundle.constraints)
     errors = detector.predict_error_cells(split.test_cells)
 
+The detector is a *composition*, and the composition is describable as
+data: a :class:`~repro.spec.DetectorSpec` (TOML/JSON, ``repro.spec/v1``)
+names every component — featurizers, augmentation policy, calibrator —
+through the unified component registry (:mod:`repro.registry`), and
+:func:`repro.build` constructs the detector from it::
+
+    detector = repro.build("examples/detector_default.toml")
+    detector.fit(bundle.dirty, split.training, bundle.constraints)
+
 Package map: ``repro.core`` (the detector), ``repro.features`` (the
 representation model Q), ``repro.augmentation`` (the learned noisy channel),
 ``repro.baselines`` (all comparison methods), ``repro.data`` (benchmark
 generators), ``repro.constraints`` / ``repro.nn`` / ``repro.embeddings`` /
 ``repro.text`` / ``repro.dataset`` (substrates), ``repro.evaluation``
-(metrics and the experiment runner).
+(metrics and the experiment runner), ``repro.registry`` / ``repro.spec``
+(the declarative public API).
 """
 
 from repro.core import DetectionSession, DetectorConfig, ErrorPredictions, HoloDetect
@@ -33,11 +43,21 @@ from repro.evaluation import (
     run_scenario,
     run_trials,
 )
+from repro.registry import REGISTRY, ComponentError, Registry
+from repro.spec import SPEC_SCHEMA, DetectorSpec, SpecError, build, load_spec
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "HoloDetect",
+    "DetectorSpec",
+    "SpecError",
+    "SPEC_SCHEMA",
+    "build",
+    "load_spec",
+    "REGISTRY",
+    "Registry",
+    "ComponentError",
     "DetectionSession",
     "DetectorConfig",
     "ErrorPredictions",

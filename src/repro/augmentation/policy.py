@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.augmentation.learn import empirical_distribution, learn_from_pairs
 from repro.augmentation.transformations import Transformation
+from repro.registry import ComponentError, register
 from repro.utils.rng import as_generator
 
 
@@ -140,3 +141,34 @@ class UniformPolicy(Policy):
             return {}
         p = 1.0 / len(applicable)
         return {t: p for t in applicable}
+
+
+# --------------------------------------------------------------------- #
+# Registry wiring: augmentation policies are "policy" components.  A
+# component builds to one of three shapes the detector understands:
+#
+# - ``None`` — learn the policy from the data (the AUG default);
+# - a :class:`Policy` instance — use it verbatim as the override;
+# - a callable ``(learned: Policy) -> Policy`` — learn first, then wrap
+#   (how the Table 4 "AUG w/o Policy" uniform ablation is expressed).
+# --------------------------------------------------------------------- #
+
+
+@register(
+    "policy", "learned",
+    description="learn (Φ, Π̂) from the labelled errors (the AUG default)",
+)
+def _learned_policy(params) -> None:
+    if params:
+        raise ComponentError(f"takes no parameters, got {sorted(params)}")
+    return None
+
+
+@register(
+    "policy", "uniform",
+    description="learned Φ, uniform over applicable transformations (Table 4)",
+)
+def _uniform_policy(params):
+    if params:
+        raise ComponentError(f"takes no parameters, got {sorted(params)}")
+    return lambda learned: UniformPolicy(learned.transformations)

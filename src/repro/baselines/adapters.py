@@ -11,11 +11,22 @@ such a callable, so sweep specs (and the benchmark harness) can refer to
 methods declaratively.  Stochastic methods draw their model seed from the
 per-trial ``rng`` stream, which keeps a sweep reproducible end-to-end from
 a single seed while still varying the seed across trials.
+
+Every method is a registered ``method`` component in :mod:`repro.registry`;
+:func:`build_method` is a thin resolver over it, which also means sweep
+specs accept user-defined methods as ``"module:attr"`` references (the
+attribute is called with the parameter mapping's entries as keyword
+arguments and must return a ``MethodFn``).
+
+.. deprecated::
+    The module-level ``_BUILDERS`` dict predates the registry; reading it
+    still works but emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import replace
 from typing import Callable, Mapping
 
@@ -29,6 +40,7 @@ from repro.baselines.resampling import ResamplingDetector
 from repro.baselines.semi_supervised import SemiSupervisedDetector
 from repro.baselines.supervised import SupervisedDetector
 from repro.core.detector import DetectorConfig, HoloDetect
+from repro.registry import REGISTRY, ComponentError, deprecated_name_map
 
 #: A method under evaluation (same shape as ``repro.evaluation.runner.MethodFn``).
 MethodFn = Callable[..., set]
@@ -158,33 +170,73 @@ def _unsupervised(detector_cls, needs_constraints: bool):
     return build
 
 
-#: name → builder(params) → MethodFn.  "aug" is the paper's name for the
-#: full HoloDetect model (augmentation on).
-_BUILDERS: dict[str, Callable[[Mapping[str, object]], MethodFn]] = {
-    "holodetect": _holodetect,
-    "aug": _holodetect,
-    "superl": _superl,
-    "semil": _semil,
-    "activel": _activel,
-    "resampling": _resampling,
-    "lr": _lr,
-    "cv": _unsupervised(ConstraintViolationDetector, needs_constraints=True),
-    "hc": _unsupervised(HoloCleanDetector, needs_constraints=True),
-    "od": _unsupervised(OutlierDetector, needs_constraints=False),
-    "fbi": _unsupervised(ForbiddenItemsetDetector, needs_constraints=False),
-}
+#: Registered built-in methods, in registration order.  "aug" is the
+#: paper's name for the full HoloDetect model (augmentation on).
+_METHOD_REGISTRATIONS: tuple[tuple[str, Callable[[Mapping[str, object]], MethodFn], str], ...] = (
+    ("holodetect", _holodetect, "the full AUG model: learned channel + augmentation"),
+    ("aug", _holodetect, "alias of 'holodetect' (the paper's Table 2 name)"),
+    ("superl", _superl, "HoloDetect trained on T only (no augmentation)"),
+    ("semil", _semil, "self-training semi-supervised variant"),
+    ("activel", _activel, "uncertainty-sampling active learning variant"),
+    ("resampling", _resampling, "minority-class oversampling instead of augmentation"),
+    ("lr", _lr, "logistic regression over co-occurrence + violation features"),
+    ("cv", _unsupervised(ConstraintViolationDetector, needs_constraints=True),
+     "flag all cells in denial-constraint violations"),
+    ("hc", _unsupervised(HoloCleanDetector, needs_constraints=True),
+     "HoloClean-style repair engine"),
+    ("od", _unsupervised(OutlierDetector, needs_constraints=False),
+     "correlation-based outlier detection"),
+    ("fbi", _unsupervised(ForbiddenItemsetDetector, needs_constraints=False),
+     "forbidden itemsets via the lift measure"),
+)
+
+for _name, _builder, _doc in _METHOD_REGISTRATIONS:
+    REGISTRY.add("method", _name, _builder, description=_doc)
 
 
 def method_names() -> tuple[str, ...]:
     """Names accepted by :func:`build_method` (spec-file vocabulary)."""
-    return tuple(_BUILDERS)
+    return REGISTRY.names("method")
 
 
 def build_method(name: str, params: Mapping[str, object] | None = None) -> MethodFn:
-    """Resolve a method name + parameter mapping into a ``MethodFn``."""
-    if name not in _BUILDERS:
-        raise ValueError(f"unknown method {name!r}; choose from {method_names()}")
+    """Resolve a method name + parameter mapping into a ``MethodFn``.
+
+    ``name`` is a registered method key or a ``"module:attr"`` reference to
+    a user-defined method factory (called as ``attr(**params)``).
+    """
     try:
-        return _BUILDERS[name](dict(params or {}))
-    except (TypeError, ValueError) as exc:
-        raise ValueError(f"method {name!r}: {exc}") from exc
+        method = REGISTRY.create("method", name, dict(params or {}))
+    except ComponentError as exc:
+        raise ValueError(str(exc)) from exc
+    if not callable(method):
+        raise ValueError(
+            f"method {name!r} built {type(method).__name__}, expected a "
+            "callable MethodFn(bundle, split, rng) -> set[Cell]"
+        )
+    return method
+
+
+def _register_legacy_builder(key: str, builder) -> None:
+    """Write-through for the deprecated ``_BUILDERS`` map: an assigned
+    builder registers like a built-in, so ``build_method`` keeps finding it."""
+    REGISTRY.add(
+        "method", key, builder,
+        description="legacy _BUILDERS registration", replace=True,
+    )
+
+
+def __getattr__(name: str):
+    if name == "_BUILDERS":
+        warnings.warn(
+            "repro.baselines.adapters._BUILDERS is deprecated; resolve methods "
+            "through repro.registry (kind 'method') or build_method()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return deprecated_name_map(
+            "method",
+            lambda key: REGISTRY.entry("method", key).factory,
+            writer=_register_legacy_builder,
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -10,6 +10,8 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.augmentation.naive_bayes import NaiveBayesRepairModel
@@ -18,6 +20,7 @@ from repro.augmentation.transformations import Transformation
 from repro.dataset.table import Dataset
 from repro.dataset.training import TrainingSet
 from repro.errors.typos import random_typo
+from repro.registry import register
 from repro.utils.rng import as_generator
 
 
@@ -71,3 +74,29 @@ def uniform_policy_from(
         pairs = pairs + weak.example_pairs(dataset, max_cells=weak_supervision_max_cells)
     learned = Policy.learn(pairs)
     return UniformPolicy(learned.transformations)
+
+
+# --------------------------------------------------------------------- #
+# Registry wiring (see repro.augmentation.policy for the contract).
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RandomChannelConfig:
+    """Typed config of the random-channel policy (registry key
+    ``random-channel``)."""
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int) or self.seed < 0:
+            raise ValueError(f"seed must be a non-negative integer, got {self.seed!r}")
+
+
+@register(
+    "policy", "random-channel",
+    config=RandomChannelConfig,
+    description="dataset-agnostic random transformations (Table 4 'Rand. Trans.')",
+)
+def _random_channel(cfg: RandomChannelConfig) -> RandomChannelPolicy:
+    return RandomChannelPolicy(seed=cfg.seed)

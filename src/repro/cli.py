@@ -1,23 +1,29 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro detect    --input data.csv --labels labels.csv ...
     python -m repro rescore   --input data.csv --labels labels.csv --edits edits.csv ...
     python -m repro benchmark --dataset hospital --rows 300
     python -m repro sweep     --spec sweep.toml --workers 4 --store results.jsonl --resume
+    python -m repro spec      validate detector.toml   (or: describe)
     python -m repro policy    --input data.csv --labels labels.csv --value "60612"
 
 ``detect`` runs the full detector on a CSV and writes a triage CSV of
-per-cell error probabilities.  ``rescore`` drives the interactive repair
-loop incrementally: it applies a batch of cell edits through a
-:class:`~repro.core.detector.DetectionSession` and re-scores only the
-affected cells instead of re-predicting the whole relation.  ``benchmark``
-evaluates the detector on one of the built-in benchmark bundles.  ``sweep``
-expands a declarative scenario matrix (datasets × error profiles × label
-budgets × methods) and executes it on a worker pool with a resumable
-on-disk result store (see ``docs/architecture.md``).  ``policy`` prints
-the learned noisy channel's conditional distribution for a probe value.
+per-cell error probabilities (``--json`` additionally writes a
+machine-readable ``repro.detect/v1`` report).  ``rescore`` drives the
+interactive repair loop incrementally: it applies a batch of cell edits
+through a :class:`~repro.core.detector.DetectionSession` and re-scores only
+the affected cells instead of re-predicting the whole relation.
+``benchmark`` evaluates the detector on one of the built-in benchmark
+bundles.  ``sweep`` expands a declarative scenario matrix (datasets × error
+profiles × label budgets × methods) and executes it on a worker pool with a
+resumable on-disk result store (see ``docs/architecture.md``).  ``spec``
+validates and pretty-prints declarative detector specs
+(``repro.spec/v1``; see :mod:`repro.spec`) — ``detect`` and ``benchmark``
+accept one via ``--spec`` in place of the individual model flags.
+``policy`` prints the learned noisy channel's conditional distribution for
+a probe value.
 
 File formats:
 
@@ -143,14 +149,75 @@ def _write_triage(
 
 
 def _detector_config(args: argparse.Namespace) -> DetectorConfig:
-    return DetectorConfig(
-        epochs=args.epochs,
-        embedding_dim=args.embedding_dim,
-        seed=args.seed,
-        augment=not args.no_augment,
-        prediction_batch=args.prediction_batch,
-        prediction_workers=args.prediction_workers,
-        feature_cache=not args.no_feature_cache,
+    try:
+        return DetectorConfig(
+            epochs=args.epochs,
+            embedding_dim=args.embedding_dim,
+            seed=args.seed,
+            augment=not args.no_augment,
+            prediction_batch=args.prediction_batch,
+            prediction_workers=args.prediction_workers,
+            feature_cache=not args.no_feature_cache,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid detector configuration: {exc}") from exc
+
+
+def _build_detector(args: argparse.Namespace) -> HoloDetect:
+    """The detector for ``detect``/``rescore``/``benchmark``: ``--spec``
+    (declarative, wins over the individual model flags) or flag-derived."""
+    if getattr(args, "spec", None):
+        from repro.spec import DetectorSpec, SpecError
+
+        try:
+            spec = DetectorSpec.from_file(args.spec)
+        except SpecError as exc:
+            raise SystemExit(f"detector spec error: {exc}") from exc
+        print(f"spec: {args.spec} (fingerprint {spec.fingerprint()[:12]})", file=sys.stderr)
+        return HoloDetect.from_spec(spec)
+    return HoloDetect(_detector_config(args))
+
+
+def _write_detect_json(
+    path: str | Path,
+    args: argparse.Namespace,
+    dataset: Dataset,
+    detector: HoloDetect,
+    predictions: ErrorPredictions,
+    flagged: int,
+) -> None:
+    """The machine-readable ``repro.detect/v1`` companion of the triage CSV."""
+    from repro import __version__
+
+    payload = {
+        "schema": "repro.detect/v1",
+        "version": __version__,
+        "input": str(args.input),
+        "rows": dataset.num_rows,
+        "attributes": list(dataset.attributes),
+        "threshold": args.threshold,
+        "scored_cells": len(predictions.cells),
+        # int(): the triage writer accumulates numpy bools.
+        "flagged_cells": int(flagged),
+        "spec_fingerprint": (
+            detector.spec.fingerprint() if detector.spec is not None else None
+        ),
+        "cells": [
+            {
+                "row": cell.row,
+                "attribute": cell.attr,
+                "value": dataset.value(cell),
+                "error_probability": round(float(probability), 6),
+                "flagged": bool(probability >= args.threshold),
+            }
+            for cell, probability in sorted(
+                zip(predictions.cells, predictions.probabilities),
+                key=lambda t: (-t[1], t[0].row, t[0].attr),
+            )
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
 
 
@@ -164,7 +231,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         f"{len(constraints)} constraints",
         file=sys.stderr,
     )
-    detector = HoloDetect(_detector_config(args))
+    detector = _build_detector(args)
     detector.fit(dataset, training, constraints)
     if detector.policy is not None:
         print(
@@ -175,6 +242,9 @@ def cmd_detect(args: argparse.Namespace) -> int:
     predictions = detector.predict()
     flagged = _write_triage(args.output, dataset, predictions, args.threshold)
     print(f"wrote {args.output}: {flagged} cells flagged", file=sys.stderr)
+    if args.json:
+        _write_detect_json(args.json, args, dataset, detector, predictions, flagged)
+        print(f"wrote {args.json}", file=sys.stderr)
     if detector.cache_stats is not None:
         print(f"feature cache: {detector.cache_stats.summary()}", file=sys.stderr)
     if args.save_model:
@@ -235,7 +305,7 @@ def cmd_benchmark(args: argparse.Namespace) -> int:
 
     bundle = load_dataset(args.dataset, num_rows=args.rows, seed=args.seed)
     split = make_split(bundle, args.training_fraction, rng=args.seed)
-    detector = HoloDetect(_detector_config(args))
+    detector = _build_detector(args)
     detector.fit(bundle.dirty, split.training, bundle.constraints)
     metrics = evaluate_predictions(
         detector.predict_error_cells(split.test_cells),
@@ -314,6 +384,30 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_spec(args: argparse.Namespace) -> int:
+    from repro.spec import DetectorSpec, SpecError
+
+    try:
+        spec = DetectorSpec.from_file(args.file)
+    except SpecError as exc:
+        raise SystemExit(f"detector spec error: {exc}") from exc
+    if args.action == "validate":
+        featurizers = (
+            "default pipeline"
+            if spec.featurizers is None
+            else f"{len(spec.featurizers)} featurizer(s)"
+        )
+        print(
+            f"{args.file}: valid repro.spec/v1 "
+            f"({featurizers}, policy={spec.policy[0]}, "
+            f"calibrator={spec.calibrator[0]})"
+        )
+        print(f"fingerprint: {spec.fingerprint()}")
+    else:  # describe
+        print(spec.describe())
+    return 0
+
+
 def cmd_policy(args: argparse.Namespace) -> int:
     dataset = read_csv(args.input)
     training = load_labels(args.labels, dataset)
@@ -331,8 +425,13 @@ def cmd_policy(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description="HoloDetect few-shot error detection"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -368,6 +467,14 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--output", required=True, help="output triage CSV")
     detect.add_argument("--threshold", type=float, default=0.5, help="flagging threshold")
     detect.add_argument("--save-model", help="directory to save the fitted detector")
+    detect.add_argument(
+        "--spec",
+        help="declarative detector spec (repro.spec/v1 .toml/.json); "
+        "supersedes the individual model flags",
+    )
+    detect.add_argument(
+        "--json", help="also write a machine-readable repro.detect/v1 JSON report"
+    )
     add_model_args(detect)
     detect.set_defaults(func=cmd_detect)
 
@@ -395,6 +502,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--training-fraction", type=float, default=0.1, help="fraction of tuples labelled"
     )
+    bench.add_argument(
+        "--spec",
+        help="declarative detector spec (repro.spec/v1 .toml/.json); "
+        "supersedes the individual model flags",
+    )
     add_model_args(bench)
     bench.set_defaults(func=cmd_benchmark)
 
@@ -420,6 +532,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--report", help="write the full sweep summary as JSON")
     sweep.set_defaults(func=cmd_sweep)
+
+    spec = sub.add_parser(
+        "spec", help="validate / describe a declarative detector spec"
+    )
+    spec.add_argument(
+        "action", choices=("validate", "describe"), help="what to do with the spec"
+    )
+    spec.add_argument("file", help="detector spec file (repro.spec/v1 .toml/.json)")
+    spec.set_defaults(func=cmd_spec)
 
     policy = sub.add_parser("policy", help="inspect the learned noisy channel")
     policy.add_argument("--input", required=True, help="input CSV")

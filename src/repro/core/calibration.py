@@ -9,7 +9,11 @@ descent (the problem is 2-parameter convex, so this converges quickly).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
+
+from repro.registry import ComponentError, register
 
 
 class PlattScaler:
@@ -62,3 +66,44 @@ class PlattScaler:
             raise RuntimeError("PlattScaler used before fit()")
         z = self.a * np.asarray(scores, dtype=np.float64) + self.b
         return 1.0 / (1.0 + np.exp(-np.clip(z, -60, 60)))
+
+
+# --------------------------------------------------------------------- #
+# Registry wiring: calibrators are "calibrator" components so a
+# DetectorSpec can choose (and parameterise) the calibration step.
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PlattCalibratorConfig:
+    """Typed config of the Platt scaler (registry key ``platt``)."""
+
+    epochs: int = 100
+    lr: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.epochs, int) or self.epochs < 1:
+            raise ValueError(f"epochs must be a positive integer, got {self.epochs!r}")
+        if not self.lr > 0:
+            raise ValueError(f"lr must be positive, got {self.lr!r}")
+
+
+@register(
+    "calibrator", "platt",
+    config=PlattCalibratorConfig,
+    description="two-parameter sigmoid calibration on a training holdout",
+)
+def _platt(cfg: PlattCalibratorConfig) -> PlattScaler:
+    return PlattScaler(epochs=cfg.epochs, lr=cfg.lr)
+
+
+@register(
+    "calibrator", "none",
+    description="identity calibration: raw sigmoid scores pass through",
+)
+def _identity(params) -> PlattScaler:
+    if params:
+        raise ComponentError(f"takes no parameters, got {sorted(params)}")
+    # A PlattScaler fitted on an empty holdout keeps a=1, b=0 — identity.
+    scaler = PlattScaler(epochs=0)
+    return scaler

@@ -84,6 +84,75 @@ class DetectorConfig:
     #: Override the learned policy (augmentation-strategy ablations, Table 4).
     policy_override: Policy | None = field(default=None, repr=False)
 
+    def __post_init__(self) -> None:
+        """Reject out-of-range values at construction time.
+
+        Bad values used to surface deep inside training (a negative epoch
+        count silently trained zero steps; a holdout fraction of 1.0 emptied
+        the training set); every check here names the field, the offending
+        value, and the valid range.
+        """
+        self.exclude_models = tuple(self.exclude_models)
+
+        def positive_int(name: str) -> None:
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ValueError(
+                    f"{name} must be a positive integer, got {value!r}"
+                )
+
+        def fraction(name: str, *, closed_top: bool = False) -> None:
+            value = getattr(self, name)
+            top_ok = value <= 1.0 if closed_top else value < 1.0
+            if not isinstance(value, (int, float)) or not (0.0 <= value and top_ok):
+                bound = "[0, 1]" if closed_top else "[0, 1)"
+                raise ValueError(f"{name} must be in {bound}, got {value!r}")
+
+        for name in (
+            "embedding_dim", "embedding_epochs", "hidden_dim", "epochs",
+            "batch_size", "prediction_batch", "cache_max_entries",
+            "prediction_workers",
+        ):
+            positive_int(name)
+        fraction("dropout")
+        fraction("holdout_fraction")
+        if not isinstance(self.lr, (int, float)) or not self.lr > 0:
+            raise ValueError(f"lr must be positive, got {self.lr!r}")
+        if not isinstance(self.weight_decay, (int, float)) or self.weight_decay < 0:
+            raise ValueError(
+                f"weight_decay must be non-negative, got {self.weight_decay!r}"
+            )
+        if not isinstance(self.min_training_steps, int) or self.min_training_steps < 0:
+            raise ValueError(
+                "min_training_steps must be a non-negative integer, "
+                f"got {self.min_training_steps!r}"
+            )
+        if not isinstance(self.alpha, (int, float)) or not self.alpha > 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha!r}")
+        if self.target_ratio is not None and (
+            not isinstance(self.target_ratio, (int, float)) or not self.target_ratio > 0
+        ):
+            raise ValueError(
+                f"target_ratio must be positive or None, got {self.target_ratio!r}"
+            )
+        if not isinstance(self.min_error_pairs, int) or self.min_error_pairs < 0:
+            raise ValueError(
+                f"min_error_pairs must be a non-negative integer, "
+                f"got {self.min_error_pairs!r}"
+            )
+        if (
+            not isinstance(self.weak_supervision_max_cells, int)
+            or self.weak_supervision_max_cells < 1
+        ):
+            raise ValueError(
+                "weak_supervision_max_cells must be a positive integer, "
+                f"got {self.weak_supervision_max_cells!r}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) or self.seed < 0:
+            raise ValueError(
+                f"seed must be a non-negative integer, got {self.seed!r}"
+            )
+
 
 @dataclass
 class ErrorPredictions:
@@ -125,10 +194,26 @@ class ErrorPredictions:
 
 
 class HoloDetect:
-    """Few-shot error detector with learned data augmentation (AUG)."""
+    """Few-shot error detector with learned data augmentation (AUG).
 
-    def __init__(self, config: DetectorConfig | None = None):
+    Two construction paths build the *same* detector:
+
+    - imperative — ``HoloDetect(DetectorConfig(...))``;
+    - declarative — ``HoloDetect.from_spec(spec)`` (or ``repro.build``),
+      where every component of the composition is a
+      :mod:`repro.registry` reference carried by a
+      :class:`~repro.spec.DetectorSpec`.
+
+    A spec-built detector with the default component set is bit-identical
+    in predictions to the imperative equivalent.
+    """
+
+    def __init__(self, config: DetectorConfig | None = None, *, spec=None):
         self.config = config or DetectorConfig()
+        #: The :class:`~repro.spec.DetectorSpec` this detector was built
+        #: from, or ``None`` for imperative construction.  Persisted by
+        #: :mod:`repro.persistence` alongside the weights.
+        self.spec = spec
         self.pipeline: FeaturePipeline | None = None
         self.model: JointModel | None = None
         self.scaler: PlattScaler | None = None
@@ -141,6 +226,23 @@ class HoloDetect:
         self.augmented_count = 0
         self._dataset: Dataset | None = None
         self._train_cells: set[Cell] = set()
+
+    @classmethod
+    def from_spec(cls, spec) -> "HoloDetect":
+        """Construct an (unfitted) detector from a declarative spec.
+
+        ``spec`` is a :class:`~repro.spec.DetectorSpec`, a mapping in the
+        ``repro.spec/v1`` layout, or a path to a ``.toml``/``.json`` spec
+        file.  The spec is validated eagerly; component resolution errors
+        surface here, not inside :meth:`fit`.
+        """
+        from repro.spec import load_spec
+
+        spec = load_spec(spec)
+        # Directly-constructed DetectorSpec instances skip from_dict, so
+        # validate here: every construction path fails fast, never in fit().
+        spec.validate()
+        return cls(DetectorConfig(**dict(spec.detector)), spec=spec)
 
     @property
     def cache_stats(self) -> CacheStats | None:
@@ -168,20 +270,14 @@ class HoloDetect:
             raise ValueError("training set is empty after holdout split")
 
         # Module 2: representation model Q.
-        self.pipeline = default_pipeline(
-            constraints=constraints,
-            embedding_dim=cfg.embedding_dim,
-            embedding_epochs=cfg.embedding_epochs,
-            exclude=cfg.exclude_models,
-            rng=rng,
-        )
+        self.pipeline = self._build_pipeline(constraints, rng)
         self.pipeline.cache = self.cache
         self.pipeline.fit(dataset)
 
         # Module 1: noisy channel learning + augmentation.
         examples: list[LabeledCell] = list(train_main)
         if cfg.augment:
-            self.policy = cfg.policy_override or self._learn_policy(dataset, train_main)
+            self.policy = self._resolve_policy(dataset, train_main)
             result = augment_training_set(
                 train_main,
                 self.policy,
@@ -218,7 +314,7 @@ class HoloDetect:
             ),
         )
 
-        self.scaler = PlattScaler()
+        self.scaler = self._build_calibrator()
         if cfg.calibrate and len(holdout) > 0:
             hold_features = self.pipeline.transform(
                 [e.cell for e in holdout], dataset, values=[e.observed for e in holdout]
@@ -229,6 +325,63 @@ class HoloDetect:
         else:
             self.scaler.fit(np.zeros(0), np.zeros(0))
         return self
+
+    def _build_pipeline(self, constraints, rng) -> FeaturePipeline:
+        """The representation model Q: spec-declared or the Table 7 default."""
+        cfg = self.config
+        if self.spec is not None and self.spec.featurizers is not None:
+            from repro.features.pipeline import FeaturizerContext, build_pipeline
+
+            ctx = FeaturizerContext(
+                constraints=list(constraints) if constraints else (),
+                embedding_dim=cfg.embedding_dim,
+                embedding_epochs=cfg.embedding_epochs,
+                rng=rng,
+            )
+            return build_pipeline(list(self.spec.featurizers), ctx)
+        return default_pipeline(
+            constraints=constraints,
+            embedding_dim=cfg.embedding_dim,
+            embedding_epochs=cfg.embedding_epochs,
+            exclude=cfg.exclude_models,
+            rng=rng,
+        )
+
+    def _resolve_policy(self, dataset: Dataset, training: TrainingSet) -> Policy:
+        """The augmentation policy: override, spec component, or learned.
+
+        ``config.policy_override`` (the imperative path) wins; otherwise the
+        spec's policy component builds to ``None`` (learn from data), a
+        ready :class:`Policy` (use verbatim), or a callable wrapper applied
+        to the learned policy (e.g. the Table 4 uniform ablation).
+        """
+        if self.config.policy_override is not None:
+            return self.config.policy_override
+        component = None
+        if self.spec is not None:
+            from repro.registry import REGISTRY
+
+            name, params = self.spec.policy
+            component = REGISTRY.create("policy", name, params)
+        if component is None:
+            return self._learn_policy(dataset, training)
+        if isinstance(component, Policy):
+            return component
+        if callable(component):
+            return component(self._learn_policy(dataset, training))
+        raise TypeError(
+            f"policy component built {type(component).__name__}; expected "
+            "None, a Policy, or a callable Policy wrapper"
+        )
+
+    def _build_calibrator(self) -> PlattScaler:
+        """The calibrator: spec component or the default Platt scaler."""
+        if self.spec is not None:
+            from repro.registry import REGISTRY
+
+            name, params = self.spec.calibrator
+            return REGISTRY.create("calibrator", name, params)
+        return PlattScaler()
 
     def _learn_policy(self, dataset: Dataset, training: TrainingSet) -> Policy:
         """Learn (Φ, Π̂) from T's errors, topped up by weak supervision (§5.4)."""

@@ -1,8 +1,21 @@
-"""Dataset registry: load any benchmark bundle by name."""
+"""Dataset registry: load any benchmark bundle by name.
+
+Every generator is a registered ``dataset`` component in
+:mod:`repro.registry`, so sweep specs and detector tooling resolve datasets
+through the same mechanism as methods, profiles, and featurizers — and a
+``"module:attr"`` reference loads a user-defined bundle generator (called
+as ``attr(num_rows=..., seed=...)`` and returning a
+:class:`~repro.data.bundle.DatasetBundle`) with zero repo edits.
+
+.. deprecated::
+    The module-level ``_GENERATORS`` dict predates the registry; reading it
+    still works but emits a :class:`DeprecationWarning`.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+import warnings
+from dataclasses import dataclass
 
 from repro.data.adult import generate_adult
 from repro.data.animal import generate_animal
@@ -10,17 +23,24 @@ from repro.data.bundle import DatasetBundle
 from repro.data.food import generate_food
 from repro.data.hospital import generate_hospital
 from repro.data.soccer import generate_soccer
+from repro.registry import REGISTRY, ComponentError, deprecated_name_map
 
-_GENERATORS: dict[str, Callable[..., DatasetBundle]] = {
-    "hospital": generate_hospital,
-    "food": generate_food,
-    "soccer": generate_soccer,
-    "adult": generate_adult,
-    "animal": generate_animal,
-}
 
-#: Names of the five benchmark datasets (Table 1).
-DATASET_NAMES = tuple(_GENERATORS)
+@dataclass(frozen=True)
+class DatasetParams:
+    """Typed config of the benchmark generators."""
+
+    num_rows: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_rows is not None and (
+            not isinstance(self.num_rows, int) or self.num_rows <= 0
+        ):
+            raise ValueError(f"num_rows must be a positive integer, got {self.num_rows!r}")
+        if not isinstance(self.seed, int):
+            raise ValueError(f"seed must be an integer, got {self.seed!r}")
+
 
 #: Default scaled-down row counts for offline CPU runs.  The paper's sizes
 #: (Table 1) are valid values of ``num_rows``.
@@ -32,10 +52,90 @@ DEFAULT_ROWS = {
     "animal": 1500,
 }
 
+_BENCHMARKS = {
+    "hospital": (generate_hospital, "zip/city FDs with 'x'-injection typos"),
+    "food": (generate_food, "Chicago food inspections shape, mixed channel"),
+    "soccer": (generate_soccer, "player/team FDs with a BART typo/swap mix"),
+    "adult": (generate_adult, "census shape with a BART typo/swap mix"),
+    "animal": (generate_animal, "sensor-reading shape with numeric outliers"),
+}
+
+
+def _generator_factory(name: str, generate):
+    def factory(cfg: DatasetParams) -> DatasetBundle:
+        rows = cfg.num_rows if cfg.num_rows is not None else DEFAULT_ROWS[name]
+        return generate(num_rows=rows, seed=cfg.seed)
+
+    return factory
+
+
+for _name, (_generate, _doc) in _BENCHMARKS.items():
+    REGISTRY.add(
+        "dataset", _name, _generator_factory(_name, _generate),
+        config=DatasetParams, description=_doc,
+    )
+
+#: Names of the five benchmark datasets (Table 1).
+DATASET_NAMES = tuple(_BENCHMARKS)
+
 
 def load_dataset(name: str, num_rows: int | None = None, seed: int = 0) -> DatasetBundle:
-    """Generate benchmark bundle ``name`` (see :data:`DATASET_NAMES`)."""
-    if name not in _GENERATORS:
-        raise ValueError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
-    rows = num_rows if num_rows is not None else DEFAULT_ROWS[name]
-    return _GENERATORS[name](num_rows=rows, seed=seed)
+    """Generate benchmark bundle ``name`` (see :data:`DATASET_NAMES`).
+
+    ``name`` may also be a ``"module:attr"`` reference to a user-defined
+    generator, which is called as ``attr(num_rows=..., seed=...)``.
+    """
+    try:
+        bundle = REGISTRY.create(
+            "dataset", name, {"num_rows": num_rows, "seed": seed}
+        )
+    except ComponentError as exc:
+        raise ValueError(str(exc)) from exc
+    if not isinstance(bundle, DatasetBundle):
+        raise ValueError(
+            f"dataset {name!r} built {type(bundle).__name__}, expected DatasetBundle"
+        )
+    return bundle
+
+
+def _legacy_generator_factory(name: str, generate):
+    """Like :func:`_generator_factory`, but tolerates names without a
+    ``DEFAULT_ROWS`` entry: ``num_rows=None`` falls back to the generator's
+    own default instead of a registry-side one."""
+
+    def factory(cfg: DatasetParams) -> DatasetBundle:
+        rows = cfg.num_rows if cfg.num_rows is not None else DEFAULT_ROWS.get(name)
+        if rows is None:
+            return generate(seed=cfg.seed)
+        return generate(num_rows=rows, seed=cfg.seed)
+
+    return factory
+
+
+def _register_legacy_generator(key: str, generate) -> None:
+    """Write-through for the deprecated ``_GENERATORS`` map: an assigned
+    generator registers like a built-in, so ``load_dataset`` keeps finding
+    it."""
+    _BENCHMARKS[key] = (generate, "legacy _GENERATORS registration")
+    REGISTRY.add(
+        "dataset", key, _legacy_generator_factory(key, generate),
+        config=DatasetParams,
+        description="legacy _GENERATORS registration", replace=True,
+    )
+
+
+def __getattr__(name: str):
+    if name == "_GENERATORS":
+        warnings.warn(
+            "repro.data.registry._GENERATORS is deprecated; resolve datasets "
+            "through repro.registry (kind 'dataset') or load_dataset()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return deprecated_name_map(
+            "dataset",
+            lambda key: _BENCHMARKS[key][0],
+            _BENCHMARKS,
+            writer=_register_legacy_generator,
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

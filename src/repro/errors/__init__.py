@@ -16,11 +16,19 @@ from repro.errors.typos import (
 )
 from repro.errors.bart import ErrorProfile, inject_errors
 from repro.errors.profiles import (
-    PROFILES,
     apply_profile,
     profile_names,
     resolve_profile,
 )
+
+
+def __getattr__(name: str):
+    if name == "PROFILES":
+        # Deprecated alias; the warning is emitted by repro.errors.profiles.
+        from repro.errors import profiles
+
+        return profiles.PROFILES
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "inject_x",

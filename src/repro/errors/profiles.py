@@ -3,71 +3,121 @@
 The benchmark datasets each bake in the noise channel the paper reports for
 them (Table 1).  The sweep harness additionally needs to vary the channel
 *independently* of the dataset — e.g. run Hospital under a BART-style
-typo/swap mix, or Food under pure value swaps — so this module names a
+typo/swap mix, or Food under pure value swaps — so this module registers a
 small library of reusable :class:`~repro.errors.bart.ErrorProfile` presets
-and knows how to re-inject errors into a bundle's clean relation.
+as ``error_profile`` components and knows how to re-inject errors into a
+bundle's clean relation.
 
 ``"native"`` is the identity profile: the bundle keeps the errors its
 generator injected.  Every other profile discards the generator's dirty
 relation and corrupts the clean relation afresh, which keeps ground truth
 exact and makes error characteristics a first-class sweep axis.
+
+Profiles resolve through :mod:`repro.registry`: besides the presets here, a
+``"module:attr"`` reference names a user-defined profile (the attribute is
+called with the override parameters and must return an
+:class:`~repro.errors.bart.ErrorProfile`), and an unknown plain name with at
+least ``error_rate`` defines an ad-hoc profile inline.
+
+.. deprecated::
+    The module-level ``PROFILES`` dict predates the registry; reading it
+    still works but emits a :class:`DeprecationWarning`.  Use
+    :func:`profile_names` / :func:`resolve_profile` (or the registry
+    directly) instead.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
+from typing import Mapping
 
 import numpy as np
 
 from repro.data.bundle import DatasetBundle
 from repro.errors.bart import ErrorProfile, inject_errors
+from repro.registry import REGISTRY, ComponentError, deprecated_name_map
 
 #: Identity profile: keep the bundle's generator-injected errors.
 NATIVE = "native"
 
-#: Reusable noise channels.  ``None`` marks the identity profile.
-PROFILES: dict[str, ErrorProfile | None] = {
-    NATIVE: None,
-    # Pure character typos at Hospital-like density.
-    "typos": ErrorProfile(error_rate=0.03, typo_fraction=1.0),
-    # Hospital's published channel: 'x'-substitution typos.
-    "x-typos": ErrorProfile(error_rate=0.03, typo_fraction=1.0, x_style_typos=True),
-    # The BART mix used for Soccer/Adult: half typos, half cross-tuple swaps.
-    "bart-mix": ErrorProfile(error_rate=0.05, typo_fraction=0.5),
-    # Pure value swaps: every error is plausible in isolation.
-    "swaps": ErrorProfile(error_rate=0.05, typo_fraction=0.0),
+#: Preset noise channels.  ``None`` marks the identity profile.
+_PRESETS: dict[str, tuple[ErrorProfile | None, str]] = {
+    NATIVE: (None, "identity: keep the generator-injected errors"),
+    "typos": (
+        ErrorProfile(error_rate=0.03, typo_fraction=1.0),
+        "pure character typos at Hospital-like density",
+    ),
+    "x-typos": (
+        ErrorProfile(error_rate=0.03, typo_fraction=1.0, x_style_typos=True),
+        "Hospital's published channel: 'x'-substitution typos",
+    ),
+    "bart-mix": (
+        ErrorProfile(error_rate=0.05, typo_fraction=0.5),
+        "the BART mix used for Soccer/Adult: half typos, half swaps",
+    ),
+    "swaps": (
+        ErrorProfile(error_rate=0.05, typo_fraction=0.0),
+        "pure cross-tuple value swaps: plausible in isolation",
+    ),
 }
+
+
+def _preset_factory(name: str, base: ErrorProfile | None):
+    def factory(overrides: Mapping[str, object]) -> ErrorProfile | None:
+        overrides = _normalise_overrides(overrides)
+        if base is None:
+            if overrides:
+                raise ComponentError(
+                    f"profile {name!r} takes no parameters, got {sorted(overrides)}"
+                )
+            return None
+        try:
+            return replace(base, **overrides) if overrides else base
+        except (TypeError, ValueError) as exc:
+            raise ComponentError(f"profile {name!r}: {exc}") from exc
+
+    return factory
+
+
+for _name, (_base, _doc) in _PRESETS.items():
+    REGISTRY.add("error_profile", _name, _preset_factory(_name, _base), description=_doc)
+
+
+def _normalise_overrides(overrides: Mapping[str, object]) -> dict[str, object]:
+    overrides = dict(overrides)
+    if overrides.get("attributes") is not None:
+        overrides["attributes"] = tuple(overrides["attributes"])  # type: ignore[arg-type]
+    return overrides
 
 
 def profile_names() -> tuple[str, ...]:
     """Names of the built-in profiles (including ``"native"``)."""
-    return tuple(PROFILES)
+    return REGISTRY.names("error_profile")
 
 
 def resolve_profile(name: str, **overrides: object) -> ErrorProfile | None:
-    """Look up profile ``name``, optionally overriding its parameters.
+    """Resolve profile ``name``, optionally overriding its parameters.
 
-    A known name returns its preset (with ``overrides`` applied via
-    :func:`dataclasses.replace`).  An unknown name defines an ad-hoc profile
-    and must supply at least ``error_rate``.  ``"native"`` accepts no
-    overrides — there is no channel to parameterise.
+    A registered name returns its preset (with ``overrides`` applied via
+    :func:`dataclasses.replace`); a ``module:attr`` reference builds a
+    user-defined profile; any other name defines an ad-hoc profile and must
+    supply at least ``error_rate``.  ``"native"`` accepts no overrides —
+    there is no channel to parameterise.
     """
-    if "attributes" in overrides and overrides["attributes"] is not None:
-        overrides["attributes"] = tuple(overrides["attributes"])  # type: ignore[arg-type]
-    if name in PROFILES:
-        base = PROFILES[name]
-        if base is None:
-            if overrides:
-                raise ValueError(f"profile {name!r} takes no parameters, got {sorted(overrides)}")
-            return None
-        try:
-            return replace(base, **overrides) if overrides else base
-        except TypeError as exc:
-            raise ValueError(f"profile {name!r}: {exc}") from exc
+    if ":" in name or name in profile_names():
+        profile = REGISTRY.create("error_profile", name, _normalise_overrides(overrides))
+        if profile is not None and not isinstance(profile, ErrorProfile):
+            raise ComponentError(
+                f"profile {name!r} built {type(profile).__name__}, expected ErrorProfile"
+            )
+        return profile
+    overrides = _normalise_overrides(overrides)
     if "error_rate" not in overrides:
         raise ValueError(
-            f"unknown profile {name!r}; choose from {profile_names()} "
-            "or define a custom profile with at least error_rate"
+            f"unknown profile {name!r}; choose from {profile_names()}, use a "
+            "'module:attr' reference, or define a custom profile with at "
+            "least error_rate"
         )
     try:
         return ErrorProfile(**overrides)  # type: ignore[arg-type]
@@ -97,3 +147,30 @@ def apply_profile(
         truth=truth,
         constraints=bundle.constraints,
     )
+
+
+def _register_legacy_profile(key: str, profile: ErrorProfile | None) -> None:
+    """Write-through for the deprecated ``PROFILES`` map: an assigned preset
+    registers like a built-in, so ``resolve_profile`` keeps finding it."""
+    _PRESETS[key] = (profile, "legacy PROFILES registration")
+    REGISTRY.add(
+        "error_profile", key, _preset_factory(key, profile),
+        description="legacy PROFILES registration", replace=True,
+    )
+
+
+def __getattr__(name: str):
+    if name == "PROFILES":
+        warnings.warn(
+            "repro.errors.profiles.PROFILES is deprecated; resolve profiles "
+            "through repro.registry (kind 'error_profile') or resolve_profile()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return deprecated_name_map(
+            "error_profile",
+            lambda key: _PRESETS[key][0],
+            _PRESETS,
+            writer=_register_legacy_profile,
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -32,9 +32,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
-from repro.baselines.adapters import build_method, method_names
-from repro.data.registry import DATASET_NAMES, DEFAULT_ROWS, load_dataset
+from repro.baselines.adapters import build_method
+from repro.data.registry import DEFAULT_ROWS, load_dataset
 from repro.errors.profiles import apply_profile, resolve_profile
+from repro.registry import REGISTRY, ComponentError
 from repro.evaluation.report import markdown_table
 from repro.evaluation.runner import ExperimentResult, run_trials
 from repro.evaluation.store import ResultStore
@@ -202,10 +203,10 @@ class ScenarioMatrix:
         datasets = []
         for raw in payload["datasets"]:  # type: ignore[union-attr]
             name, params = _axis_entry(raw, "datasets")
-            if name not in DATASET_NAMES:
-                raise MatrixSpecError(
-                    f"unknown dataset {name!r}; choose from {DATASET_NAMES}"
-                )
+            try:
+                REGISTRY.entry("dataset", name)
+            except ComponentError as exc:
+                raise MatrixSpecError(str(exc)) from exc
             extra = set(params) - {"rows"}
             if extra:
                 raise MatrixSpecError(f"dataset {name!r}: unknown keys {sorted(extra)}")
@@ -233,10 +234,8 @@ class ScenarioMatrix:
         methods = []
         for raw in payload["methods"]:  # type: ignore[union-attr]
             name, params = _axis_entry(raw, "methods")
-            if name not in method_names():
-                raise MatrixSpecError(
-                    f"unknown method {name!r}; choose from {method_names()}"
-                )
+            # build_method resolves through the registry: built-in keys and
+            # 'module:attr' references both validate here, before any run.
             try:
                 build_method(name, params)
             except ValueError as exc:

@@ -37,18 +37,33 @@ Usage::
         base.featurizers + [ValueLengthFeaturizer(), TokenFrequencyFeaturizer()]
     ).fit(dataset)
 
-Note: detectors persisted with :mod:`repro.persistence` must only contain
-featurizers that module knows how to encode; the extra models here are not
-yet registered there.
+Both are registered ``featurizer`` components (keys ``value_length`` and
+``token_frequency``), so a :class:`~repro.spec.DetectorSpec` can add them
+by name, and :mod:`repro.persistence` knows how to encode them.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.dataset.table import Dataset
 from repro.features.base import CellBatch, ColumnScopedFeaturizer, FeatureContext
+from repro.registry import ComponentError, register
 from repro.text.tokenize import word_tokens
+
+
+@dataclass(frozen=True)
+class TokenFrequencyConfig:
+    """Typed config of :class:`TokenFrequencyFeaturizer` (registry key
+    ``token_frequency``)."""
+
+    alpha: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.alpha > 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha!r}")
 
 
 class ValueLengthFeaturizer(ColumnScopedFeaturizer):
@@ -153,3 +168,29 @@ class TokenFrequencyFeaturizer(ColumnScopedFeaturizer):
     @property
     def dim(self) -> int:
         return 1
+
+
+# --------------------------------------------------------------------- #
+# Registry wiring: the opt-in models register as ordinary "featurizer"
+# components, so a DetectorSpec can add them by name — e.g.
+# ``[[featurizers]] name = "value_length"`` — with zero imperative code.
+# --------------------------------------------------------------------- #
+
+
+@register(
+    "featurizer", "value_length",
+    description="z-scored value length within the attribute (opt-in)",
+)
+def _value_length(params, ctx=None) -> ValueLengthFeaturizer:
+    if params:
+        raise ComponentError(f"takes no parameters, got {sorted(params)}")
+    return ValueLengthFeaturizer()
+
+
+@register(
+    "featurizer", "token_frequency",
+    config=TokenFrequencyConfig,
+    description="log-frequency of the value's rarest word token (opt-in)",
+)
+def _token_frequency(cfg: TokenFrequencyConfig, ctx=None) -> TokenFrequencyFeaturizer:
+    return TokenFrequencyFeaturizer(alpha=cfg.alpha)

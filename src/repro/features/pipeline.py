@@ -21,7 +21,7 @@ dirties (per-column models refit just the touched columns).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -41,6 +41,7 @@ from repro.features.dataset_level import (
     NeighborhoodFeaturizer,
 )
 from repro.features.tuple_level import CooccurrenceFeaturizer, TupleEmbeddingFeaturizer
+from repro.registry import REGISTRY, ComponentError, register
 
 if TYPE_CHECKING:
     from repro.features.cache import FeatureCache
@@ -59,6 +60,174 @@ ALL_MODEL_NAMES = (
     "constraint_violations",
     "neighborhood",
 )
+
+
+# --------------------------------------------------------------------- #
+# Registry wiring: every built-in representation model is a registered
+# "featurizer" component, so detector specs (and user code) can compose a
+# pipeline declaratively.  Factories receive their validated config plus a
+# FeaturizerContext carrying the pipeline-level injections (the shared RNG,
+# the constraint set Σ, and the default embedding geometry).
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class FeaturizerContext:
+    """Pipeline-level injections shared by all featurizer factories."""
+
+    constraints: Sequence[DenialConstraint] = ()
+    embedding_dim: int = 16
+    embedding_epochs: int = 2
+    rng: object = None
+
+
+@dataclass(frozen=True)
+class EmbeddingModelConfig:
+    """Config of the embedding-backed models; ``None`` inherits the
+    pipeline-level defaults (``DetectorConfig.embedding_dim``/``_epochs``)."""
+
+    dim: int | None = None
+    epochs: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.dim is not None and (not isinstance(self.dim, int) or self.dim < 1):
+            raise ValueError(f"dim must be a positive integer, got {self.dim!r}")
+        if self.epochs is not None and (
+            not isinstance(self.epochs, int) or self.epochs < 1
+        ):
+            raise ValueError(f"epochs must be a positive integer, got {self.epochs!r}")
+
+
+@dataclass(frozen=True)
+class NGramModelConfig:
+    """Config of the n-gram format models."""
+
+    n: int = 3
+    least_k: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.n, int) or self.n < 1:
+            raise ValueError(f"n must be a positive integer, got {self.n!r}")
+        if not isinstance(self.least_k, int) or self.least_k < 1:
+            raise ValueError(f"least_k must be a positive integer, got {self.least_k!r}")
+
+
+def _embedding_factory(cls):
+    def factory(cfg: EmbeddingModelConfig, ctx: FeaturizerContext) -> Featurizer:
+        return cls(
+            dim=cfg.dim if cfg.dim is not None else ctx.embedding_dim,
+            epochs=cfg.epochs if cfg.epochs is not None else ctx.embedding_epochs,
+            rng=ctx.rng,
+        )
+
+    return factory
+
+
+def _ngram_factory(cls):
+    def factory(cfg: NGramModelConfig, ctx: FeaturizerContext) -> Featurizer:
+        return cls(n=cfg.n, least_k=cfg.least_k)
+
+    return factory
+
+
+def _plain_factory(cls):
+    def factory(params: Mapping[str, object], ctx: FeaturizerContext) -> Featurizer:
+        if params:
+            raise ComponentError(f"takes no parameters, got {sorted(params)}")
+        return cls()
+
+    return factory
+
+
+REGISTRY.add(
+    "featurizer", "char_embedding", _embedding_factory(CharEmbeddingFeaturizer),
+    config=EmbeddingModelConfig,
+    description="FastText embedding of the value as a character sequence",
+)
+REGISTRY.add(
+    "featurizer", "word_embedding", _embedding_factory(WordEmbeddingFeaturizer),
+    config=EmbeddingModelConfig,
+    description="FastText embedding of the value as a word sequence",
+)
+REGISTRY.add(
+    "featurizer", "format_3gram", _ngram_factory(FormatNGramFeaturizer),
+    config=NGramModelConfig,
+    description="character n-gram format likelihood per attribute",
+)
+REGISTRY.add(
+    "featurizer", "symbolic_3gram", _ngram_factory(SymbolicNGramFeaturizer),
+    config=NGramModelConfig,
+    description="symbol-class n-gram likelihood per attribute",
+)
+REGISTRY.add(
+    "featurizer", "empirical_dist", _plain_factory(EmpiricalDistributionFeaturizer),
+    description="empirical value frequency within the attribute",
+)
+REGISTRY.add(
+    "featurizer", "column_id", _plain_factory(ColumnIdFeaturizer),
+    description="one-hot column identity",
+)
+REGISTRY.add(
+    "featurizer", "cooccurrence", _plain_factory(CooccurrenceFeaturizer),
+    description="attribute-pair value co-occurrence statistics",
+)
+REGISTRY.add(
+    "featurizer", "tuple_embedding", _embedding_factory(TupleEmbeddingFeaturizer),
+    config=EmbeddingModelConfig,
+    description="learnable tuple-context embedding (tuple branch)",
+)
+REGISTRY.add(
+    "featurizer", "neighborhood", _embedding_factory(NeighborhoodFeaturizer),
+    config=EmbeddingModelConfig,
+    description="nearest-neighbour distance in tuple-value embedding space",
+)
+
+
+@register(
+    "featurizer", "constraint_violations",
+    description="per-constraint violation counts (needs Σ from context)",
+)
+def _constraint_violations(
+    params: Mapping[str, object], ctx: FeaturizerContext
+) -> Featurizer:
+    if params:
+        raise ComponentError(f"takes no parameters, got {sorted(params)}")
+    return ConstraintViolationFeaturizer(list(ctx.constraints or ()))
+
+
+def build_featurizer(
+    name: str,
+    params: Mapping[str, object] | None = None,
+    ctx: FeaturizerContext | None = None,
+) -> Featurizer:
+    """Build one featurizer by registry key (or ``module:attr`` reference).
+
+    External references are invoked with their params only; built-ins also
+    receive the :class:`FeaturizerContext`.  The result must quack like a
+    :class:`~repro.features.base.Featurizer` — ``fit``/``transform_batch``/
+    ``dim`` — which is validated structurally here so a bad reference fails
+    at build time, not deep inside ``fit()``.
+    """
+    ctx = ctx or FeaturizerContext()
+    entry = REGISTRY.entry("featurizer", name)
+    if entry.builtin:
+        featurizer = REGISTRY.create("featurizer", name, params, ctx=ctx)
+    else:
+        featurizer = REGISTRY.create("featurizer", name, params)
+    missing = [
+        attr
+        for attr in ("fit", "transform_batch", "dim", "name", "scope", "branch")
+        # Checked on the type first: properties like ``dim`` may raise on an
+        # unfitted instance, which hasattr(instance, ...) would misread.
+        if not hasattr(type(featurizer), attr)
+        and attr not in getattr(featurizer, "__dict__", {})
+    ]
+    if missing:
+        raise ComponentError(
+            f"featurizer {name!r} built {type(featurizer).__name__}, which lacks "
+            f"the Featurizer interface attributes {missing}"
+        )
+    return featurizer
 
 
 @dataclass
@@ -218,6 +387,41 @@ class FeaturePipeline:
         return {f.branch: f.dim for f in self.featurizers if f.branch is not None}
 
 
+#: Construction order of the default pipeline (Table 7).  The constraint
+#: model is appended last, and only when Σ is non-empty.
+DEFAULT_MODEL_ORDER = (
+    "char_embedding",
+    "word_embedding",
+    "format_3gram",
+    "symbolic_3gram",
+    "empirical_dist",
+    "column_id",
+    "cooccurrence",
+    "tuple_embedding",
+    "neighborhood",
+)
+
+
+def build_pipeline(
+    entries: Sequence[str | tuple[str, Mapping[str, object]]],
+    ctx: FeaturizerContext | None = None,
+    cache: "FeatureCache | None" = None,
+) -> FeaturePipeline:
+    """Build an (unfitted) pipeline from declarative featurizer entries.
+
+    Each entry is a registry key — or ``module:attr`` reference — optionally
+    paired with a parameter mapping.  This is the construction path behind
+    :class:`~repro.spec.DetectorSpec` pipelines; :func:`default_pipeline`
+    uses it for the built-in Table 7 composition.
+    """
+    ctx = ctx or FeaturizerContext()
+    featurizers = []
+    for entry in entries:
+        name, params = entry if isinstance(entry, tuple) else (entry, {})
+        featurizers.append(build_featurizer(name, params, ctx))
+    return FeaturePipeline(featurizers, cache=cache)
+
+
 def default_pipeline(
     constraints: Sequence[DenialConstraint] | None = None,
     embedding_dim: int = 16,
@@ -229,22 +433,19 @@ def default_pipeline(
 
     ``constraints`` may be ``None``/empty (Σ is optional input); ``exclude``
     removes named models for ablation studies (see :data:`ALL_MODEL_NAMES`).
+    Every model is resolved through the component registry, so the default
+    composition and a spec-declared one share a single construction path.
     """
-    featurizers: list[Featurizer] = [
-        CharEmbeddingFeaturizer(dim=embedding_dim, epochs=embedding_epochs, rng=rng),
-        WordEmbeddingFeaturizer(dim=embedding_dim, epochs=embedding_epochs, rng=rng),
-        FormatNGramFeaturizer(),
-        SymbolicNGramFeaturizer(),
-        EmpiricalDistributionFeaturizer(),
-        ColumnIdFeaturizer(),
-        CooccurrenceFeaturizer(),
-        TupleEmbeddingFeaturizer(dim=embedding_dim, epochs=embedding_epochs, rng=rng),
-        NeighborhoodFeaturizer(dim=embedding_dim, epochs=embedding_epochs, rng=rng),
-    ]
+    ctx = FeaturizerContext(
+        constraints=list(constraints) if constraints else (),
+        embedding_dim=embedding_dim,
+        embedding_epochs=embedding_epochs,
+        rng=rng,
+    )
+    names = list(DEFAULT_MODEL_ORDER)
     if constraints:
-        featurizers.append(ConstraintViolationFeaturizer(constraints))
-    chosen = [f for f in featurizers if f.name not in set(exclude)]
-    unknown = set(exclude) - {f.name for f in featurizers}
+        names.append("constraint_violations")
+    unknown = set(exclude) - set(names)
     if unknown:
         raise ValueError(f"unknown model names in exclude: {sorted(unknown)}")
-    return FeaturePipeline(chosen)
+    return build_pipeline([n for n in names if n not in set(exclude)], ctx)

@@ -28,6 +28,7 @@ On-disk layout
 
     <path>/state.json   # structured state; arrays appear as {"__array__": key}
     <path>/arrays.npz   # the referenced arrays, compressed
+    <path>/spec.json    # the DetectorSpec (only for spec-built detectors)
 
 ``state.json`` carries a ``format_version`` (currently 1); loading rejects
 unknown versions rather than guessing.  Configs saved by older versions of
@@ -35,9 +36,17 @@ the code load with defaults for any fields added since (``DetectorConfig``
 fills them in), so the format is forward-extensible without a version bump
 for config-only additions.
 
-Custom featurizers (e.g. the opt-in models in :mod:`repro.features.extra`)
-have no encode/decode handler here yet; saving a pipeline containing one
-raises ``TypeError`` listing the offending type.
+A detector built from a :class:`~repro.spec.DetectorSpec` saves the spec's
+canonical form both inside ``state.json`` and as a human-readable
+``spec.json`` sidecar (with its fingerprint), and :func:`load_detector`
+restores ``detector.spec`` — so a reloaded detector knows the declarative
+composition it was built from.  Saves from before the spec era load with
+``spec = None``.
+
+Custom ``module:attr`` featurizers have no encode/decode handler here;
+saving a pipeline containing one raises ``TypeError`` listing the
+offending type.  The built-in opt-in models of
+:mod:`repro.features.extra` are handled.
 """
 
 from __future__ import annotations
@@ -68,6 +77,7 @@ from repro.features.dataset_level import (
     ConstraintViolationFeaturizer,
     NeighborhoodFeaturizer,
 )
+from repro.features.extra import TokenFrequencyFeaturizer, ValueLengthFeaturizer
 from repro.features.pipeline import FeaturePipeline
 from repro.features.tuple_level import CooccurrenceFeaturizer, TupleEmbeddingFeaturizer
 from repro.embeddings.fasttext import FastTextEmbedding
@@ -221,6 +231,18 @@ def _encode_featurizer(f: Featurizer, store: ArrayStore) -> dict:
             "epochs": f._epochs,
             "model": _encode_embedding(f._model, store),
         }
+    if isinstance(f, ValueLengthFeaturizer):
+        return {
+            "type": "ValueLengthFeaturizer",
+            "stats": {a: list(s) for a, s in f._stats.items()},
+        }
+    if isinstance(f, TokenFrequencyFeaturizer):
+        return {
+            "type": "TokenFrequencyFeaturizer",
+            "alpha": f.alpha,
+            "counts": {a: _pairs(c) for a, c in f._counts.items()},
+            "totals": dict(f._totals),
+        }
     if isinstance(f, ConstraintViolationFeaturizer):
         indexes = []
         for index in f._fd_indexes:
@@ -286,6 +308,15 @@ def _decode_featurizer(state: dict, store: ArrayStore) -> Featurizer:
         f = NeighborhoodFeaturizer(dim=state["dim"], epochs=state["epochs"])
         f._model = _decode_embedding(state["model"], store)
         f._cache = {}
+        return f
+    if kind == "ValueLengthFeaturizer":
+        f = ValueLengthFeaturizer()
+        f._stats = {a: (float(m), float(s)) for a, (m, s) in state["stats"].items()}
+        return f
+    if kind == "TokenFrequencyFeaturizer":
+        f = TokenFrequencyFeaturizer(alpha=state["alpha"])
+        f._counts = {a: {k: int(v) for k, v in pairs} for a, pairs in state["counts"].items()}
+        f._totals = {a: int(t) for a, t in state["totals"].items()}
         return f
     if kind == "ConstraintViolationFeaturizer":
         constraints = [decode_constraint(c) for c in state["constraints"]]
@@ -375,9 +406,24 @@ def save_detector(detector: HoloDetect, path: str | Path) -> None:
         "train_cells": [[c.row, c.attr] for c in sorted(
             detector._train_cells, key=lambda c: (c.row, c.attr)
         )],
+        "spec": detector.spec.to_dict() if detector.spec is not None else None,
     }
     (path / "state.json").write_text(json.dumps(state), encoding="utf-8")
     np.savez_compressed(path / "arrays.npz", **store.arrays)
+    if detector.spec is not None:
+        # Human-readable sidecar: the declarative composition + fingerprint.
+        (path / "spec.json").write_text(
+            json.dumps(
+                {
+                    "fingerprint": detector.spec.fingerprint(),
+                    "spec": detector.spec.to_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
 
 
 def load_detector(path: str | Path, dataset: Dataset) -> HoloDetect:
@@ -391,6 +437,10 @@ def load_detector(path: str | Path, dataset: Dataset) -> HoloDetect:
         store = ArrayStore({k: npz[k] for k in npz.files})
 
     detector = HoloDetect(_decode_config(state["config"]))
+    if state.get("spec") is not None:
+        from repro.spec import DetectorSpec
+
+        detector.spec = DetectorSpec.from_dict(state["spec"])
     detector.pipeline = _decode_pipeline(state["pipeline"], store)
     # Re-attach the block cache the config asked for (caches are never
     # persisted — they rebuild from hits on the first prediction pass).

@@ -1,0 +1,364 @@
+"""Declarative detector specification — ``repro.spec/v1``.
+
+HoloDetect is a composition: a representation model Q (featurizers), a
+learned noisy channel (augmentation policy), a classifier, and a
+calibrator.  A :class:`DetectorSpec` describes that composition as *data* —
+a TOML or JSON document — the way
+:class:`~repro.evaluation.matrix.ScenarioMatrix` describes evaluation
+sweeps.  Every component name resolves through the unified
+:mod:`repro.registry`, so a spec can reference built-ins by key and
+user-defined components as ``"module:attr"`` with zero repo edits.
+
+Spec layout (TOML; JSON mirrors it)::
+
+    schema = "repro.spec/v1"
+
+    [detector]                  # DetectorConfig fields, all optional
+    epochs = 40
+    embedding_dim = 16
+    seed = 0
+
+    featurizers = [             # optional: omit for the Table 7 default
+        "char_embedding",
+        { name = "format_3gram", least_k = 2 },
+        "mypkg.features:MyFeaturizer",          # module:attr reference
+    ]
+
+    policy = "learned"          # or "uniform", "random-channel", module:attr
+    calibrator = "platt"        # or "none", module:attr; table form for params
+
+Omitting ``featurizers`` selects the exact default pipeline the imperative
+constructor builds, so ``HoloDetect.from_spec(DetectorSpec.default())`` is
+bit-identical to ``HoloDetect(DetectorConfig())``.
+
+Like :class:`~repro.evaluation.matrix.ScenarioSpec`, a spec carries a
+SHA-256 content fingerprint over its canonical JSON form — stable under key
+reordering, whitespace, and equivalent shorthand (a bare string entry and
+its empty-params table form fingerprint identically).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.registry import REGISTRY, ComponentError
+
+#: Spec schema identifier; bump when the layout changes meaning.
+SPEC_SCHEMA = "repro.spec/v1"
+
+_TOP_LEVEL_KEYS = {"schema", "detector", "featurizers", "policy", "calibrator"}
+
+
+class SpecError(ValueError):
+    """A detector spec is malformed (unknown key, bad component, ...)."""
+
+
+def _canonical(payload: object) -> str:
+    """Canonical JSON: sorted keys at every depth, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _component_entry(raw: object, where: str) -> tuple[str, dict[str, object]]:
+    """Normalise a spec component entry (string or table) to (name, params)."""
+    if isinstance(raw, str):
+        return raw, {}
+    if isinstance(raw, Mapping):
+        entry = dict(raw)
+        name = entry.pop("name", None)
+        if not isinstance(name, str):
+            raise SpecError(f"{where} entry {raw!r} needs a string 'name'")
+        return name, entry
+    raise SpecError(f"{where} entry {raw!r} must be a string or a table with 'name'")
+
+
+def _emit_entry(name: str, params: Mapping[str, object]) -> object:
+    """The canonical emitted form: bare string unless params are present."""
+    return {"name": name, **params} if params else name
+
+
+def _freeze(value: object) -> object:
+    """Recursively convert mappings/sequences to hashable immutable forms
+    (mappings become sorted ``(key, value)`` pair tuples)."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _freeze_params(params: object) -> tuple:
+    """Freeze a parameter mapping; idempotent on already-frozen pairs.
+
+    The frozen form round-trips through ``dict(...)``, which is how every
+    consumer reads it back.
+    """
+    if isinstance(params, Mapping):
+        return _freeze(params)  # type: ignore[return-value]
+    return tuple(params)  # already pair tuples
+
+
+@dataclass(frozen=True)
+class DetectorSpec:
+    """A complete, buildable description of a HoloDetect detector.
+
+    ``detector`` holds :class:`~repro.core.detector.DetectorConfig` field
+    overrides; ``featurizers`` is ``None`` for the default Table 7 pipeline
+    or a tuple of ``(name, params)`` component references; ``policy`` and
+    ``calibrator`` are single component references.  Construct via
+    :meth:`from_dict` / :meth:`from_file` (which validate every component
+    eagerly) or :meth:`default`.
+
+    Parameter mappings may be passed as dicts; ``__post_init__`` freezes
+    them into sorted ``(key, value)`` pair tuples (read back with
+    ``dict(...)``), so instances are deeply immutable and hashable — a
+    validated spec cannot be mutated into an invalid one, and specs can key
+    sets and dicts alongside their fingerprints.
+    """
+
+    detector: Mapping[str, object] | tuple = field(default_factory=dict)
+    featurizers: tuple[tuple[str, Mapping[str, object] | tuple], ...] | None = None
+    policy: tuple[str, Mapping[str, object] | tuple] = ("learned", ())
+    calibrator: tuple[str, Mapping[str, object] | tuple] = ("platt", ())
+
+    def __post_init__(self) -> None:
+        freeze = object.__setattr__
+        freeze(self, "detector", _freeze_params(self.detector))
+        if self.featurizers is not None:
+            freeze(
+                self,
+                "featurizers",
+                tuple((n, _freeze_params(p)) for n, p in self.featurizers),
+            )
+        freeze(self, "policy", (self.policy[0], _freeze_params(self.policy[1])))
+        freeze(
+            self, "calibrator", (self.calibrator[0], _freeze_params(self.calibrator[1]))
+        )
+
+    # -- construction ---------------------------------------------------- #
+
+    @classmethod
+    def default(cls, **detector_overrides: object) -> "DetectorSpec":
+        """The spec equivalent of ``HoloDetect(DetectorConfig(**overrides))``."""
+        return cls(detector=dict(detector_overrides))
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "DetectorSpec":
+        """Validate and build a spec from a parsed mapping.
+
+        Every component reference is resolved through the registry *now* —
+        unknown names, unimportable ``module:attr`` references, and bad
+        parameters fail here with actionable messages, not inside ``fit()``.
+        """
+        if not isinstance(payload, Mapping):
+            raise SpecError("spec must be a mapping at top level")
+        unknown = set(payload) - _TOP_LEVEL_KEYS
+        if unknown:
+            raise SpecError(
+                f"unknown spec keys {sorted(unknown)}; valid: {sorted(_TOP_LEVEL_KEYS)}"
+            )
+        schema = payload.get("schema")
+        if schema != SPEC_SCHEMA:
+            raise SpecError(
+                f"spec needs schema = {SPEC_SCHEMA!r}, got {schema!r}"
+            )
+
+        detector = payload.get("detector", {})
+        if not isinstance(detector, Mapping):
+            raise SpecError("[detector] must be a table of DetectorConfig fields")
+        detector = dict(detector)
+        if "policy_override" in detector:
+            raise SpecError(
+                "policy_override is not spec-able; use the top-level "
+                "'policy' key instead"
+            )
+
+        raw_featurizers = payload.get("featurizers")
+        featurizers: tuple[tuple[str, Mapping[str, object]], ...] | None = None
+        if raw_featurizers is not None:
+            if isinstance(raw_featurizers, (str, bytes)) or not isinstance(
+                raw_featurizers, Sequence
+            ):
+                raise SpecError("featurizers must be a list of component references")
+            if not raw_featurizers:
+                raise SpecError(
+                    "featurizers must be a non-empty list; omit the key "
+                    "entirely for the default pipeline"
+                )
+            featurizers = tuple(
+                _component_entry(raw, "featurizers") for raw in raw_featurizers
+            )
+
+        policy = _component_entry(payload.get("policy", "learned"), "policy")
+        calibrator = _component_entry(payload.get("calibrator", "platt"), "calibrator")
+
+        spec = cls(
+            detector=detector,
+            featurizers=featurizers,
+            policy=policy,
+            calibrator=calibrator,
+        )
+        spec.validate()
+        return spec
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "DetectorSpec":
+        """Load a spec file; format chosen by suffix (.toml or .json)."""
+        path = Path(path)
+        if not path.exists():
+            raise SpecError(f"spec file not found: {path}")
+        suffix = path.suffix.lower()
+        if suffix == ".toml":
+            import tomllib
+
+            try:
+                payload = tomllib.loads(path.read_text(encoding="utf-8"))
+            except tomllib.TOMLDecodeError as exc:
+                raise SpecError(f"{path}: invalid TOML: {exc}") from exc
+        elif suffix == ".json":
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError as exc:
+                raise SpecError(f"{path}: invalid JSON: {exc}") from exc
+        else:
+            raise SpecError(
+                f"{path}: unsupported spec format {suffix!r} (use .toml or .json)"
+            )
+        try:
+            return cls.from_dict(payload)
+        except SpecError as exc:
+            raise SpecError(f"{path}: {exc}") from exc
+
+    # -- validation ------------------------------------------------------ #
+
+    def validate(self) -> "DetectorSpec":
+        """Resolve every referenced component; raise :class:`SpecError` on
+        the first failure.  Returns self for chaining."""
+        from repro.core.detector import DetectorConfig
+        from repro.features.pipeline import FeaturizerContext, build_pipeline
+
+        try:
+            config = DetectorConfig(**dict(self.detector))
+        except TypeError as exc:
+            valid = sorted(
+                f.name for f in dataclasses.fields(DetectorConfig)
+                if f.name != "policy_override"
+            )
+            raise SpecError(f"[detector]: {exc}; valid keys: {valid}") from exc
+        except ValueError as exc:
+            raise SpecError(f"[detector]: {exc}") from exc
+
+        if self.featurizers is not None:
+            ctx = FeaturizerContext(
+                embedding_dim=config.embedding_dim,
+                embedding_epochs=config.embedding_epochs,
+            )
+            try:
+                build_pipeline(list(self.featurizers), ctx)
+            except (ComponentError, ValueError) as exc:
+                raise SpecError(f"featurizers: {exc}") from exc
+
+        for kind, (name, params) in (
+            ("policy", self.policy),
+            ("calibrator", self.calibrator),
+        ):
+            try:
+                REGISTRY.create(kind, name, params)
+            except ComponentError as exc:
+                raise SpecError(str(exc)) from exc
+        return self
+
+    # -- canonical form + fingerprint ------------------------------------ #
+
+    def to_dict(self) -> dict[str, object]:
+        """The canonical JSON-able form (also the fingerprint input)."""
+        return {
+            "schema": SPEC_SCHEMA,
+            "detector": dict(self.detector),
+            "featurizers": (
+                None
+                if self.featurizers is None
+                else [_emit_entry(n, dict(p)) for n, p in self.featurizers]
+            ),
+            "policy": _emit_entry(self.policy[0], dict(self.policy[1])),
+            "calibrator": _emit_entry(self.calibrator[0], dict(self.calibrator[1])),
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical spec: stable across key ordering,
+        whitespace, shorthand/table component forms, and sessions."""
+        payload = f"{SPEC_SCHEMA}:{_canonical(self.to_dict())}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def to_file(self, path: str | Path) -> None:
+        """Write the canonical JSON form (pretty-printed) to ``path``."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # -- building -------------------------------------------------------- #
+
+    def build(self):
+        """Construct the (unfitted) detector this spec describes."""
+        from repro.core.detector import HoloDetect
+
+        return HoloDetect.from_spec(self)
+
+    def describe(self) -> str:
+        """Human-readable component summary (``repro spec describe``)."""
+        from repro.core.detector import DetectorConfig
+
+        config = DetectorConfig(**dict(self.detector))
+        lines = [
+            f"schema:      {SPEC_SCHEMA}",
+            f"fingerprint: {self.fingerprint()}",
+            "",
+            "[detector]",
+        ]
+        defaults = DetectorConfig()
+        for f in dataclasses.fields(DetectorConfig):
+            if f.name == "policy_override":
+                continue
+            value = getattr(config, f.name)
+            marker = "" if value == getattr(defaults, f.name) else "   (override)"
+            lines.append(f"  {f.name} = {value!r}{marker}")
+        lines.append("")
+        if self.featurizers is None:
+            lines.append("featurizers: <default Table 7 pipeline>")
+        else:
+            lines.append("featurizers:")
+            for name, params in self.featurizers:
+                suffix = f"  {dict(params)}" if params else ""
+                lines.append(f"  - {name}{suffix}")
+        for label, (name, params) in (
+            ("policy", self.policy),
+            ("calibrator", self.calibrator),
+        ):
+            suffix = f"  {dict(params)}" if params else ""
+            lines.append(f"{label + ':':<12} {name}{suffix}")
+        return "\n".join(lines)
+
+
+def load_spec(source: "DetectorSpec | Mapping[str, object] | str | Path") -> DetectorSpec:
+    """Coerce a spec source — instance, mapping, or file path — to a spec."""
+    if isinstance(source, DetectorSpec):
+        return source
+    if isinstance(source, Mapping):
+        return DetectorSpec.from_dict(source)
+    return DetectorSpec.from_file(source)
+
+
+def build(source: "DetectorSpec | Mapping[str, object] | str | Path"):
+    """Build an (unfitted) detector from a spec, mapping, or spec file.
+
+    The declarative mirror of ``HoloDetect(DetectorConfig(...))``::
+
+        detector = repro.build("detector.toml")
+        detector.fit(dataset, training, constraints)
+    """
+    return load_spec(source).build()

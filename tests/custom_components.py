@@ -1,0 +1,61 @@
+"""User-defined components referenced by ``module:attr`` in registry tests.
+
+This module deliberately lives *outside* ``repro`` — it stands in for a
+user's own package, exercising the zero-repo-edits extension path: every
+attribute here is reachable from specs and sweep files as
+``"custom_components:<attr>"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors.bart import ErrorProfile
+from repro.features.base import CellBatch, FeatureContext, Featurizer
+
+
+class ConstantFeaturizer(Featurizer):
+    """A one-dimensional featurizer emitting a constant — the simplest
+    possible custom representation model."""
+
+    name = "constant"
+    context = FeatureContext.ATTRIBUTE
+    scope = FeatureContext.ATTRIBUTE
+    branch = None
+
+    def __init__(self, value: float = 1.0):
+        self.value = float(value)
+        self._fitted = False
+
+    def fit(self, dataset) -> "ConstantFeaturizer":
+        self._fitted = True
+        return self
+
+    def transform_batch(self, batch: CellBatch) -> np.ndarray:
+        return np.full((len(batch), 1), self.value)
+
+    @property
+    def dim(self) -> int:
+        return 1
+
+
+#: A pre-built (non-callable) component: referenced as
+#: ``custom_components:PREBUILT_FEATURIZER`` and must take no parameters.
+PREBUILT_FEATURIZER = ConstantFeaturizer(value=2.5)
+
+
+def flag_nothing_method() -> object:
+    """A custom MethodFn factory: predicts no errors at all."""
+
+    def run(bundle, split, rng):
+        return set()
+
+    return run
+
+
+def heavy_typos(error_rate: float = 0.2) -> ErrorProfile:
+    """A custom error-profile factory."""
+    return ErrorProfile(error_rate=error_rate, typo_fraction=1.0)
+
+
+NOT_A_FEATURIZER = object()

@@ -146,3 +146,143 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    """A fast declarative detector spec on disk."""
+    path = tmp_path / "detector.toml"
+    path.write_text(
+        'schema = "repro.spec/v1"\n'
+        "[detector]\n"
+        "epochs = 5\n"
+        "embedding_dim = 6\n"
+        "seed = 0\n"
+    )
+    return path
+
+
+class TestVersionFlag:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestSpecCommand:
+    def test_validate_prints_fingerprint(self, spec_file, capsys):
+        assert main(["spec", "validate", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "valid repro.spec/v1" in out
+        assert "fingerprint:" in out
+
+    def test_describe_prints_components(self, spec_file, capsys):
+        assert main(["spec", "describe", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "epochs = 5   (override)" in out
+        assert "<default Table 7 pipeline>" in out
+        assert "calibrator:  platt" in out
+
+    def test_validate_rejects_bad_spec(self, tmp_path):
+        bad = tmp_path / "bad.toml"
+        bad.write_text('schema = "repro.spec/v1"\n[detector]\nepochs = -1\n')
+        with pytest.raises(SystemExit, match="epochs must be a positive integer"):
+            main(["spec", "validate", str(bad)])
+
+    def test_validate_rejects_unknown_component(self, tmp_path):
+        bad = tmp_path / "bad.toml"
+        bad.write_text('schema = "repro.spec/v1"\nfeaturizers = ["nope"]\n')
+        with pytest.raises(SystemExit, match="unknown featurizer 'nope'"):
+            main(["spec", "validate", str(bad)])
+
+
+class TestDetectWithSpec:
+    def test_detect_spec_and_json_report(self, workspace, spec_file):
+        import json
+
+        tmp_path, data_path, labels_path, constraints_path = workspace
+        output = tmp_path / "out.csv"
+        report = tmp_path / "report.json"
+        code = main(
+            [
+                "detect",
+                "--input", str(data_path),
+                "--labels", str(labels_path),
+                "--constraints", str(constraints_path),
+                "--output", str(output),
+                "--spec", str(spec_file),
+                "--json", str(report),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(report.read_text())
+        assert payload["schema"] == "repro.detect/v1"
+        assert payload["rows"] == 25
+        assert payload["attributes"] == ["zip", "city", "state"]
+        assert payload["scored_cells"] == len(payload["cells"])
+        assert payload["flagged_cells"] == sum(c["flagged"] for c in payload["cells"])
+        assert payload["spec_fingerprint"]
+        probs = [c["error_probability"] for c in payload["cells"]]
+        assert probs == sorted(probs, reverse=True)
+        # The triage CSV and the JSON report agree on the flag count.
+        with output.open() as f:
+            flagged_csv = sum(int(r["flagged"]) for r in csv.DictReader(f))
+        assert flagged_csv == payload["flagged_cells"]
+
+    def test_detect_spec_matches_flags_bit_for_bit(self, workspace, spec_file):
+        """--spec with the default composition reproduces the flag-built
+        detector exactly (old imperative path ≡ new declarative path)."""
+        tmp_path, data_path, labels_path, _ = workspace
+        out_flags = tmp_path / "flags.csv"
+        out_spec = tmp_path / "spec.csv"
+        base = [
+            "detect",
+            "--input", str(data_path),
+            "--labels", str(labels_path),
+        ]
+        assert main(base + ["--output", str(out_flags), "--epochs", "5", "--embedding-dim", "6"]) == 0
+        assert main(base + ["--output", str(out_spec), "--spec", str(spec_file)]) == 0
+        assert out_flags.read_text() == out_spec.read_text()
+
+    def test_detect_rejects_bad_spec_file(self, workspace, tmp_path):
+        _, data_path, labels_path, _ = workspace
+        bad = tmp_path / "bad.toml"
+        bad.write_text('schema = "repro.spec/v0"\n')
+        with pytest.raises(SystemExit, match="detector spec error"):
+            main(
+                [
+                    "detect",
+                    "--input", str(data_path),
+                    "--labels", str(labels_path),
+                    "--output", str(tmp_path / "o.csv"),
+                    "--spec", str(bad),
+                ]
+            )
+
+    def test_benchmark_accepts_spec(self, spec_file, capsys):
+        code = main(
+            [
+                "benchmark",
+                "--dataset", "hospital",
+                "--rows", "100",
+                "--spec", str(spec_file),
+            ]
+        )
+        assert code == 0
+        assert "hospital:" in capsys.readouterr().out
+
+    def test_invalid_flag_config_fails_fast(self, workspace, tmp_path):
+        _, data_path, labels_path, _ = workspace
+        with pytest.raises(SystemExit, match="invalid detector configuration"):
+            main(
+                [
+                    "detect",
+                    "--input", str(data_path),
+                    "--labels", str(labels_path),
+                    "--output", str(tmp_path / "o.csv"),
+                    "--epochs", "-2",
+                ]
+            )
