@@ -29,6 +29,7 @@ generators), ``repro.constraints`` / ``repro.nn`` / ``repro.embeddings`` /
 (the declarative public API).
 """
 
+from repro.artifacts import ArtifactStore
 from repro.core import DetectionSession, DetectorConfig, ErrorPredictions, HoloDetect
 from repro.data import DATASET_NAMES, DatasetBundle, load_dataset
 from repro.dataset import Cell, Dataset, DatasetDelta, GroundTruth, LabeledCell, TrainingSet
@@ -46,7 +47,7 @@ from repro.evaluation import (
 from repro.registry import REGISTRY, ComponentError, Registry
 from repro.spec import SPEC_SCHEMA, DetectorSpec, SpecError, build, load_spec
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "HoloDetect",
@@ -58,6 +59,7 @@ __all__ = [
     "REGISTRY",
     "Registry",
     "ComponentError",
+    "ArtifactStore",
     "DetectionSession",
     "DetectorConfig",
     "ErrorPredictions",

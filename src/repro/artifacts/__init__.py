@@ -1,0 +1,40 @@
+"""Content-addressed store of fitted artifacts (trained embeddings, fitted
+featurizer states).
+
+The fit path of the detector is dominated by work that is a *pure function*
+of its inputs: a FastText embedding is determined by (corpus content,
+embedding config), a co-occurrence table by (relation content).  The
+artifact store memoises those fits under a SHA-256 content key, served from
+an in-process LRU backed by an optional on-disk object directory, so a warm
+``fit()`` skips embedding training entirely and parallel sweep workers
+share one fit per (dataset, budget-independent component) instead of one
+per scenario.
+
+Modules:
+
+- :mod:`repro.artifacts.keys` — key derivation (canonical-JSON SHA-256 over
+  kind + scoped data fingerprint + component config) and the content-derived
+  training seeds that make fitted artifacts reusable across detector seeds;
+- :mod:`repro.artifacts.store` — :class:`ArtifactStore` (bounded LRU +
+  append/latest-wins disk objects, corrupt-tolerant) and its statistics;
+- :mod:`repro.artifacts.codec` — payload encode/decode for embeddings and
+  whole featurizer states;
+- :mod:`repro.artifacts.runtime` — the ambient default store that sweep
+  workers attach so every detector built in the process shares one store.
+"""
+
+from repro.artifacts.keys import ARTIFACT_SCHEMA, artifact_key, seed_material, training_seed
+from repro.artifacts.runtime import get_default_store, set_default_store, use_store
+from repro.artifacts.store import ArtifactStats, ArtifactStore
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactStats",
+    "ArtifactStore",
+    "artifact_key",
+    "get_default_store",
+    "seed_material",
+    "set_default_store",
+    "training_seed",
+    "use_store",
+]

@@ -1,0 +1,109 @@
+"""Payload encode/decode for the two artifact granularities.
+
+- **Embedding artifacts** — one trained
+  :class:`~repro.embeddings.fasttext.FastTextEmbedding` (the per-column
+  char/word models, the tuple and tuple-value models).  The payload is the
+  embedding's own serialisable state; arrays ride along as values and the
+  store handles their placement.
+- **Featurizer-state artifacts** — a whole fitted featurizer, reusing the
+  persistence layer's per-type encode/decode handlers (lazily imported to
+  avoid an import cycle: persistence imports the feature modules, which
+  import :mod:`repro.artifacts`).
+
+Decode always copies arrays out of the (shared, read-only) payload so a
+later in-place refit of the rebuilt model can never corrupt the store.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.artifacts.keys import artifact_key, training_seed
+from repro.embeddings.fasttext import FastTextEmbedding
+
+
+def embedding_payload(model: FastTextEmbedding) -> dict:
+    """Serialisable payload of a trained embedding."""
+    return model.to_state()
+
+
+def fit_embedding_artifact(
+    store,
+    kind: str,
+    scope: str,
+    config: Mapping[str, object],
+    train: Callable[[int], FastTextEmbedding],
+    meta: Mapping[str, object] | None = None,
+) -> tuple[str, FastTextEmbedding]:
+    """The one store-consult discipline for every embedding-backed fit.
+
+    Derives the artifact key, serves the trained model from ``store`` when
+    possible (a payload that fails to decode is treated as a miss), and
+    otherwise calls ``train(seed)`` with the content-derived training seed
+    and stores the result.  Returns ``(key, model)``; ``store`` may be
+    ``None`` (train only — the key is still the seed source).
+    """
+    key = artifact_key(kind, scope, config)
+    if store is not None:
+        payload = store.get(key)
+        if payload is not None:
+            try:
+                return key, embedding_from_payload(payload)
+            except Exception:
+                pass  # malformed payload: retrain (and overwrite) below
+    model = train(training_seed(key))
+    if store is not None:
+        store.put(key, embedding_payload(model), kind=kind, meta=meta)
+    return key, model
+
+
+def embedding_from_payload(payload: dict) -> FastTextEmbedding:
+    """Rebuild a trained embedding from :func:`embedding_payload` output."""
+    state = dict(payload)
+    state["in_table"] = np.array(payload["in_table"], dtype=np.float64)
+    state["out_table"] = np.array(payload["out_table"], dtype=np.float64)
+    return FastTextEmbedding.from_state(state)
+
+
+def _inline_array_store():
+    """An ArrayStore stand-in that keeps arrays *inline* in the state.
+
+    The persistence handlers route every array through a store and embed
+    the store's reference marker in the state dict.  For artifact payloads
+    the arrays stay in place instead (``put`` returns the array itself, and
+    ``get`` copies it back out), leaving exactly one array-placement layer
+    — the artifact store's own flatten/restore — so the two marker
+    namespaces can never collide.
+    """
+    from repro.persistence.detector_io import ArrayStore
+
+    class InlineArrayStore(ArrayStore):
+        def put(self, array):
+            return np.asarray(array)
+
+        def get(self, ref):
+            # Copy: payloads are shared with the store's LRU (read-only).
+            return np.array(ref)
+
+    return InlineArrayStore()
+
+
+def featurizer_payload(featurizer) -> dict | None:
+    """Serialisable payload of a fitted featurizer, or ``None`` when the
+    type has no persistence handler (custom components simply refit)."""
+    from repro.persistence.detector_io import _encode_featurizer
+
+    try:
+        state = _encode_featurizer(featurizer, _inline_array_store())
+    except TypeError:
+        return None
+    return {"state": state}
+
+
+def featurizer_from_payload(payload: dict):
+    """Rebuild a fitted featurizer from :func:`featurizer_payload` output."""
+    from repro.persistence.detector_io import _decode_featurizer
+
+    return _decode_featurizer(payload["state"], _inline_array_store())

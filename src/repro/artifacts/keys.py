@@ -1,0 +1,95 @@
+"""Artifact key and training-seed derivation.
+
+An artifact key is the SHA-256 of the canonical JSON of
+
+    (schema version, artifact kind, scoped data fingerprint, component
+    config, seed material)
+
+so the key — like the scenario fingerprints of
+:mod:`repro.evaluation.matrix` — is stable under dict key reordering,
+whitespace, processes, and sessions.  The *scope* is the same scoped
+fingerprint discipline the feature cache uses: a per-column embedding keys
+on its column's content fingerprint, a relation-wide model on the whole
+dataset fingerprint, so an edit to column A never invalidates column B's
+artifact.
+
+Training seeds are derived *from the key itself* (:func:`training_seed`):
+an embedding trained for a given (corpus, config) is seeded by the content
+it trains on, which is what makes a fitted artifact a pure function of its
+key — and hence shareable across detector seeds, label budgets, and trials
+of a sweep.  This is a deliberate, versioned change from the pre-artifact
+behaviour where embedding training consumed the detector's shared RNG
+stream (see "Fit-path artifacts" in ``docs/architecture.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping
+
+import numpy as np
+
+#: Key format version; bump when the derivation changes meaning (a bump
+#: invalidates every existing store, which is exactly the point).
+ARTIFACT_SCHEMA = "repro.artifact/v1"
+
+
+def _canonical(payload: object) -> str:
+    """Canonical JSON: sorted keys at every depth, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def artifact_key(
+    kind: str,
+    scope: str,
+    config: Mapping[str, object] | None = None,
+    seed: int | None = None,
+) -> str:
+    """The content key of one fitted artifact.
+
+    ``kind`` tags the artifact family (``"embedding/char"``,
+    ``"featurizer/cooccurrence"``, ...), ``scope`` is the scoped content
+    fingerprint of the data the fit reads, ``config`` the component's
+    JSON-able configuration, and ``seed`` optional extra seed material for
+    components whose output is not purely content-determined.
+    """
+    payload = {
+        "schema": ARTIFACT_SCHEMA,
+        "kind": kind,
+        "scope": scope,
+        "config": dict(config or {}),
+        "seed": seed,
+    }
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def training_seed(key: str) -> int:
+    """A deterministic 63-bit RNG seed derived from an artifact key.
+
+    Components with internal randomness (embedding init, negative sampling,
+    epoch shuffling) train from a generator seeded here, so the fitted
+    artifact is a pure function of its key: any process that derives the
+    same key trains — or reuses — bit-identical weights.
+    """
+    return int(key[:16], 16) % (2**63)
+
+
+def seed_material(rng: object) -> int | None:
+    """Coerce a legacy ``rng`` constructor argument into key material.
+
+    Featurizers historically accepted an ``rng`` (int seed or live
+    generator) that seeded their embedding training.  Training now seeds
+    from the artifact key; an explicitly passed ``rng`` survives as extra
+    key material so distinct seeds still yield distinct artifacts.  A live
+    generator contributes one draw — taken once, at construction — so the
+    caller's stream advances identically whether later fits are warm or
+    cold.
+    """
+    if rng is None:
+        return None
+    if isinstance(rng, (int, np.integer)):
+        return int(rng)
+    if isinstance(rng, np.random.Generator):
+        return int(rng.integers(0, 2**63 - 1))
+    raise TypeError(f"expected int, Generator, or None, got {type(rng)!r}")

@@ -1,0 +1,289 @@
+"""The content-addressed artifact store: bounded LRU + optional disk objects.
+
+A *payload* is a JSON-able dict that may carry numpy arrays as values at any
+depth (e.g. a :meth:`FastTextEmbedding.to_state` dict).  The store
+content-addresses payloads by the caller-derived key
+(:func:`repro.artifacts.keys.artifact_key`) at two tiers:
+
+- an **in-process LRU** (``max_entries`` payloads) serving repeated fits in
+  one process at dictionary-lookup cost;
+- an optional **on-disk object directory** shared across processes::
+
+      <dir>/objects/<key[:2]>/<key>.npz   # arrays + JSON state, one file per key
+      <dir>/index.jsonl                   # append-only manifest, latest-wins
+
+  Object writes are atomic (temp file + rename), so concurrent sweep
+  workers race benignly: both compute the same content and the second
+  rename is a no-op in effect.  The manifest follows the same append-only /
+  latest-wins / corrupt-tail-tolerant discipline as
+  :mod:`repro.evaluation.store`; it is informational (listing, sizes) —
+  reads always probe the object files, so a worker sees artifacts written
+  by its siblings after this store was opened.
+
+A corrupt or truncated object file (a killed worker mid-write outside the
+atomic path, disk trouble) is treated as a miss: the file is dropped,
+``stats.corrupt_dropped`` is bumped, and the caller refits.
+
+Payloads returned by :meth:`ArtifactStore.get` are shared with the LRU —
+treat them as read-only (the codec copies arrays into fresh models).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterator, Mapping
+
+import numpy as np
+
+#: JSON state entry inside each ``.npz`` object file.
+_STATE_KEY = "__state__"
+
+
+@dataclass
+class ArtifactStats:
+    """Hit/miss accounting for one :class:`ArtifactStore`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    corrupt_dropped: int = 0
+    write_errors: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0.0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-able counter snapshot (includes the derived totals)."""
+        payload = asdict(self)
+        payload["hits"] = self.hits
+        payload["lookups"] = self.lookups
+        return payload
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} hits / {self.lookups} lookups ({self.hit_rate:.0%}; "
+            f"{self.memory_hits} memory, {self.disk_hits} disk), "
+            f"{self.puts} stored, {self.corrupt_dropped} corrupt dropped"
+        )
+
+
+def _flatten(payload: object, arrays: dict[str, np.ndarray]) -> object:
+    """Replace ndarray leaves with ``{"__array__": ref}`` markers."""
+    if isinstance(payload, np.ndarray):
+        ref = f"a{len(arrays)}"
+        arrays[ref] = payload
+        return {"__array__": ref}
+    if isinstance(payload, Mapping):
+        return {str(k): _flatten(v, arrays) for k, v in payload.items()}
+    if isinstance(payload, (list, tuple)):
+        return [_flatten(v, arrays) for v in payload]
+    return payload
+
+
+def _restore(payload: object, arrays: Mapping[str, np.ndarray]) -> object:
+    """Inverse of :func:`_flatten`."""
+    if isinstance(payload, Mapping):
+        if set(payload) == {"__array__"}:
+            return arrays[payload["__array__"]]
+        return {k: _restore(v, arrays) for k, v in payload.items()}
+    if isinstance(payload, list):
+        return [_restore(v, arrays) for v in payload]
+    return payload
+
+
+class ArtifactStore:
+    """Bounded, thread-safe LRU of fitted-artifact payloads with optional
+    shared on-disk backing.
+
+    ``directory=None`` gives a process-local memory-only store (the warm-fit
+    case); a directory adds the cross-process object tier (the sweep case).
+    The directory is created lazily on the first write.
+    """
+
+    def __init__(self, directory: str | Path | None = None, max_entries: int = 64):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.directory = Path(directory) if directory is not None else None
+        self.max_entries = max_entries
+        self.stats = ArtifactStats()
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        where = str(self.directory) if self.directory is not None else "memory"
+        return (
+            f"ArtifactStore({where}, entries={len(self._entries)}/"
+            f"{self.max_entries}, {self.stats.summary()})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Paths
+    # ------------------------------------------------------------------ #
+
+    def object_path(self, key: str) -> Path | None:
+        """Disk path of one artifact object (``None`` for memory-only)."""
+        if self.directory is None:
+            return None
+        return self.directory / "objects" / key[:2] / f"{key}.npz"
+
+    @property
+    def index_path(self) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / "index.jsonl"
+
+    # ------------------------------------------------------------------ #
+    # Lookup / insert
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: str) -> dict | None:
+        """The payload stored under ``key``, or ``None`` on a miss.
+
+        Memory first, then the object directory; disk hits are promoted
+        into the LRU.  The returned dict is shared — treat as read-only.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.memory_hits += 1
+                return entry
+        payload = self._read_object(key)
+        with self._lock:
+            if payload is None:
+                self.stats.misses += 1
+                return None
+            self.stats.disk_hits += 1
+            self._insert(key, payload)
+        return payload
+
+    def put(self, key: str, payload: dict, kind: str = "artifact",
+            meta: Mapping[str, object] | None = None) -> None:
+        """Store ``payload`` under ``key`` (memory, and disk when backed).
+
+        ``kind`` and ``meta`` are recorded in the manifest only — the key
+        already encodes everything that determines the content.  A failed
+        disk write (full disk, lost permissions) is counted and swallowed:
+        the store is a wall-clock accelerator, and the fit that just
+        produced the payload must never fail because it could not be
+        memoised — the memory tier still serves it in-process.
+        """
+        if self.directory is not None:
+            try:
+                self._write_object(key, payload, kind, meta)
+            except Exception:
+                with self._lock:
+                    self.stats.write_errors += 1
+        with self._lock:
+            self.stats.puts += 1
+            self._insert(key, payload)
+
+    def _insert(self, key: str, payload: dict) -> None:
+        # Caller holds the lock.
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear_memory(self) -> None:
+        """Drop the in-process tier (disk objects are never evicted)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    # Disk tier
+    # ------------------------------------------------------------------ #
+
+    def _read_object(self, key: str) -> dict | None:
+        path = self.object_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                state = json.loads(str(npz[_STATE_KEY]))
+                arrays = {k: npz[k] for k in npz.files if k != _STATE_KEY}
+            return _restore(state, arrays)
+        except Exception:
+            # Truncated/corrupt object (killed writer, disk trouble): drop
+            # it and report a miss — the caller refits and re-stores.
+            with self._lock:
+                self.stats.corrupt_dropped += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _write_object(self, key: str, payload: dict, kind: str,
+                      meta: Mapping[str, object] | None) -> None:
+        path = self.object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays: dict[str, np.ndarray] = {}
+        state = _flatten(payload, arrays)
+        arrays[_STATE_KEY] = np.array(json.dumps(state, sort_keys=True))
+        # Atomic publish: a reader either sees the complete object or none.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                np.savez_compressed(f, **arrays)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._append_index(key, kind, path, meta)
+
+    def _append_index(self, key: str, kind: str, path: Path,
+                      meta: Mapping[str, object] | None) -> None:
+        record = {
+            "key": key,
+            "kind": kind,
+            "nbytes": path.stat().st_size,
+        }
+        if meta:
+            record["meta"] = dict(meta)
+        with self.index_path.open("a", encoding="utf-8") as f:
+            f.write(json.dumps(record, sort_keys=True) + "\n")
+            f.flush()
+
+    def index(self) -> Iterator[dict]:
+        """Manifest records (latest per key wins, corrupt lines skipped)."""
+        path = self.index_path
+        if path is None or not path.exists():
+            return iter(())
+        records: dict[str, dict] = {}
+        with path.open("r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    records[record["key"]] = record
+                except (json.JSONDecodeError, TypeError, KeyError):
+                    continue
+        return iter(records.values())

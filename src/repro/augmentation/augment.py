@@ -5,6 +5,24 @@ examples by transforming *correct* examples until the classes balance — or
 until a caller-specified error/correct ratio is reached (the knob behind the
 Fig. 6 imbalance study).  Acceptance probability α (a hyper-parameter tuned
 on the holdout) throttles how often a drawn example is kept.
+
+The generation loop is batch-vectorised: source indices and acceptance
+coins are drawn in fixed-size numpy chunks, and for the standard
+single-edit :class:`~repro.augmentation.policy.Policy` the conditional
+distribution Π̂(v) is memoised per unique source value and sampled by
+cumulative-probability inversion from bulk uniforms — the per-attempt
+Python cost drops to a dictionary lookup plus one string splice.  Policies
+that override :meth:`~repro.augmentation.policy.Policy.transform` or
+``sample`` (composite channels, the random-channel ablation) keep their
+custom semantics through a per-draw fallback.
+
+.. note::
+   The chunked draw order differs from the historical one-draw-per-attempt
+   loop, so a fixed seed produces a *different* (equally valid) example
+   sequence than pre-vectorisation versions.  This is part of the
+   documented fit-path seed bump (see "Fit-path artifacts" in
+   ``docs/architecture.md``); results remain fully deterministic given the
+   seed.
 """
 
 from __future__ import annotations
@@ -14,20 +32,73 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.augmentation.policy import Policy
+from repro.augmentation.transformations import Transformation
 from repro.dataset.training import LabeledCell, TrainingSet
 from repro.utils.rng import as_generator
+
+#: Attempts drawn per RNG chunk.  Fixed so the draw sequence — and hence
+#: the generated examples — depend only on the seed, never on `needed`.
+_CHUNK = 256
 
 
 @dataclass
 class AugmentationResult:
-    """Synthetic examples plus bookkeeping for diagnostics."""
+    """Synthetic examples plus bookkeeping for diagnostics.
+
+    ``attempts`` counts every draw the loop processed; the two rejection
+    counters split the unproductive ones so a stalled augmentation run is
+    diagnosable at a glance:
+
+    - ``rejected_alpha`` — draws discarded by the acceptance coin (α); high
+      values mean α is throttling, not the channel;
+    - ``identity_draws`` — draws where the policy produced nothing (no
+      applicable transformation) or round-tripped back to the source value;
+      high values mean the learned channel cannot perturb these sources.
+
+    ``attempts - rejected_alpha - identity_draws == len(examples)``.
+    """
 
     examples: list[LabeledCell]
     attempts: int
     distinct_sources: int
+    rejected_alpha: int = 0
+    identity_draws: int = 0
 
     def __len__(self) -> int:
         return len(self.examples)
+
+
+class _ConditionalSampler:
+    """Memoised Π̂(v) samplers for the vectorised fast path."""
+
+    def __init__(self, policy: Policy):
+        self._policy = policy
+        self._cache: dict[str, tuple[list[Transformation], np.ndarray] | None] = {}
+
+    def __call__(self, value: str) -> tuple[list[Transformation], np.ndarray] | None:
+        try:
+            return self._cache[value]
+        except KeyError:
+            pass
+        conditional = self._policy.conditional(value)
+        if not conditional:
+            sampler = None
+        else:
+            transformations = list(conditional)
+            cumulative = np.cumsum([conditional[t] for t in transformations])
+            cumulative[-1] = 1.0  # guard float drift at the top bin
+            sampler = (transformations, cumulative)
+        self._cache[value] = sampler
+        return sampler
+
+
+def _has_standard_sampling(policy: Policy) -> bool:
+    """True when the policy's generative process is the base single-edit
+    sample-then-apply — the contract the vectorised path reproduces."""
+    return (
+        type(policy).transform is Policy.transform
+        and type(policy).sample is Policy.sample
+    )
 
 
 def augment_training_set(
@@ -69,21 +140,51 @@ def augment_training_set(
     if needed == 0 or p == 0 or len(policy) == 0:
         return AugmentationResult([], 0, 0)
 
+    fast = _has_standard_sampling(policy)
+    samplers = _ConditionalSampler(policy) if fast else None
     examples: list[LabeledCell] = []
     sources: set[int] = set()
-    attempts = 0
+    attempts = rejected_alpha = identity_draws = 0
     max_attempts = max_attempts_factor * max(needed, 1)
     while len(examples) < needed and attempts < max_attempts:
-        attempts += 1
-        idx = int(gen.integers(0, p))
-        source = correct[idx]
-        if gen.random() >= alpha:
-            continue
-        transformed = policy.transform(source.observed, gen)
-        if transformed is None or transformed == source.observed:
-            continue
-        examples.append(
-            LabeledCell(cell=source.cell, observed=transformed, true=source.observed)
-        )
-        sources.add(idx)
-    return AugmentationResult(examples, attempts, len(sources))
+        # One chunk of attempt randomness: source indices, acceptance
+        # coins, and (fast path) transformation + position uniforms.
+        idx = gen.integers(0, p, size=_CHUNK)
+        coins = gen.random(_CHUNK)
+        if fast:
+            phi_us = gen.random(_CHUNK)
+            pos_us = gen.random(_CHUNK)
+        for k in range(_CHUNK):
+            if len(examples) >= needed or attempts >= max_attempts:
+                break
+            attempts += 1
+            if coins[k] >= alpha:
+                rejected_alpha += 1
+                continue
+            source = correct[int(idx[k])]
+            value = source.observed
+            if fast:
+                sampler = samplers(value)
+                if sampler is None:
+                    identity_draws += 1
+                    continue
+                transformations, cumulative = sampler
+                phi = transformations[
+                    int(np.searchsorted(cumulative, phi_us[k], side="right"))
+                ]
+                positions = phi.occurrences(value)
+                pos = positions[min(int(pos_us[k] * len(positions)), len(positions) - 1)]
+                transformed = value[:pos] + phi.dst + value[pos + len(phi.src):]
+            else:
+                transformed = policy.transform(value, gen)
+            if transformed is None or transformed == value:
+                identity_draws += 1
+                continue
+            examples.append(
+                LabeledCell(cell=source.cell, observed=transformed, true=value)
+            )
+            sources.add(int(idx[k]))
+    return AugmentationResult(
+        examples, attempts, len(sources),
+        rejected_alpha=rejected_alpha, identity_draws=identity_draws,
+    )

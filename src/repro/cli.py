@@ -158,6 +158,7 @@ def _detector_config(args: argparse.Namespace) -> DetectorConfig:
             prediction_batch=args.prediction_batch,
             prediction_workers=args.prediction_workers,
             feature_cache=not args.no_feature_cache,
+            artifact_dir=getattr(args, "artifacts", None),
         )
     except ValueError as exc:
         raise SystemExit(f"invalid detector configuration: {exc}") from exc
@@ -174,7 +175,11 @@ def _build_detector(args: argparse.Namespace) -> HoloDetect:
         except SpecError as exc:
             raise SystemExit(f"detector spec error: {exc}") from exc
         print(f"spec: {args.spec} (fingerprint {spec.fingerprint()[:12]})", file=sys.stderr)
-        return HoloDetect.from_spec(spec)
+        detector = HoloDetect.from_spec(spec)
+        if getattr(args, "artifacts", None):
+            # The flag wins over the spec's own [artifacts] table.
+            detector.use_artifacts(args.artifacts)
+        return detector
     return HoloDetect(_detector_config(args))
 
 
@@ -201,6 +206,18 @@ def _write_detect_json(
         "flagged_cells": int(flagged),
         "spec_fingerprint": (
             detector.spec.fingerprint() if detector.spec is not None else None
+        ),
+        # Additive repro.detect/v1 fields: fit/predict-path engine counters
+        # (null when the corresponding engine is disabled/absent).
+        "feature_cache": (
+            detector.cache_stats.as_dict()
+            if detector.cache_stats is not None
+            else None
+        ),
+        "artifact_store": (
+            detector.artifact_stats.as_dict()
+            if detector.artifact_stats is not None
+            else None
         ),
         "cells": [
             {
@@ -247,6 +264,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
         print(f"wrote {args.json}", file=sys.stderr)
     if detector.cache_stats is not None:
         print(f"feature cache: {detector.cache_stats.summary()}", file=sys.stderr)
+    if detector.artifact_stats is not None:
+        print(f"artifact store: {detector.artifact_stats.summary()}", file=sys.stderr)
     if args.save_model:
         from repro.persistence import save_detector
 
@@ -261,6 +280,8 @@ def cmd_rescore(args: argparse.Namespace) -> int:
         from repro.persistence import load_detector
 
         detector = load_detector(args.model, dataset)
+        if args.artifacts:
+            detector.use_artifacts(args.artifacts)
         print(f"loaded model from {args.model}", file=sys.stderr)
     elif args.labels:
         training = load_labels(args.labels, dataset)
@@ -296,6 +317,8 @@ def cmd_rescore(args: argparse.Namespace) -> int:
     print(f"wrote {args.output}: {flagged} cells flagged", file=sys.stderr)
     if detector.cache_stats is not None:
         print(f"feature cache: {detector.cache_stats.summary()}", file=sys.stderr)
+    if detector.artifact_stats is not None:
+        print(f"artifact store: {detector.artifact_stats.summary()}", file=sys.stderr)
     return 0
 
 
@@ -365,6 +388,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         resume=args.resume,
         executor=args.executor,
         on_result=progress,
+        artifact_dir=args.artifacts,
     )
     elapsed = time.perf_counter() - started
     print(report.table())
@@ -373,6 +397,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"{report.cached} cached) with {report.workers} worker(s) in {elapsed:.1f}s",
         file=sys.stderr,
     )
+    if report.artifacts is not None:
+        stats = report.artifacts["stats"]
+        print(
+            f"artifact store {report.artifacts['dir']}: "
+            f"{stats.get('hits', 0)} hits / {stats.get('lookups', 0)} lookups, "
+            f"{stats.get('puts', 0)} stored",
+            file=sys.stderr,
+        )
     if args.report:
         payload = report.to_json()
         payload["spec_file"] = str(args.spec)
@@ -459,6 +491,12 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable memoisation of transformed feature blocks",
         )
+        p.add_argument(
+            "--artifacts",
+            metavar="DIR",
+            help="fitted-artifact store directory: reuse trained embeddings "
+            "and fitted featurizer states across runs (see docs/architecture.md)",
+        )
 
     detect = sub.add_parser("detect", help="detect errors in a CSV")
     detect.add_argument("--input", required=True, help="input CSV (header row required)")
@@ -525,6 +563,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool flavour (scenarios are CPU-bound: use process)",
     )
     sweep.add_argument("--store", help="resumable JSONL result store path")
+    sweep.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        help="shared fitted-artifact store directory: workers reuse one "
+        "embedding/featurizer fit per (data, config) instead of one per scenario",
+    )
     sweep.add_argument(
         "--resume",
         action="store_true",

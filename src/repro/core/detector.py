@@ -19,10 +19,12 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import PurePath
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.artifacts import ArtifactStats, ArtifactStore, get_default_store
 from repro.augmentation.augment import augment_training_set
 from repro.augmentation.naive_bayes import NaiveBayesRepairModel
 from repro.augmentation.policy import Policy
@@ -80,6 +82,15 @@ class DetectorConfig:
     #: Threads featurising prediction chunks concurrently (1 = sequential).
     #: Scoring stays on the calling thread; only featurization fans out.
     prediction_workers: int = 1
+    #: Directory of an on-disk fitted-artifact store (:mod:`repro.artifacts`)
+    #: shared across fits and processes; ``None`` = no disk tier.
+    artifact_dir: str | None = None
+    #: Explicit :class:`~repro.artifacts.ArtifactStore` instance (wins over
+    #: ``artifact_dir``).  When both are unset the detector falls back to
+    #: the process-ambient store installed by sweep workers, if any.
+    artifact_store: ArtifactStore | None = field(
+        default=None, repr=False, compare=False
+    )
     seed: int = 0
     #: Override the learned policy (augmentation-strategy ablations, Table 4).
     policy_override: Policy | None = field(default=None, repr=False)
@@ -152,6 +163,19 @@ class DetectorConfig:
             raise ValueError(
                 f"seed must be a non-negative integer, got {self.seed!r}"
             )
+        if self.artifact_dir is not None and not isinstance(
+            self.artifact_dir, (str, PurePath)
+        ):
+            raise ValueError(
+                f"artifact_dir must be a path string or None, got {self.artifact_dir!r}"
+            )
+        if self.artifact_store is not None and not isinstance(
+            self.artifact_store, ArtifactStore
+        ):
+            raise ValueError(
+                f"artifact_store must be an ArtifactStore or None, "
+                f"got {type(self.artifact_store).__name__}"
+            )
 
 
 @dataclass
@@ -223,6 +247,18 @@ class HoloDetect:
             if self.config.feature_cache
             else None
         )
+        self._artifact_store: ArtifactStore | None = (
+            self.config.artifact_store
+            if self.config.artifact_store is not None
+            else (
+                ArtifactStore(directory=self.config.artifact_dir)
+                if self.config.artifact_dir
+                else None
+            )
+        )
+        #: Artifact keys consulted/stored by the last ``fit`` (labelled
+        #: ``model`` or ``model/<column>``); persisted with the detector.
+        self.artifact_keys: dict[str, str] = {}
         self.augmented_count = 0
         self._dataset: Dataset | None = None
         self._train_cells: set[Cell] = set()
@@ -242,12 +278,59 @@ class HoloDetect:
         # Directly-constructed DetectorSpec instances skip from_dict, so
         # validate here: every construction path fails fast, never in fit().
         spec.validate()
-        return cls(DetectorConfig(**dict(spec.detector)), spec=spec)
+        config_kwargs = dict(spec.detector)
+        artifacts = dict(spec.artifacts)
+        if artifacts.get("dir") is not None:
+            # The [artifacts] table is the only spec-able home for the
+            # store directory (validate() rejects it under [detector], so
+            # it can never enter the fingerprint).
+            config_kwargs["artifact_dir"] = artifacts["dir"]
+        return cls(DetectorConfig(**config_kwargs), spec=spec)
 
     @property
     def cache_stats(self) -> CacheStats | None:
         """Feature-cache accounting, or ``None`` when caching is disabled."""
         return self.cache.stats if self.cache is not None else None
+
+    @property
+    def artifacts(self) -> ArtifactStore | None:
+        """The fitted-artifact store in effect: the config's own store,
+        else the process-ambient one (sweep workers), else ``None``."""
+        # Explicit None check: an empty store is len()-falsy but valid.
+        if self._artifact_store is not None:
+            return self._artifact_store
+        return get_default_store()
+
+    @property
+    def artifact_stats(self) -> ArtifactStats | None:
+        """Artifact-store accounting, or ``None`` when no store is in effect."""
+        store = self.artifacts
+        return store.stats if store is not None else None
+
+    def use_artifacts(
+        self, store: "ArtifactStore | str | PurePath | None"
+    ) -> "HoloDetect":
+        """Attach a fitted-artifact store after construction.
+
+        Covers detectors whose config was not in the caller's hands — ones
+        built from a spec or reloaded from disk (``repro detect --spec
+        ... --artifacts DIR``, ``repro rescore --model ... --artifacts
+        DIR``).  An already-fitted pipeline is re-pointed too, so
+        subsequent ``refresh``/refit work consults the new store.
+
+        ``None`` clears the *explicitly attached* store only: the
+        process-ambient store (sweep workers), when installed, still
+        applies at the next ``fit()`` — detaching from the ambient tier is
+        the ambience manager's job (:func:`repro.artifacts.use_store`).
+        """
+        if isinstance(store, (str, PurePath)):
+            store = ArtifactStore(directory=store)
+        self._artifact_store = store
+        if self.pipeline is not None:
+            self.pipeline.artifacts = store
+            for featurizer in self.pipeline.featurizers:
+                featurizer.artifact_store = store
+        return self
 
     # ------------------------------------------------------------------ #
     # Fitting
@@ -269,10 +352,15 @@ class HoloDetect:
         if len(train_main) == 0:
             raise ValueError("training set is empty after holdout split")
 
-        # Module 2: representation model Q.
-        self.pipeline = self._build_pipeline(constraints, rng)
+        # Module 2: representation model Q.  With an artifact store in
+        # effect, fitted embeddings and featurizer states are served from
+        # it; a warm fit is bit-identical to a cold one because embedding
+        # training seeds derive from content, not from the shared stream.
+        self.pipeline = self._build_pipeline(constraints)
         self.pipeline.cache = self.cache
+        self.pipeline.artifacts = self.artifacts
         self.pipeline.fit(dataset)
+        self.artifact_keys = self.pipeline.artifact_keys
 
         # Module 1: noisy channel learning + augmentation.
         examples: list[LabeledCell] = list(train_main)
@@ -326,8 +414,17 @@ class HoloDetect:
             self.scaler.fit(np.zeros(0), np.zeros(0))
         return self
 
-    def _build_pipeline(self, constraints, rng) -> FeaturePipeline:
-        """The representation model Q: spec-declared or the Table 7 default."""
+    def _build_pipeline(self, constraints) -> FeaturePipeline:
+        """The representation model Q: spec-declared or the Table 7 default.
+
+        The detector deliberately does *not* thread its RNG stream into the
+        featurizers: embedding training seeds derive from corpus content
+        and component config (:mod:`repro.artifacts.keys`), which is what
+        makes fitted artifacts reusable across detector seeds, label
+        budgets, and trials, and keeps a store-served warm fit bit-identical
+        to a cold one.  (Versioned behaviour change — see "Fit-path
+        artifacts" in ``docs/architecture.md``.)
+        """
         cfg = self.config
         if self.spec is not None and self.spec.featurizers is not None:
             from repro.features.pipeline import FeaturizerContext, build_pipeline
@@ -336,7 +433,6 @@ class HoloDetect:
                 constraints=list(constraints) if constraints else (),
                 embedding_dim=cfg.embedding_dim,
                 embedding_epochs=cfg.embedding_epochs,
-                rng=rng,
             )
             return build_pipeline(list(self.spec.featurizers), ctx)
         return default_pipeline(
@@ -344,7 +440,6 @@ class HoloDetect:
             embedding_dim=cfg.embedding_dim,
             embedding_epochs=cfg.embedding_epochs,
             exclude=cfg.exclude_models,
-            rng=rng,
         )
 
     def _resolve_policy(self, dataset: Dataset, training: TrainingSet) -> Policy:
@@ -568,6 +663,13 @@ class DetectionSession:
         refitted: list[str] = []
         if refresh:
             refitted = self.detector.pipeline.refresh(self.dataset, delta)
+            if refitted:
+                # Refits may serve/store fresh artifacts; keep the
+                # detector's provenance keys current (merge — models not
+                # refitted keep their fit-time keys).
+                self.detector.artifact_keys.update(
+                    self.detector.pipeline.artifact_keys
+                )
         # New rows become new prediction targets, appended in row order.
         appended_cells = [
             cell

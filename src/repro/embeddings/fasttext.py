@@ -164,19 +164,39 @@ class FastTextEmbedding:
     def _collect_pairs(
         self, sentences: Sequence[Sequence[str]]
     ) -> tuple[np.ndarray, np.ndarray]:
-        centers: list[int] = []
-        contexts: list[int] = []
-        for sentence in sentences:
-            ids = [self._vocab[t] for t in sentence]
-            n = len(ids)
-            for pos, center in enumerate(ids):
-                lo = max(0, pos - self.window)
-                hi = min(n, pos + self.window + 1)
-                for other in range(lo, hi):
-                    if other != pos:
-                        centers.append(center)
-                        contexts.append(ids[other])
-        return np.asarray(centers, dtype=np.int64), np.asarray(contexts, dtype=np.int64)
+        """All (center, context) pairs within the window, vectorised.
+
+        One flat id array plus a parallel sentence-id array turn the
+        per-token window scan into sliding-window index arithmetic: for
+        each offset ``d`` the aligned slices ``flat[:-d]``/``flat[d:]``
+        are pair candidates, valid exactly where both sides fall in the
+        same sentence.  Each unordered co-occurrence is emitted in both
+        directions, matching the original per-position triple loop's pair
+        multiset (the emission *order* differs; training shuffles pairs
+        per epoch anyway).
+        """
+        vocab = self._vocab
+        lengths = np.fromiter((len(s) for s in sentences), dtype=np.int64,
+                              count=len(sentences))
+        total = int(lengths.sum())
+        flat = np.fromiter(
+            (vocab[t] for sentence in sentences for t in sentence),
+            dtype=np.int64, count=total,
+        )
+        sentence_ids = np.repeat(np.arange(lengths.size), lengths)
+        centers: list[np.ndarray] = []
+        contexts: list[np.ndarray] = []
+        for d in range(1, self.window + 1):
+            if d >= total:
+                break
+            same = sentence_ids[:-d] == sentence_ids[d:]
+            left, right = flat[:-d][same], flat[d:][same]
+            centers += [left, right]
+            contexts += [right, left]
+        if not centers:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(centers), np.concatenate(contexts)
 
     def _train_epoch(
         self, centers: np.ndarray, contexts: np.ndarray, noise: np.ndarray
@@ -260,19 +280,31 @@ class FastTextEmbedding:
         if self._in is None or self._out is None:
             raise RuntimeError("cannot serialise an unfitted embedding")
         return {
-            "config": {
-                "dim": self.dim,
-                "window": self.window,
-                "negatives": self.negatives,
-                "n_min": self.n_min,
-                "n_max": self.n_max,
-                "buckets": self.buckets,
-                "epochs": self.epochs,
-                "lr": self.lr,
-            },
+            "config": self.config_dict(),
             "vocabulary": list(self._index_to_word),
             "in_table": self._in,
             "out_table": self._out,
+        }
+
+    def config_dict(self) -> dict:
+        """Every constructor knob that shapes training, as a JSON-able dict.
+
+        Two uses: the ``config`` entry of :meth:`to_state` (rebuildable via
+        ``FastTextEmbedding(**config)``), and the component-config half of
+        embedding artifact keys (:mod:`repro.artifacts.keys`) — the full
+        enumeration is what guarantees that changing *any* training default
+        changes the key instead of silently serving stale weights.
+        """
+        return {
+            "dim": self.dim,
+            "window": self.window,
+            "negatives": self.negatives,
+            "n_min": self.n_min,
+            "n_max": self.n_max,
+            "buckets": self.buckets,
+            "epochs": self.epochs,
+            "lr": self.lr,
+            "max_pairs_per_epoch": self.max_pairs_per_epoch,
         }
 
     @classmethod

@@ -28,10 +28,13 @@ from __future__ import annotations
 import hashlib
 import json
 from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from functools import partial
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
+from repro.artifacts import ArtifactStore, get_default_store, set_default_store, use_store
 from repro.baselines.adapters import build_method
 from repro.data.registry import DEFAULT_ROWS, load_dataset
 from repro.errors.profiles import apply_profile, resolve_profile
@@ -379,6 +382,28 @@ def run_scenario(spec: ScenarioSpec) -> dict:
     return scenario_record(spec, result, timer.elapsed)
 
 
+def _init_artifact_worker(directory: str) -> None:
+    """Process-pool initializer: one shared-directory artifact store per
+    worker, ambient for every detector the worker builds."""
+    set_default_store(ArtifactStore(directory=directory))
+
+
+def _run_with_artifact_stats(runner: Callable[["ScenarioSpec"], dict], spec) -> dict:
+    """Run one scenario and report the artifact-store counter delta it
+    caused, so the coordinator can aggregate hit/miss totals across
+    workers without touching the (resume-stable) scenario record."""
+    store = get_default_store()
+    if store is None:
+        return {"record": runner(spec), "artifact_stats": None}
+    before = store.stats.as_dict()
+    record = runner(spec)
+    after = store.stats.as_dict()
+    return {
+        "record": record,
+        "artifact_stats": {k: after[k] - before[k] for k in after},
+    }
+
+
 #: Absolute ceiling on pool size — beyond this, worker startup cost
 #: dominates any timesharing benefit.
 MAX_WORKERS = 64
@@ -405,6 +430,11 @@ class SweepReport:
     executed: int
     cached: int
     workers: int
+    #: Artifact-store summary (``{"dir": ..., "stats": {...}}``) when the
+    #: sweep ran with a shared artifact directory; ``None`` otherwise.
+    #: Stats cover freshly executed scenarios only — records themselves
+    #: stay pure functions of their spec (the resume contract).
+    artifacts: dict | None = None
 
     @property
     def total(self) -> int:
@@ -435,8 +465,13 @@ class SweepReport:
         )
 
     def to_json(self) -> dict:
-        """The ``repro.sweep/v1`` report payload."""
-        return {
+        """The ``repro.sweep/v1`` report payload.
+
+        The ``artifacts`` key is additive (present only for sweeps run
+        with ``--artifacts``); consumers of the original schema are
+        unaffected.
+        """
+        payload = {
             "schema": SWEEP_SCHEMA,
             "matrix": self.matrix.to_dict(),
             "total": self.total,
@@ -445,10 +480,19 @@ class SweepReport:
             "workers": self.workers,
             "scenarios": self.records,
         }
+        if self.artifacts is not None:
+            payload["artifacts"] = self.artifacts
+        return payload
 
 
-def _make_pool(executor: str, workers: int) -> Executor:
+def _make_pool(executor: str, workers: int, artifact_dir: str | None) -> Executor:
     if executor == "process":
+        if artifact_dir is not None:
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_artifact_worker,
+                initargs=(artifact_dir,),
+            )
         return ProcessPoolExecutor(max_workers=workers)
     return ThreadPoolExecutor(max_workers=workers)
 
@@ -461,6 +505,7 @@ def run_matrix(
     executor: str = "process",
     on_result: Callable[[dict], None] | None = None,
     scenario_runner: Callable[[ScenarioSpec], dict] = run_scenario,
+    artifact_dir: str | Path | None = None,
 ) -> SweepReport:
     """Run every scenario in ``matrix``, fanning out over a worker pool.
 
@@ -476,9 +521,18 @@ def run_matrix(
     ``"thread"``, or ``"serial"`` (in-process loop, also used when only one
     worker is effective).  ``on_result`` is called in completion order from
     the coordinating process.
+
+    ``artifact_dir`` attaches a shared fitted-artifact store directory
+    (:mod:`repro.artifacts`): every worker serves trained embeddings and
+    fitted featurizer states from it, so scenarios that fit the same
+    component on the same data (the Table-2 shape: many methods × budgets
+    × trials over one dirty relation) share one fit instead of retraining.
+    Fits are content-seeded, so metrics are bit-identical with or without
+    the store, at any worker count.
     """
     if executor not in _EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; choose from {_EXECUTORS}")
+    artifact_dir = str(artifact_dir) if artifact_dir is not None else None
     specs = matrix.expand()
     fingerprints = [spec.fingerprint() for spec in specs]
     records: dict[str, dict] = {}
@@ -494,6 +548,23 @@ def run_matrix(
         else:
             pending.append(spec)
 
+    artifact_totals: dict[str, int] = {}
+    # The per-scenario stats envelope is only needed where the coordinator
+    # cannot see the store itself: the process executor.  In-process
+    # executors (serial/thread) read the single shared store's counters
+    # directly, which is also exact under thread interleaving.
+    wrap_stats = artifact_dir is not None and executor == "process"
+
+    def unwrap(result: dict) -> dict:
+        """Strip the artifact-stats envelope (present iff wrap_stats)."""
+        if not wrap_stats:
+            return result
+        delta = result.get("artifact_stats")
+        if delta:
+            for counter, value in delta.items():
+                artifact_totals[counter] = artifact_totals.get(counter, 0) + value
+        return result["record"]
+
     def finish(record: dict) -> None:
         record["cached"] = False
         if store is not None:
@@ -508,19 +579,37 @@ def run_matrix(
             f"/{spec.method} (fingerprint {spec.fingerprint()[:12]}) failed: {exc}"
         )
 
+    task: Callable[[ScenarioSpec], dict] = scenario_runner
+    if wrap_stats:
+        task = partial(_run_with_artifact_stats, scenario_runner)
+
+    def in_process_store():
+        if artifact_dir is None:
+            return nullcontext(None)
+        return use_store(ArtifactStore(directory=artifact_dir))
+
     effective = clamp_workers(workers, len(pending))
     if pending:
         if effective == 1 or executor == "serial":
             effective = 1
-            for spec in pending:
-                try:
-                    record = scenario_runner(spec)
-                except Exception as exc:
-                    raise scenario_error(spec, exc) from exc
-                finish(record)
+            with in_process_store() as shared:
+                for spec in pending:
+                    try:
+                        result = task(spec)
+                    except Exception as exc:
+                        raise scenario_error(spec, exc) from exc
+                    finish(unwrap(result))
+                if shared is not None:
+                    # Exact totals straight from the single shared store.
+                    artifact_totals = shared.stats.as_dict()
         else:
-            with _make_pool(executor, effective) as pool:
-                futures = {pool.submit(scenario_runner, spec): spec for spec in pending}
+            coordinator_store = (
+                in_process_store() if executor == "thread" else nullcontext(None)
+            )
+            with coordinator_store as shared, _make_pool(
+                executor, effective, artifact_dir
+            ) as pool:
+                futures = {pool.submit(task, spec): spec for spec in pending}
                 not_done = set(futures)
                 try:
                     while not_done:
@@ -533,7 +622,7 @@ def run_matrix(
                             if future.exception() is not None:
                                 failed = failed or future
                             else:
-                                finish(future.result())
+                                finish(unwrap(future.result()))
                         if failed is not None:
                             # Drop queued-but-unstarted scenarios, but let
                             # in-flight ones run to completion and flush
@@ -547,7 +636,7 @@ def run_matrix(
                                 # would block forever.  exception() blocks
                                 # only on genuinely in-flight work.
                                 if not future.cancelled() and future.exception() is None:
-                                    finish(future.result())
+                                    finish(unwrap(future.result()))
                             exc = failed.exception()
                             raise scenario_error(futures[failed], exc) from exc
                 except BaseException:
@@ -555,10 +644,17 @@ def run_matrix(
                     # finishing a doomed sweep.
                     pool.shutdown(wait=False, cancel_futures=True)
                     raise
+                if shared is not None:
+                    artifact_totals = shared.stats.as_dict()
     return SweepReport(
         matrix=matrix,
         records=[records[fingerprint] for fingerprint in fingerprints],
         executed=len(pending),
         cached=len(specs) - len(pending),
         workers=effective,
+        artifacts=(
+            None
+            if artifact_dir is None
+            else {"dir": artifact_dir, "stats": artifact_totals}
+        ),
     )

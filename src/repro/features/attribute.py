@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.artifacts.codec import fit_embedding_artifact
+from repro.artifacts.keys import seed_material
 from repro.dataset.table import Dataset, DatasetDelta
 from repro.embeddings.corpus import char_corpus, word_corpus
 from repro.embeddings.fasttext import FastTextEmbedding
@@ -32,34 +34,70 @@ from repro.text.ngrams import NGramModel, SymbolicNGramModel
 from repro.text.tokenize import char_tokens, word_tokens
 
 
-class CharEmbeddingFeaturizer(ColumnScopedFeaturizer):
-    """FastText embedding of the cell value as a *character* sequence.
+class _ColumnEmbeddingFeaturizer(ColumnScopedFeaturizer):
+    """Shared machinery of the per-column FastText featurizers.
 
-    One embedding model per attribute; the cell feature is the mean of its
-    character vectors.  Output feeds the ``char`` learnable branch.
+    One embedding model per attribute, trained on the column's
+    ``_view``-token corpus.  Each column's model is a content-addressed
+    fitted artifact (:mod:`repro.artifacts`): it is keyed by (corpus view,
+    column content fingerprint, embedding config), trains from a seed
+    derived from that key, and — when a store is attached — is served from
+    the store instead of retrained.  Scoping per column means an edit to
+    one column retrains (or re-fetches) only that column's model, the same
+    locality rule the PR-2 feature cache uses for transformed blocks.
     """
 
-    name = "char_embedding"
-    context = FeatureContext.ATTRIBUTE
-    scope = FeatureContext.ATTRIBUTE
-    branch = "char"
+    #: Corpus view tag ("char"/"word") — part of the artifact key.
+    _view: str = ""
 
     def __init__(self, dim: int = 16, epochs: int = 2, rng=None):
         self._dim = dim
         self._epochs = epochs
-        self._rng = rng
+        # Training seeds derive from the artifact key (content-addressed);
+        # an explicitly passed rng survives as extra key material so
+        # distinct seeds still produce distinct embeddings.
+        self._seed_material = seed_material(rng)
         self._models: dict[str, FastTextEmbedding] | None = None
+
+    @staticmethod
+    def _corpus(dataset: Dataset, attr: str) -> list[list[str]]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _tokens(value: str) -> list[str]:
+        raise NotImplementedError
+
+    def _embedding_config(self) -> dict:
+        # The full training-config enumeration (not just the knobs this
+        # featurizer exposes): a future change to any FastTextEmbedding
+        # default must change the key, never silently serve stale weights.
+        config = FastTextEmbedding(dim=self._dim, epochs=self._epochs).config_dict()
+        config["view"] = self._view
+        if self._seed_material is not None:
+            config["rng"] = self._seed_material
+        return config
 
     def _fit_column(self, dataset: Dataset, attr: str) -> None:
         # Default n-gram range: a single-character token "c" is wrapped
         # to "<c>" whose only 3-gram is itself, giving each character a
         # dedicated bucket.  (n_min=1 would make every character share
         # the "<" and ">" buckets, which destabilises training.)
-        model = FastTextEmbedding(dim=self._dim, epochs=self._epochs, rng=self._rng)
-        self._models[attr] = model.fit(char_corpus(dataset, attr))
+        key, model = fit_embedding_artifact(
+            self.artifact_store,
+            f"embedding/{self._view}",
+            dataset.column_fingerprint(attr),
+            self._embedding_config(),
+            lambda seed: FastTextEmbedding(
+                dim=self._dim, epochs=self._epochs, rng=seed
+            ).fit(self._corpus(dataset, attr)),
+            meta={"column": attr},
+        )
+        self._record_artifact(f"{self.name}/{attr}", key)
+        self._models[attr] = model
 
-    def fit(self, dataset: Dataset) -> "CharEmbeddingFeaturizer":
+    def fit(self, dataset: Dataset) -> "_ColumnEmbeddingFeaturizer":
         self._models = {}
+        self._artifact_keys = {}
         for attr in dataset.attributes:
             self._fit_column(dataset, attr)
         return self
@@ -70,7 +108,7 @@ class CharEmbeddingFeaturizer(ColumnScopedFeaturizer):
         for attr, by_value in batch.value_groups.items():
             model = self._models[attr]
             for value, idx in by_value.items():
-                tokens = char_tokens(value) or ["<empty>"]
+                tokens = self._tokens(value) or ["<empty>"]
                 out[idx] = model.sentence_vector(tokens)
         return out
 
@@ -79,7 +117,23 @@ class CharEmbeddingFeaturizer(ColumnScopedFeaturizer):
         return self._dim
 
 
-class WordEmbeddingFeaturizer(ColumnScopedFeaturizer):
+class CharEmbeddingFeaturizer(_ColumnEmbeddingFeaturizer):
+    """FastText embedding of the cell value as a *character* sequence.
+
+    One embedding model per attribute; the cell feature is the mean of its
+    character vectors.  Output feeds the ``char`` learnable branch.
+    """
+
+    name = "char_embedding"
+    context = FeatureContext.ATTRIBUTE
+    scope = FeatureContext.ATTRIBUTE
+    branch = "char"
+    _view = "char"
+    _corpus = staticmethod(char_corpus)
+    _tokens = staticmethod(char_tokens)
+
+
+class WordEmbeddingFeaturizer(_ColumnEmbeddingFeaturizer):
     """FastText embedding of the cell value as a *word* sequence.
 
     One model per attribute; cell feature is the mean of its word vectors.
@@ -91,36 +145,9 @@ class WordEmbeddingFeaturizer(ColumnScopedFeaturizer):
     context = FeatureContext.ATTRIBUTE
     scope = FeatureContext.ATTRIBUTE
     branch = "word"
-
-    def __init__(self, dim: int = 16, epochs: int = 2, rng=None):
-        self._dim = dim
-        self._epochs = epochs
-        self._rng = rng
-        self._models: dict[str, FastTextEmbedding] | None = None
-
-    def _fit_column(self, dataset: Dataset, attr: str) -> None:
-        model = FastTextEmbedding(dim=self._dim, epochs=self._epochs, rng=self._rng)
-        self._models[attr] = model.fit(word_corpus(dataset, attr))
-
-    def fit(self, dataset: Dataset) -> "WordEmbeddingFeaturizer":
-        self._models = {}
-        for attr in dataset.attributes:
-            self._fit_column(dataset, attr)
-        return self
-
-    def transform_batch(self, batch: CellBatch) -> np.ndarray:
-        self._require_fitted("_models")
-        out = np.zeros((len(batch), self._dim))
-        for attr, by_value in batch.value_groups.items():
-            model = self._models[attr]
-            for value, idx in by_value.items():
-                tokens = word_tokens(value) or ["<empty>"]
-                out[idx] = model.sentence_vector(tokens)
-        return out
-
-    @property
-    def dim(self) -> int:
-        return self._dim
+    _view = "word"
+    _corpus = staticmethod(word_corpus)
+    _tokens = staticmethod(word_tokens)
 
 
 class FormatNGramFeaturizer(ColumnScopedFeaturizer):

@@ -232,6 +232,17 @@ class Featurizer:
     scope: FeatureContext = FeatureContext.DATASET
     branch: str | None = None
     _cache_token: str | None = None
+    #: Whole-state artifact kind tag (see :mod:`repro.artifacts`).  ``None``
+    #: means this featurizer is not stored at whole-state granularity —
+    #: either its fit is too cheap to be worth a store round-trip (n-gram
+    #: counts, frequencies, one-hots) or it manages finer-grained artifacts
+    #: itself (the per-column embedding models).
+    artifact_kind: str | None = None
+    #: The fitted-artifact store in effect for this fit, attached by
+    #: :meth:`FeaturePipeline.fit` (and left in place so column-scoped
+    #: ``refresh`` consults it too).  ``None`` disables store consultation.
+    artifact_store = None
+    _artifact_keys: "dict[str, str] | None" = None
 
     def fit(self, dataset: Dataset) -> "Featurizer":
         """Learn the model's statistics from the (noisy) input dataset D.
@@ -253,9 +264,90 @@ class Featurizer:
         """
         if delta.is_empty:
             return False
-        self.fit(dataset)
+        self.fit_through_store(dataset)
         self.reset_cache_token()
         return True
+
+    def fit_through_store(self, dataset: Dataset) -> None:
+        """Fit, serving/storing the whole fitted state through the attached
+        artifact store when this featurizer declares an :attr:`artifact_kind`.
+
+        Used by both :meth:`FeaturePipeline.fit` and the base
+        :meth:`refresh`, so an interactive-loop refit consults the store
+        exactly like an initial fit.  The artifact key is recorded store or
+        not — it is a pure content/config derivation, and persisted
+        detectors carry it as provenance.
+        """
+        if self.artifact_kind is None:
+            self.fit(dataset)
+            return
+        from repro.artifacts.codec import featurizer_from_payload, featurizer_payload
+        from repro.artifacts.keys import artifact_key
+
+        key = artifact_key(
+            self.artifact_kind, self.artifact_scope(dataset), self.artifact_config()
+        )
+        store = self.artifact_store
+        if store is not None:
+            payload = store.get(key)
+            if payload is not None and self._adopt_state(payload, featurizer_from_payload):
+                self._artifact_keys = {self.name: key}
+                return
+        self.fit(dataset)
+        self._artifact_keys = {self.name: key}
+        if store is not None:
+            payload = featurizer_payload(self)
+            if payload is not None:
+                store.put(key, payload, kind=self.artifact_kind)
+
+    def _adopt_state(self, payload: dict, decode) -> bool:
+        """Take a stored fitted state in place; False on any decode trouble
+        (the caller then refits — a bad artifact must never break a fit)."""
+        try:
+            loaded = decode(payload)
+        except Exception:
+            return False
+        if type(loaded) is not type(self):
+            return False
+        keep = {
+            k: self.__dict__[k]
+            for k in ("artifact_store", "_artifact_keys")
+            if k in self.__dict__
+        }
+        self.__dict__.update(loaded.__dict__)
+        self.__dict__.update(keep)
+        return True
+
+    # -- fitted-artifact participation (see repro.artifacts) ------------ #
+
+    def artifact_config(self) -> dict:
+        """JSON-able configuration identifying this component for keying.
+
+        Together with :attr:`artifact_kind` and :meth:`artifact_scope` this
+        determines the whole-state artifact key; subclasses with knobs that
+        change the fitted state must include them here.
+        """
+        return {}
+
+    def artifact_scope(self, dataset: Dataset) -> str:
+        """Scoped content fingerprint of the data this model's fit reads.
+
+        Defaults to the whole-relation fingerprint; models fitting narrower
+        state may override (the per-column embedding featurizers key each
+        column's model on that column's fingerprint instead).
+        """
+        return dataset.fingerprint()
+
+    @property
+    def artifact_keys(self) -> dict[str, str]:
+        """Artifact keys consulted/stored by the most recent fit, labelled
+        ``name`` (whole-state) or ``name/<column>`` (per-column)."""
+        return dict(self._artifact_keys or {})
+
+    def _record_artifact(self, label: str, key: str) -> None:
+        if self._artifact_keys is None:
+            self._artifact_keys = {}
+        self._artifact_keys[label] = key
 
     def scoped_fingerprint(self, batch: CellBatch) -> str:
         """The dataset fingerprint keying this model's block for ``batch``.

@@ -63,6 +63,16 @@ class CacheStats:
         """Fraction of lookups served from cache (0.0 when never used)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def as_dict(self) -> dict[str, int]:
+        """JSON-able counter snapshot (includes the derived ``lookups``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "lookups": self.lookups,
+        }
+
     def summary(self) -> str:
         return (
             f"{self.hits} hits / {self.lookups} lookups "

@@ -12,6 +12,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.artifacts.codec import fit_embedding_artifact
+from repro.artifacts.keys import seed_material
 from repro.constraints.dc import DenialConstraint
 from repro.constraints.violations import ViolationEngine
 from repro.dataset.table import Cell, Dataset
@@ -39,6 +41,24 @@ class ConstraintViolationFeaturizer(Featurizer):
     #: cell's row — so a block depends on at most the batch rows' contents.
     scope = FeatureContext.TUPLE
     branch = None
+    #: Violation counts + FD indexes are pure functions of (relation, Σ):
+    #: stored whole as a fitted artifact, keyed on both (Σ enters via
+    #: :meth:`artifact_config`).
+    artifact_kind = "featurizer/constraint_violations"
+
+    def artifact_config(self) -> dict:
+        return {
+            "constraints": [
+                {
+                    "name": c.name,
+                    "predicates": [
+                        [p.left_attr, p.op, p.right_attr, p.constant]
+                        for p in c.predicates
+                    ],
+                }
+                for c in self._constraints
+            ]
+        }
 
     def __init__(self, constraints: Sequence[DenialConstraint]):
         self._constraints = list(constraints)
@@ -164,14 +184,31 @@ class NeighborhoodFeaturizer(Featurizer):
     def __init__(self, dim: int = 16, epochs: int = 2, rng=None):
         self._dim = dim
         self._epochs = epochs
-        self._rng = rng
+        self._seed_material = seed_material(rng)
         self._model: FastTextEmbedding | None = None
         self._cache: dict[str, float] = {}
 
+    def _embedding_config(self) -> dict:
+        # Full training config so any default change rekeys the artifact.
+        config = FastTextEmbedding(
+            dim=self._dim, epochs=self._epochs, window=8
+        ).config_dict()
+        if self._seed_material is not None:
+            config["rng"] = self._seed_material
+        return config
+
     def fit(self, dataset: Dataset) -> "NeighborhoodFeaturizer":
-        self._model = FastTextEmbedding(
-            dim=self._dim, epochs=self._epochs, window=8, rng=self._rng
-        ).fit(tuple_value_corpus(dataset))
+        key, model = fit_embedding_artifact(
+            self.artifact_store,
+            "embedding/tuple-value",
+            dataset.fingerprint(),
+            self._embedding_config(),
+            lambda seed: FastTextEmbedding(
+                dim=self._dim, epochs=self._epochs, window=8, rng=seed
+            ).fit(tuple_value_corpus(dataset)),
+        )
+        self._artifact_keys = {self.name: key}
+        self._model = model
         self._cache = {}
         return self
 

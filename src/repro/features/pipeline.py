@@ -251,7 +251,10 @@ class FeaturePipeline:
     """Fits featurizers on a dataset and transforms cells into model inputs."""
 
     def __init__(
-        self, featurizers: Sequence[Featurizer], cache: "FeatureCache | None" = None
+        self,
+        featurizers: Sequence[Featurizer],
+        cache: "FeatureCache | None" = None,
+        artifacts=None,
     ):
         names = [f.name for f in featurizers]
         if len(set(names)) != len(names):
@@ -260,6 +263,10 @@ class FeaturePipeline:
         #: Optional block cache; assign a ``FeatureCache`` at any time to
         #: start memoising, or set back to ``None`` to bypass it.
         self.cache = cache
+        #: Optional fitted-artifact store (:mod:`repro.artifacts`); when
+        #: attached, :meth:`fit` serves trained embeddings and fitted
+        #: featurizer states from it instead of retraining.
+        self.artifacts = artifacts
         self._fitted = False
         self._numeric_mean: np.ndarray | None = None
         self._numeric_std: np.ndarray | None = None
@@ -268,22 +275,46 @@ class FeaturePipeline:
     def model_names(self) -> list[str]:
         return [f.name for f in self.featurizers]
 
+    @property
+    def artifact_keys(self) -> dict[str, str]:
+        """Artifact keys of the last fit, labelled ``model`` or
+        ``model/<column>`` (empty before :meth:`fit`)."""
+        keys: dict[str, str] = {}
+        for featurizer in self.featurizers:
+            keys.update(featurizer.artifact_keys)
+        return keys
+
     def without(self, name: str) -> "FeaturePipeline":
         """A new (unfitted) pipeline with one representation model removed."""
         remaining = [f for f in self.featurizers if f.name != name]
         if len(remaining) == len(self.featurizers):
             raise ValueError(f"no featurizer named {name!r}")
-        return FeaturePipeline(remaining, cache=self.cache)
+        return FeaturePipeline(remaining, cache=self.cache, artifacts=self.artifacts)
 
     def fit(self, dataset: Dataset) -> "FeaturePipeline":
-        """Fit every representation model on the noisy input dataset D."""
+        """Fit every representation model on the noisy input dataset D.
+
+        With an artifact store attached (:attr:`artifacts`), each model's
+        fit first consults the store: whole-state artifacts here, and —
+        inside the column-scoped embedding featurizers — per-column
+        embedding artifacts.  Served or trained, the result is identical
+        (training seeds are content-derived), so a warm fit changes nothing
+        but wall-clock time.
+        """
         for featurizer in self.featurizers:
-            featurizer.fit(dataset)
+            self._fit_featurizer(featurizer, dataset)
             # A refit invalidates any cached blocks of the previous fit.
             featurizer.reset_cache_token()
         self._fit_standardisation(dataset)
         self._fitted = True
         return self
+
+    def _fit_featurizer(self, featurizer: Featurizer, dataset: Dataset) -> None:
+        """Fit one model, through the artifact store when possible."""
+        # Attached for the duration of the pipeline's life so per-column
+        # fits (and later column-scoped refreshes) consult the same store.
+        featurizer.artifact_store = self.artifacts
+        featurizer.fit_through_store(dataset)
 
     def refresh(self, dataset: Dataset, delta: DatasetDelta) -> list[str]:
         """Refit only the models whose fitted state ``delta`` dirties.

@@ -16,6 +16,8 @@ from collections import defaultdict
 
 import numpy as np
 
+from repro.artifacts.codec import fit_embedding_artifact
+from repro.artifacts.keys import seed_material
 from repro.dataset.table import Cell, Dataset
 from repro.embeddings.corpus import tuple_corpus
 from repro.embeddings.fasttext import FastTextEmbedding
@@ -38,6 +40,9 @@ class CooccurrenceFeaturizer(Featurizer):
     #: The transform reads the cell's row-mates — tuple-scoped.
     scope = FeatureContext.TUPLE
     branch = None
+    #: The fitted joint-count tables are a pure function of the relation:
+    #: stored whole as a fitted artifact and reloaded on a warm fit.
+    artifact_kind = "featurizer/cooccurrence"
 
     def __init__(self) -> None:
         # (attr_a, value_a) -> (attr_b -> (value_b -> count))
@@ -115,13 +120,33 @@ class TupleEmbeddingFeaturizer(Featurizer):
     def __init__(self, dim: int = 16, epochs: int = 2, rng=None):
         self._dim = dim
         self._epochs = epochs
-        self._rng = rng
+        self._seed_material = seed_material(rng)
         self._model: FastTextEmbedding | None = None
 
+    def _embedding_config(self) -> dict:
+        # Full training config so any default change rekeys the artifact.
+        config = FastTextEmbedding(
+            dim=self._dim, epochs=self._epochs, window=8
+        ).config_dict()
+        if self._seed_material is not None:
+            config["rng"] = self._seed_material
+        return config
+
     def fit(self, dataset: Dataset) -> "TupleEmbeddingFeaturizer":
-        self._model = FastTextEmbedding(
-            dim=self._dim, epochs=self._epochs, window=8, rng=self._rng
-        ).fit(tuple_corpus(dataset))
+        # The tuple corpus pools every attribute, so the artifact scope is
+        # the whole-relation fingerprint; the training seed derives from
+        # the key (content-addressed — see repro.artifacts.keys).
+        key, model = fit_embedding_artifact(
+            self.artifact_store,
+            "embedding/tuple",
+            dataset.fingerprint(),
+            self._embedding_config(),
+            lambda seed: FastTextEmbedding(
+                dim=self._dim, epochs=self._epochs, window=8, rng=seed
+            ).fit(tuple_corpus(dataset)),
+        )
+        self._artifact_keys = {self.name: key}
+        self._model = model
         return self
 
     def transform_batch(self, batch: CellBatch) -> np.ndarray:

@@ -365,13 +365,20 @@ def _decode_pipeline(state: dict, store: ArrayStore) -> FeaturePipeline:
 # --------------------------------------------------------------------- #
 
 
+#: Config fields that are live objects, not serialisable settings.
+_UNSAVED_CONFIG_FIELDS = ("policy_override", "artifact_store")
+
+
 def _encode_config(config: DetectorConfig) -> dict:
     state = {
         field: getattr(config, field)
         for field in config.__dataclass_fields__
-        if field != "policy_override"
+        if field not in _UNSAVED_CONFIG_FIELDS
     }
     state["exclude_models"] = list(state["exclude_models"])
+    if state.get("artifact_dir") is not None:
+        # Path objects are valid config values but not JSON.
+        state["artifact_dir"] = str(state["artifact_dir"])
     return state
 
 
@@ -403,6 +410,10 @@ def save_detector(detector: HoloDetect, path: str | Path) -> None:
         "scaler": {"a": detector.scaler.a, "b": detector.scaler.b},
         "policy": encode_policy(detector.policy) if detector.policy else None,
         "augmented_count": detector.augmented_count,
+        # The content keys of the fitted artifacts this detector was built
+        # from (see repro.artifacts) — provenance linking a saved model to
+        # the store entries that can rebuild its representation models.
+        "artifact_keys": dict(detector.artifact_keys),
         "train_cells": [[c.row, c.attr] for c in sorted(
             detector._train_cells, key=lambda c: (c.row, c.attr)
         )],
@@ -445,6 +456,11 @@ def load_detector(path: str | Path, dataset: Dataset) -> HoloDetect:
     # Re-attach the block cache the config asked for (caches are never
     # persisted — they rebuild from hits on the first prediction pass).
     detector.pipeline.cache = detector.cache
+    if detector._artifact_store is not None:
+        # Re-point the decoded pipeline at the config's artifact store too,
+        # so refresh-time refits consult it (store contents live on disk;
+        # only the attachment needs rebuilding).
+        detector.use_artifacts(detector._artifact_store)
     model_state = state["model"]
     detector.model = JointModel(
         numeric_dim=model_state["numeric_dim"],
@@ -461,6 +477,8 @@ def load_detector(path: str | Path, dataset: Dataset) -> HoloDetect:
     detector.scaler._fitted = True
     detector.policy = decode_policy(state["policy"]) if state["policy"] else None
     detector.augmented_count = state["augmented_count"]
+    # Saves from before the artifact store load with no keys.
+    detector.artifact_keys = dict(state.get("artifact_keys", {}))
     detector._train_cells = {Cell(int(r), a) for r, a in state["train_cells"]}
     detector._dataset = dataset
     return detector

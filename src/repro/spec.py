@@ -27,6 +27,9 @@ Spec layout (TOML; JSON mirrors it)::
     policy = "learned"          # or "uniform", "random-channel", module:attr
     calibrator = "platt"        # or "none", module:attr; table form for params
 
+    [artifacts]                 # optional fitted-artifact store (repro.artifacts)
+    dir = "artifacts/"          # excluded from the fingerprint (execution detail)
+
 Omitting ``featurizers`` selects the exact default pipeline the imperative
 constructor builds, so ``HoloDetect.from_spec(DetectorSpec.default())`` is
 bit-identical to ``HoloDetect(DetectorConfig())``.
@@ -51,7 +54,10 @@ from repro.registry import REGISTRY, ComponentError
 #: Spec schema identifier; bump when the layout changes meaning.
 SPEC_SCHEMA = "repro.spec/v1"
 
-_TOP_LEVEL_KEYS = {"schema", "detector", "featurizers", "policy", "calibrator"}
+_TOP_LEVEL_KEYS = {"schema", "detector", "featurizers", "policy", "calibrator", "artifacts"}
+
+#: Valid keys of the optional ``[artifacts]`` table.
+_ARTIFACT_KEYS = {"dir"}
 
 
 class SpecError(ValueError):
@@ -124,10 +130,17 @@ class DetectorSpec:
     featurizers: tuple[tuple[str, Mapping[str, object] | tuple], ...] | None = None
     policy: tuple[str, Mapping[str, object] | tuple] = ("learned", ())
     calibrator: tuple[str, Mapping[str, object] | tuple] = ("platt", ())
+    #: The optional ``[artifacts]`` table (``dir`` = fitted-artifact store
+    #: directory).  Deliberately **excluded from the fingerprint**: the
+    #: store is an execution accelerator, not part of the detector's
+    #: mathematical composition — two specs differing only here describe
+    #: bit-identical detectors.
+    artifacts: Mapping[str, object] | tuple = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         freeze = object.__setattr__
         freeze(self, "detector", _freeze_params(self.detector))
+        freeze(self, "artifacts", _freeze_params(self.artifacts))
         if self.featurizers is not None:
             freeze(
                 self,
@@ -176,6 +189,14 @@ class DetectorSpec:
                 "policy_override is not spec-able; use the top-level "
                 "'policy' key instead"
             )
+        for key in ("artifact_store", "artifact_dir"):
+            if key in detector:
+                raise SpecError(
+                    f"{key} is not spec-able under [detector]; point the "
+                    "[artifacts] table's 'dir' at a store directory instead "
+                    "(the store location is an execution detail and must "
+                    "never enter the spec fingerprint)"
+                )
 
         raw_featurizers = payload.get("featurizers")
         featurizers: tuple[tuple[str, Mapping[str, object]], ...] | None = None
@@ -196,11 +217,16 @@ class DetectorSpec:
         policy = _component_entry(payload.get("policy", "learned"), "policy")
         calibrator = _component_entry(payload.get("calibrator", "platt"), "calibrator")
 
+        artifacts = payload.get("artifacts", {})
+        if not isinstance(artifacts, Mapping):
+            raise SpecError("[artifacts] must be a table")
+
         spec = cls(
             detector=detector,
             featurizers=featurizers,
             policy=policy,
             calibrator=calibrator,
+            artifacts=dict(artifacts),
         )
         spec.validate()
         return spec
@@ -241,12 +267,21 @@ class DetectorSpec:
         from repro.core.detector import DetectorConfig
         from repro.features.pipeline import FeaturizerContext, build_pipeline
 
+        detector = dict(self.detector)
+        for key in ("artifact_store", "artifact_dir"):
+            if key in detector:
+                # Guard direct construction too: the store location must
+                # never enter the (fingerprinted) [detector] table.
+                raise SpecError(
+                    f"{key} is not spec-able under [detector]; use the "
+                    "[artifacts] table's 'dir' key instead"
+                )
         try:
-            config = DetectorConfig(**dict(self.detector))
+            config = DetectorConfig(**detector)
         except TypeError as exc:
             valid = sorted(
                 f.name for f in dataclasses.fields(DetectorConfig)
-                if f.name != "policy_override"
+                if f.name not in ("policy_override", "artifact_store", "artifact_dir")
             )
             raise SpecError(f"[detector]: {exc}; valid keys: {valid}") from exc
         except ValueError as exc:
@@ -270,13 +305,28 @@ class DetectorSpec:
                 REGISTRY.create(kind, name, params)
             except ComponentError as exc:
                 raise SpecError(str(exc)) from exc
+
+        artifacts = dict(self.artifacts)
+        unknown = set(artifacts) - _ARTIFACT_KEYS
+        if unknown:
+            raise SpecError(
+                f"[artifacts]: unknown keys {sorted(unknown)}; "
+                f"valid: {sorted(_ARTIFACT_KEYS)}"
+            )
+        directory = artifacts.get("dir")
+        if directory is not None and not isinstance(directory, str):
+            raise SpecError(f"[artifacts]: dir must be a string, got {directory!r}")
         return self
 
     # -- canonical form + fingerprint ------------------------------------ #
 
     def to_dict(self) -> dict[str, object]:
-        """The canonical JSON-able form (also the fingerprint input)."""
-        return {
+        """The canonical JSON-able form.
+
+        The ``artifacts`` table is emitted only when present, so specs
+        without one serialise exactly as they did before the table existed.
+        """
+        payload: dict[str, object] = {
             "schema": SPEC_SCHEMA,
             "detector": dict(self.detector),
             "featurizers": (
@@ -287,12 +337,19 @@ class DetectorSpec:
             "policy": _emit_entry(self.policy[0], dict(self.policy[1])),
             "calibrator": _emit_entry(self.calibrator[0], dict(self.calibrator[1])),
         }
+        if dict(self.artifacts):
+            payload["artifacts"] = dict(self.artifacts)
+        return payload
 
     def fingerprint(self) -> str:
         """SHA-256 over the canonical spec: stable across key ordering,
-        whitespace, shorthand/table component forms, and sessions."""
-        payload = f"{SPEC_SCHEMA}:{_canonical(self.to_dict())}"
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        whitespace, shorthand/table component forms, and sessions — and
+        across the ``[artifacts]`` table, which describes *where* fitted
+        artifacts live, never *what* the detector computes."""
+        payload = self.to_dict()
+        payload.pop("artifacts", None)
+        canonical = f"{SPEC_SCHEMA}:{_canonical(payload)}"
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def to_file(self, path: str | Path) -> None:
         """Write the canonical JSON form (pretty-printed) to ``path``."""
@@ -322,7 +379,7 @@ class DetectorSpec:
         ]
         defaults = DetectorConfig()
         for f in dataclasses.fields(DetectorConfig):
-            if f.name == "policy_override":
+            if f.name in ("policy_override", "artifact_store", "artifact_dir"):
                 continue
             value = getattr(config, f.name)
             marker = "" if value == getattr(defaults, f.name) else "   (override)"
@@ -341,6 +398,9 @@ class DetectorSpec:
         ):
             suffix = f"  {dict(params)}" if params else ""
             lines.append(f"{label + ':':<12} {name}{suffix}")
+        artifacts = dict(self.artifacts)
+        if artifacts:
+            lines.append(f"{'artifacts:':<12} {artifacts}  (not fingerprinted)")
         return "\n".join(lines)
 
 

@@ -1,0 +1,533 @@
+"""Tests for the content-addressed fitted-artifact store (repro.artifacts).
+
+Covers the ISSUE 5 acceptance surface: key stability under config dict
+reordering (hypothesis), store round-trip through eviction and disk reload
+with bit-identical predictions, corrupt/partial on-disk artifacts tolerated
+as misses, and concurrent sweep workers sharing one store directory
+producing metrics identical to a sequential cold run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.artifacts import (
+    ArtifactStore,
+    artifact_key,
+    get_default_store,
+    training_seed,
+    use_store,
+)
+from repro.artifacts.keys import seed_material
+from repro.core.detector import DetectionSession, DetectorConfig, HoloDetect
+from repro.data import load_dataset
+from repro.evaluation.matrix import ScenarioMatrix, run_matrix
+from repro.evaluation.splits import make_split
+
+#: Tiny but complete detector settings shared by the fit-path tests.
+TINY = dict(epochs=2, embedding_dim=4, min_training_steps=20, seed=3)
+
+
+@pytest.fixture(scope="module")
+def small_bundle():
+    return load_dataset("hospital", num_rows=60, seed=2)
+
+
+@pytest.fixture(scope="module")
+def small_split(small_bundle):
+    return make_split(small_bundle, 0.15, rng=1)
+
+
+def fit_and_predict(bundle, split, **config):
+    detector = HoloDetect(DetectorConfig(**TINY, **config))
+    detector.fit(bundle.dirty, split.training, bundle.constraints)
+    return detector, detector.predict()
+
+
+# --------------------------------------------------------------------- #
+# Key derivation
+# --------------------------------------------------------------------- #
+
+scalars = st.one_of(
+    st.integers(-10, 10), st.text(max_size=8), st.booleans(), st.none()
+)
+configs = st.dictionaries(st.text(min_size=1, max_size=8), scalars, max_size=6)
+
+
+class TestArtifactKeys:
+    @given(config=configs)
+    @settings(max_examples=50, deadline=None)
+    def test_stable_under_config_reordering(self, config):
+        reordered = dict(reversed(list(config.items())))
+        assert artifact_key("k", "scope", config) == artifact_key(
+            "k", "scope", reordered
+        )
+
+    def test_components_all_enter_the_key(self):
+        base = artifact_key("kind", "scope", {"a": 1}, seed=0)
+        assert artifact_key("other", "scope", {"a": 1}, seed=0) != base
+        assert artifact_key("kind", "scope2", {"a": 1}, seed=0) != base
+        assert artifact_key("kind", "scope", {"a": 2}, seed=0) != base
+        assert artifact_key("kind", "scope", {"a": 1}, seed=1) != base
+
+    def test_training_seed_deterministic_and_bounded(self):
+        key = artifact_key("kind", "scope", {})
+        assert training_seed(key) == training_seed(key)
+        assert 0 <= training_seed(key) < 2**63
+
+    def test_seed_material_coercion(self):
+        assert seed_material(None) is None
+        assert seed_material(7) == 7
+        gen = np.random.default_rng(0)
+        drawn = seed_material(gen)
+        assert isinstance(drawn, int)
+        # Drawing consumed exactly one integer from the stream.
+        assert seed_material(np.random.default_rng(0)) == drawn
+        with pytest.raises(TypeError):
+            seed_material("not-an-rng")
+
+
+# --------------------------------------------------------------------- #
+# Store mechanics
+# --------------------------------------------------------------------- #
+
+
+class TestArtifactStore:
+    def test_memory_round_trip_and_stats(self):
+        store = ArtifactStore()
+        assert store.get("k1") is None
+        store.put("k1", {"x": 1, "arr": np.arange(3.0)})
+        payload = store.get("k1")
+        assert payload["x"] == 1
+        np.testing.assert_array_equal(payload["arr"], np.arange(3.0))
+        assert store.stats.misses == 1
+        assert store.stats.memory_hits == 1
+        assert store.stats.puts == 1
+
+    def test_lru_eviction(self):
+        store = ArtifactStore(max_entries=2)
+        for i in range(3):
+            store.put(f"k{i}", {"i": i})
+        assert len(store) == 2
+        assert store.stats.evictions == 1
+        assert store.get("k0") is None  # evicted (memory-only store)
+        assert store.get("k2")["i"] == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ArtifactStore(max_entries=0)
+
+    def test_disk_round_trip_fresh_store(self, tmp_path):
+        a = ArtifactStore(directory=tmp_path)
+        a.put("deadbeef", {"nested": {"arr": np.ones((2, 2))}, "n": 5}, kind="t")
+        # A *fresh* store on the same directory has an empty LRU: the read
+        # must come from disk and be promoted.
+        b = ArtifactStore(directory=tmp_path)
+        payload = b.get("deadbeef")
+        assert payload["n"] == 5
+        np.testing.assert_array_equal(payload["nested"]["arr"], np.ones((2, 2)))
+        assert b.stats.disk_hits == 1
+        assert b.get("deadbeef") is payload  # now served from memory
+        assert b.stats.memory_hits == 1
+
+    def test_clear_memory_keeps_disk(self, tmp_path):
+        store = ArtifactStore(directory=tmp_path)
+        store.put("cafe", {"v": 1})
+        store.clear_memory()
+        assert len(store) == 0
+        assert store.get("cafe")["v"] == 1
+        assert store.stats.disk_hits == 1
+
+    def test_corrupt_object_is_a_miss(self, tmp_path):
+        store = ArtifactStore(directory=tmp_path)
+        store.put("f00d", {"v": 1})
+        path = store.object_path("f00d")
+        path.write_bytes(b"definitely not a zip file")
+        store.clear_memory()
+        assert store.get("f00d") is None
+        assert store.stats.corrupt_dropped == 1
+        assert not path.exists()  # dropped, so the next put rewrites it
+        store.put("f00d", {"v": 2})
+        store.clear_memory()
+        assert store.get("f00d")["v"] == 2
+
+    def test_truncated_object_is_a_miss(self, tmp_path):
+        store = ArtifactStore(directory=tmp_path)
+        store.put("0b57", {"arr": np.arange(100.0)})
+        path = store.object_path("0b57")
+        path.write_bytes(path.read_bytes()[:20])  # partial write remnant
+        store.clear_memory()
+        assert store.get("0b57") is None
+        assert store.stats.corrupt_dropped == 1
+
+    def test_index_manifest(self, tmp_path):
+        store = ArtifactStore(directory=tmp_path)
+        store.put("aa11", {"v": 1}, kind="embedding/char", meta={"column": "zip"})
+        store.put("aa11", {"v": 2}, kind="embedding/char")  # latest wins
+        store.put("bb22", {"v": 3}, kind="featurizer/cooccurrence")
+        with store.index_path.open("a", encoding="utf-8") as f:
+            f.write("{corrupt json\n")  # tolerated tail
+        records = {r["key"]: r for r in store.index()}
+        assert set(records) == {"aa11", "bb22"}
+        assert records["bb22"]["kind"] == "featurizer/cooccurrence"
+        assert records["aa11"]["nbytes"] > 0
+
+    def test_disk_write_failure_degrades_not_raises(self, tmp_path, monkeypatch):
+        """The store is an accelerator: a full/readonly disk mid-sweep must
+        cost wall-clock, never fail the fit that produced the payload."""
+        store = ArtifactStore(directory=tmp_path)
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store, "_write_object", explode)
+        store.put("abcd", {"v": 7})  # must not raise
+        assert store.stats.write_errors == 1
+        assert store.stats.puts == 1
+        assert store.get("abcd")["v"] == 7  # memory tier still serves
+
+    def test_ambient_store_context(self):
+        assert get_default_store() is None
+        store = ArtifactStore()
+        with use_store(store):
+            assert get_default_store() is store
+            with use_store(None):
+                assert get_default_store() is None
+            assert get_default_store() is store
+        assert get_default_store() is None
+
+
+# --------------------------------------------------------------------- #
+# Fit-path integration
+# --------------------------------------------------------------------- #
+
+
+class TestWarmFit:
+    def test_store_does_not_change_predictions(self, small_bundle, small_split):
+        _, plain = fit_and_predict(small_bundle, small_split)
+        _, stored = fit_and_predict(
+            small_bundle, small_split, artifact_store=ArtifactStore()
+        )
+        assert plain.probabilities.tobytes() == stored.probabilities.tobytes()
+
+    def test_warm_fit_bit_identical(self, small_bundle, small_split):
+        store = ArtifactStore()
+        _, cold = fit_and_predict(small_bundle, small_split, artifact_store=store)
+        assert store.stats.puts > 0
+        detector, warm = fit_and_predict(
+            small_bundle, small_split, artifact_store=store
+        )
+        assert cold.probabilities.tobytes() == warm.probabilities.tobytes()
+        # The warm fit trained no embeddings: every consulted key hit.
+        assert store.stats.hits >= len(detector.artifact_keys)
+
+    def test_round_trip_evict_reload(self, tmp_path, small_bundle, small_split):
+        """store → evict (fresh process ≙ fresh LRU) → reload → identical."""
+        _, cold = fit_and_predict(
+            small_bundle, small_split, artifact_store=ArtifactStore(directory=tmp_path)
+        )
+        reloaded_store = ArtifactStore(directory=tmp_path)  # empty memory tier
+        _, warm = fit_and_predict(
+            small_bundle, small_split, artifact_store=reloaded_store
+        )
+        assert cold.probabilities.tobytes() == warm.probabilities.tobytes()
+        assert reloaded_store.stats.disk_hits > 0
+        assert reloaded_store.stats.misses == 0
+
+    def test_corrupt_artifact_refits_identically(
+        self, tmp_path, small_bundle, small_split
+    ):
+        store = ArtifactStore(directory=tmp_path)
+        _, cold = fit_and_predict(small_bundle, small_split, artifact_store=store)
+        # Corrupt every on-disk object; a fresh store must shrug and refit.
+        for path in (tmp_path / "objects").rglob("*.npz"):
+            path.write_bytes(b"garbage")
+        damaged = ArtifactStore(directory=tmp_path)
+        _, refit = fit_and_predict(small_bundle, small_split, artifact_store=damaged)
+        assert cold.probabilities.tobytes() == refit.probabilities.tobytes()
+        assert damaged.stats.corrupt_dropped > 0
+
+    def test_artifact_dir_config_field(self, tmp_path, small_bundle, small_split):
+        d1, p1 = fit_and_predict(
+            small_bundle, small_split, artifact_dir=str(tmp_path / "store")
+        )
+        d2, p2 = fit_and_predict(
+            small_bundle, small_split, artifact_dir=str(tmp_path / "store")
+        )
+        assert p1.probabilities.tobytes() == p2.probabilities.tobytes()
+        assert d2.artifact_stats is not None and d2.artifact_stats.disk_hits > 0
+
+    def test_ambient_store_used_by_detector(self, small_bundle, small_split):
+        store = ArtifactStore()
+        with use_store(store):
+            fit_and_predict(small_bundle, small_split)
+        assert store.stats.puts > 0
+
+    def test_artifact_keys_recorded(self, small_bundle, small_split):
+        detector, _ = fit_and_predict(
+            small_bundle, small_split, artifact_store=ArtifactStore()
+        )
+        keys = detector.artifact_keys
+        attrs = small_bundle.dirty.attributes
+        for attr in attrs:
+            assert f"char_embedding/{attr}" in keys
+            assert f"word_embedding/{attr}" in keys
+        for whole in ("tuple_embedding", "neighborhood", "cooccurrence"):
+            assert whole in keys
+        assert all(len(k) == 64 for k in keys.values())
+
+    def test_artifact_keys_recorded_without_store(self, small_bundle, small_split):
+        """Keys derive from content + config alone — no store needed."""
+        with_store, _ = fit_and_predict(
+            small_bundle, small_split, artifact_store=ArtifactStore()
+        )
+        without, _ = fit_and_predict(small_bundle, small_split)
+        assert with_store.artifact_keys == without.artifact_keys
+
+    def test_use_artifacts_attaches_to_loaded_detector(
+        self, tmp_path, small_bundle, small_split
+    ):
+        """The rescore-with-saved-model path: a store attached after load
+        is consulted by refresh-time refits."""
+        from repro.dataset.table import Cell
+        from repro.persistence import load_detector, save_detector
+
+        detector, _ = fit_and_predict(small_bundle, small_split)
+        save_detector(detector, tmp_path / "model")
+        store = ArtifactStore(directory=tmp_path / "art")
+        loaded = load_detector(tmp_path / "model", small_bundle.dirty)
+        loaded.use_artifacts(store)
+        assert loaded.pipeline.artifacts is store
+        assert all(f.artifact_store is store for f in loaded.pipeline.featurizers)
+        session = DetectionSession(loaded)
+        attr = small_bundle.dirty.attributes[0]
+        session.apply({Cell(0, attr): "edited-value"}, refresh=True)
+        assert store.stats.puts > 0  # refit states went through the store
+        # Provenance keys were refreshed for the refitted models.
+        assert f"char_embedding/{attr}" in loaded.artifact_keys
+
+    def test_loaded_detector_reattaches_config_store(
+        self, tmp_path, small_bundle, small_split
+    ):
+        """A saved config's artifact_dir survives the load: refresh-time
+        refits consult the store without any explicit re-attachment."""
+        from repro.dataset.table import Cell
+        from repro.persistence import load_detector, save_detector
+
+        art_dir = str(tmp_path / "art")
+        detector, _ = fit_and_predict(small_bundle, small_split, artifact_dir=art_dir)
+        save_detector(detector, tmp_path / "model")
+        loaded = load_detector(tmp_path / "model", small_bundle.dirty)
+        store = loaded.artifacts
+        assert store is not None and str(store.directory) == art_dir
+        assert loaded.pipeline.artifacts is store
+        assert all(f.artifact_store is store for f in loaded.pipeline.featurizers)
+        attr = small_bundle.dirty.attributes[0]
+        session = DetectionSession(loaded)
+        session.apply({Cell(0, attr): "reattach-edit"}, refresh=True)
+        assert store.stats.lookups > 0  # refits went through the store
+
+    def test_embedding_keys_cover_full_training_config(self):
+        """Every FastTextEmbedding training knob enters the key config, so
+        a changed default can never serve stale weights."""
+        import inspect
+
+        from repro.embeddings.fasttext import FastTextEmbedding
+        from repro.features.attribute import CharEmbeddingFeaturizer
+
+        config = CharEmbeddingFeaturizer(dim=4, epochs=1)._embedding_config()
+        knobs = set(inspect.signature(FastTextEmbedding.__init__).parameters)
+        knobs -= {"self", "rng"}  # rng is replaced by the derived seed
+        assert knobs <= set(config), f"missing knobs: {knobs - set(config)}"
+
+    def test_whole_state_refresh_consults_store(self, small_bundle):
+        """Base-class refresh (cooccurrence) goes through the store: a
+        reverted edit is served, not retrained."""
+        from repro.dataset.table import Cell, DatasetDelta
+        from repro.features.tuple_level import CooccurrenceFeaturizer
+
+        dataset = small_bundle.dirty.copy()
+        store = ArtifactStore()
+        featurizer = CooccurrenceFeaturizer()
+        featurizer.artifact_store = store
+        featurizer.fit_through_store(dataset)
+        attr = dataset.attributes[0]
+        original = dataset.value(Cell(0, attr))
+        delta = dataset.apply_edits({Cell(0, attr): original + "-x"})
+        assert featurizer.refresh(dataset, delta)
+        stored_after_edit = store.stats.puts
+        assert stored_after_edit == 2  # initial fit + refit both stored
+        revert = dataset.apply_edits({Cell(0, attr): original})
+        hits_before = store.stats.hits
+        assert featurizer.refresh(dataset, revert)
+        assert store.stats.hits == hits_before + 1  # served, not retrained
+        assert store.stats.puts == stored_after_edit
+
+    def test_saved_detector_records_artifact_keys(
+        self, tmp_path, small_bundle, small_split
+    ):
+        from repro.persistence import load_detector, save_detector
+
+        detector, _ = fit_and_predict(
+            small_bundle, small_split, artifact_store=ArtifactStore()
+        )
+        save_detector(detector, tmp_path / "model")
+        state = json.loads((tmp_path / "model" / "state.json").read_text())
+        assert state["artifact_keys"] == detector.artifact_keys
+        loaded = load_detector(tmp_path / "model", small_bundle.dirty)
+        assert loaded.artifact_keys == detector.artifact_keys
+
+    def test_column_scoped_invalidation(self, small_bundle, small_split):
+        """Editing one column changes only that column's embedding keys."""
+        store = ArtifactStore(max_entries=256)
+        detector, _ = fit_and_predict(
+            small_bundle, small_split, artifact_store=store
+        )
+        before = detector.artifact_keys
+        edited = small_bundle.dirty.copy()
+        attr = edited.attributes[0]
+        from repro.dataset.table import Cell
+
+        edited.set_value(Cell(0, attr), "completely-new-value")
+        fresh = HoloDetect(DetectorConfig(**TINY, artifact_store=store))
+        fresh.fit(edited, small_split.training, small_bundle.constraints)
+        after = fresh.artifact_keys
+        assert after[f"char_embedding/{attr}"] != before[f"char_embedding/{attr}"]
+        assert after[f"word_embedding/{attr}"] != before[f"word_embedding/{attr}"]
+        untouched = edited.attributes[1]
+        assert (
+            after[f"char_embedding/{untouched}"]
+            == before[f"char_embedding/{untouched}"]
+        )
+        # Relation-wide artifacts see any change.
+        assert after["tuple_embedding"] != before["tuple_embedding"]
+
+
+# --------------------------------------------------------------------- #
+# Sweep integration
+# --------------------------------------------------------------------- #
+
+SWEEP_SPEC = {
+    "datasets": [{"name": "hospital", "rows": 50}],
+    "error_profiles": ["native"],
+    "label_budgets": [0.15],
+    "methods": [
+        {"name": "holodetect", "epochs": 2, "embedding_dim": 4,
+         "min_training_steps": 20},
+        {"name": "superl", "epochs": 2, "embedding_dim": 4,
+         "min_training_steps": 20},
+    ],
+    "trials": 2,
+    "seed": 5,
+}
+
+ACCURACY_FIELDS = ("fingerprint", "spec", "metrics", "trials", "mean_f1", "std_f1")
+
+
+def accuracy_view(records):
+    return [{k: r[k] for k in ACCURACY_FIELDS} for r in records]
+
+
+class TestSweepArtifacts:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return ScenarioMatrix.from_dict(SWEEP_SPEC)
+
+    @pytest.fixture(scope="class")
+    def cold(self, matrix):
+        return run_matrix(matrix, executor="serial")
+
+    def test_serial_sweep_with_artifacts_identical(self, matrix, cold, tmp_path):
+        warm = run_matrix(matrix, executor="serial", artifact_dir=tmp_path / "a")
+        assert accuracy_view(warm.records) == accuracy_view(cold.records)
+        assert warm.artifacts is not None
+        stats = warm.artifacts["stats"]
+        # Methods and trials share one dirty relation: the sweep must reuse
+        # fits, not just store them.
+        assert stats["hits"] > 0 and stats["puts"] > 0
+
+    def test_two_worker_shared_dir_identical(self, matrix, cold, tmp_path):
+        parallel = run_matrix(
+            matrix, workers=2, executor="process", artifact_dir=tmp_path / "b"
+        )
+        assert parallel.workers == 2
+        assert accuracy_view(parallel.records) == accuracy_view(cold.records)
+        assert parallel.artifacts is not None
+        # Worker-side counters made it back to the coordinator.
+        assert parallel.artifacts["stats"]["puts"] > 0
+
+    # No thread-executor variant here: detector-based methods train nn
+    # models whose layers toggle process-global train/eval state, so two
+    # concurrent in-process trainings race (a pre-existing constraint —
+    # run_matrix documents that CPU-bound scenarios belong on the process
+    # executor).  The artifact store itself is thread-safe (locked), which
+    # TestArtifactStore covers directly.
+
+    def test_report_json_additive(self, matrix, cold, tmp_path):
+        payload = cold.to_json()
+        assert "artifacts" not in payload
+        warm = run_matrix(matrix, executor="serial", artifact_dir=tmp_path / "d")
+        assert warm.to_json()["artifacts"]["dir"] == str(tmp_path / "d")
+
+
+# --------------------------------------------------------------------- #
+# Spec integration
+# --------------------------------------------------------------------- #
+
+
+class TestSpecArtifacts:
+    def test_artifacts_table_not_fingerprinted(self):
+        from repro.spec import DetectorSpec
+
+        plain = DetectorSpec.from_dict({"schema": "repro.spec/v1"})
+        with_store = DetectorSpec.from_dict(
+            {"schema": "repro.spec/v1", "artifacts": {"dir": "x/y"}}
+        )
+        assert plain.fingerprint() == with_store.fingerprint()
+        assert with_store.to_dict()["artifacts"] == {"dir": "x/y"}
+        assert "artifacts" not in plain.to_dict()
+
+    def test_from_spec_applies_artifact_dir(self, tmp_path):
+        from repro.spec import DetectorSpec
+
+        spec = DetectorSpec.from_dict(
+            {"schema": "repro.spec/v1", "artifacts": {"dir": str(tmp_path)}}
+        )
+        detector = HoloDetect.from_spec(spec)
+        assert detector.config.artifact_dir == str(tmp_path)
+        assert detector.artifacts is not None
+        assert detector.artifacts.directory == tmp_path
+
+    def test_unknown_artifact_keys_rejected(self):
+        from repro.spec import DetectorSpec, SpecError
+
+        with pytest.raises(SpecError, match=r"\[artifacts\].*unknown"):
+            DetectorSpec.from_dict(
+                {"schema": "repro.spec/v1", "artifacts": {"directory": "x"}}
+            )
+
+    def test_bad_dir_type_rejected(self):
+        from repro.spec import DetectorSpec, SpecError
+
+        with pytest.raises(SpecError, match="dir must be a string"):
+            DetectorSpec.from_dict(
+                {"schema": "repro.spec/v1", "artifacts": {"dir": 3}}
+            )
+
+    def test_detector_table_store_fields_rejected(self):
+        """The store location must never enter the fingerprinted [detector]
+        table — both the file path and direct construction are guarded."""
+        from repro.spec import DetectorSpec, SpecError
+
+        for key in ("artifact_dir", "artifact_store"):
+            with pytest.raises(SpecError, match="not spec-able"):
+                DetectorSpec.from_dict(
+                    {"schema": "repro.spec/v1", "detector": {key: "x"}}
+                )
+            with pytest.raises(SpecError, match="not spec-able"):
+                DetectorSpec(detector={key: "x"}).validate()

@@ -88,6 +88,66 @@ class TestAugmentation:
         assert [e.observed for e in a.examples] == [e.observed for e in b.examples]
 
 
+class TestAttemptAccounting:
+    """Rejected-by-alpha and identity draws are reported separately, so a
+    stalled augmentation run is diagnosable without guesswork."""
+
+    def test_counters_partition_attempts(self, policy):
+        training = make_training(40, 0)
+        result = augment_training_set(
+            training, policy, alpha=0.5, max_attempts_factor=2, rng=3
+        )
+        assert (
+            result.attempts
+            == len(result.examples) + result.rejected_alpha + result.identity_draws
+        )
+
+    def test_alpha_rejections_counted(self, policy):
+        training = make_training(40, 0)
+        result = augment_training_set(
+            training, policy, alpha=0.05, max_attempts_factor=3, rng=0
+        )
+        assert result.rejected_alpha > 0
+        # With an always-applicable channel, rejections come from alpha.
+        assert result.rejected_alpha >= result.identity_draws
+
+    def test_identity_draws_counted_for_inapplicable_channel(self):
+        # A channel whose only transformations never apply to the training
+        # values: every accepted draw is an identity draw, none are alpha
+        # rejections (alpha=1), and no examples are produced.
+        from repro.augmentation.transformations import Transformation
+
+        narrow = Policy({Transformation("zzz", "qqq"): 1.0})
+        training = make_training(20, 0)
+        result = augment_training_set(
+            training, narrow, alpha=1.0, max_attempts_factor=2, rng=0
+        )
+        assert len(result.examples) == 0
+        assert result.rejected_alpha == 0
+        assert result.identity_draws == result.attempts > 0
+
+    def test_full_acceptance_has_no_alpha_rejections(self, policy):
+        training = make_training(30, 0)
+        result = augment_training_set(training, policy, alpha=1.0, rng=1)
+        assert result.rejected_alpha == 0
+
+    def test_composite_policy_accounting(self, policy):
+        """Policies overriding transform() use the per-draw fallback path
+        and still report the same counters."""
+        from repro.augmentation.policy import CompositePolicy
+
+        training = make_training(30, 0)
+        result = augment_training_set(
+            training, CompositePolicy(policy), alpha=0.6,
+            max_attempts_factor=5, rng=2,
+        )
+        assert (
+            result.attempts
+            == len(result.examples) + result.rejected_alpha + result.identity_draws
+        )
+        assert result.rejected_alpha > 0
+
+
 class TestRandomChannel:
     def test_random_channel_generates_errors(self):
         training = make_training(30, 0)
