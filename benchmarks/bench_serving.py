@@ -1,0 +1,233 @@
+"""Serving-path performance: concurrent clients vs one client, coalescing on.
+
+Companion to ``bench_incremental.py`` (the in-process rescore path): ISSUE 6
+turns the detector into a long-lived service, and this benchmark gates the
+property that makes the service worth having — **concurrency is close to
+free**.  Four clients hammering one server coalesce into shared scoring
+passes, so their p95 latency must stay within 2× of a lone client's p95
+(the acceptance gate), while every response stays bit-identical to a direct
+``HoloDetect`` computation on a freshly loaded model.
+
+Reported (and archived as JSON to ``$REPRO_SERVING_JSON`` if set, else
+``bench_serving.json``):
+
+- single-client sequential p50/p95 latency and requests/sec;
+- 4-client concurrent p50/p95 latency and aggregate requests/sec;
+- the p95 ratio against the 2× gate, and batcher coalescing counters;
+- tenant rescore (O(edit) session) round-trip latency.
+
+Run with ``pytest benchmarks/bench_serving.py -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from conftest import BENCH_EPOCHS, print_table
+
+from repro import DetectorSpec, HoloDetect, load_dataset, make_split
+from repro.persistence import load_detector, save_detector
+from repro.serving import ServeClient, ServeConfig, probabilities_of
+from repro.serving.testing import InProcessServer
+
+_RESULTS_PATH = Path(os.environ.get("REPRO_SERVING_JSON", "bench_serving.json"))
+
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 25
+CELLS_PER_REQUEST = 30
+P95_GATE = 2.0
+
+
+def _write_results(section: str, payload: dict) -> None:
+    results = {}
+    if _RESULTS_PATH.exists():
+        try:
+            results = json.loads(_RESULTS_PATH.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            results = {}
+    results[section] = payload
+    _RESULTS_PATH.write_text(json.dumps(results, indent=2), encoding="utf-8")
+
+
+def _p95(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+def _queries(dataset) -> list[list[tuple[int, str]]]:
+    """A deterministic rotation of small cell subsets over the relation."""
+    attributes = dataset.attributes
+    return [
+        [
+            (
+                (index * 7 + k) % dataset.num_rows,
+                attributes[(index + k) % len(attributes)],
+            )
+            for k in range(CELLS_PER_REQUEST)
+        ]
+        for index in range(REQUESTS_PER_CLIENT)
+    ]
+
+
+def test_concurrent_serving_latency(benchmark, tmp_path):
+    bundle = load_dataset("hospital", num_rows=100, seed=5)
+    split = make_split(bundle, 0.1, rng=0)
+    spec = DetectorSpec.default(
+        epochs=BENCH_EPOCHS, embedding_dim=8, lr=3e-3,
+        min_training_steps=150, seed=0,
+    )
+    detector = HoloDetect.from_spec(spec)
+    detector.fit(bundle.dirty, split.training, bundle.constraints)
+    model_root = tmp_path / "models"
+    save_detector(detector, model_root / "hospital")
+    fingerprint = spec.fingerprint()
+    queries = _queries(bundle.dirty)
+
+    def run():
+        # A 10ms coalescing window: the single client pays it on every
+        # request (it is part of the measured baseline), and concurrent
+        # clients amortise it across a merged scoring pass.
+        config = ServeConfig(
+            model_root=model_root,
+            artifact_root=tmp_path / "artifacts",
+            batch_window=0.01,
+        )
+        with InProcessServer(config) as harness:
+            client = ServeClient(harness.host, harness.port)
+            # Register the tenant (loads the model, scores the relation).
+            client.detect(fingerprint, dataset=bundle.dirty, tenant="bench")
+
+            # -- single client, sequential ------------------------------ #
+            single_latencies: list[float] = []
+            single_answers = []
+            t0 = time.perf_counter()
+            for query in queries:
+                started = time.perf_counter()
+                response = client.detect(tenant="bench", cells=query)
+                single_latencies.append(time.perf_counter() - started)
+                single_answers.append(probabilities_of(response))
+            single_wall = time.perf_counter() - t0
+
+            # -- CLIENTS concurrent clients, same query stream ---------- #
+            def worker(_):
+                worker_client = ServeClient(harness.host, harness.port)
+                latencies, answers = [], []
+                for query in queries:
+                    started = time.perf_counter()
+                    response = worker_client.detect(tenant="bench", cells=query)
+                    latencies.append(time.perf_counter() - started)
+                    answers.append(probabilities_of(response))
+                return latencies, answers
+
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+                outcomes = list(pool.map(worker, range(CLIENTS)))
+            concurrent_wall = time.perf_counter() - t0
+            concurrent_latencies = [t for lats, _ in outcomes for t in lats]
+
+            # -- one rescore round-trip (the O(edit) session path) ------ #
+            attr = bundle.dirty.attributes[0]
+            started = time.perf_counter()
+            rescore = client.rescore(
+                "bench", [{"row": 0, "attribute": attr, "value": "edited"}],
+                include_cells=False,
+            )
+            rescore_latency = time.perf_counter() - started
+            batcher_stats = client.registry()["batcher"]
+        return (
+            single_latencies, single_wall, single_answers,
+            concurrent_latencies, concurrent_wall, outcomes,
+            rescore, rescore_latency, batcher_stats,
+        )
+
+    (
+        single_latencies, single_wall, single_answers,
+        concurrent_latencies, concurrent_wall, outcomes,
+        rescore, rescore_latency, batcher_stats,
+    ) = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    single_p95 = _p95(single_latencies)
+    concurrent_p95 = _p95(concurrent_latencies)
+    ratio = concurrent_p95 / max(single_p95, 1e-9)
+    single_rps = len(single_latencies) / max(single_wall, 1e-9)
+    concurrent_rps = len(concurrent_latencies) / max(concurrent_wall, 1e-9)
+
+    print_table(
+        f"Serving under concurrency — hospital (100 rows, "
+        f"{CLIENTS} clients × {REQUESTS_PER_CLIENT} requests × "
+        f"{CELLS_PER_REQUEST} cells)",
+        ["configuration", "p50 (ms)", "p95 (ms)", "req/s"],
+        [
+            [
+                "1 client, sequential",
+                f"{1e3 * statistics.median(single_latencies):.1f}",
+                f"{1e3 * single_p95:.1f}",
+                f"{single_rps:.1f}",
+            ],
+            [
+                f"{CLIENTS} clients, concurrent",
+                f"{1e3 * statistics.median(concurrent_latencies):.1f}",
+                f"{1e3 * concurrent_p95:.1f}",
+                f"{concurrent_rps:.1f}",
+            ],
+            ["p95 ratio (gate <= 2.0x)", "", f"{ratio:.2f}x", ""],
+            [
+                "coalescing",
+                "",
+                f"{batcher_stats['coalesced_requests']} merged",
+                f"{batcher_stats['batches']} batches",
+            ],
+            ["rescore round-trip", "", f"{1e3 * rescore_latency:.1f}", ""],
+        ],
+    )
+    _write_results(
+        "concurrent_serving",
+        {
+            "clients": CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "cells_per_request": CELLS_PER_REQUEST,
+            "single_p50_s": statistics.median(single_latencies),
+            "single_p95_s": single_p95,
+            "single_requests_per_s": single_rps,
+            "concurrent_p50_s": statistics.median(concurrent_latencies),
+            "concurrent_p95_s": concurrent_p95,
+            "concurrent_requests_per_s": concurrent_rps,
+            "p95_ratio": ratio,
+            "p95_gate": P95_GATE,
+            "rescore_latency_s": rescore_latency,
+            "rescored_cells": rescore["rescored_cells"],
+            "batcher": batcher_stats,
+        },
+    )
+
+    # ISSUE 6 acceptance: every served answer is bit-identical to a direct
+    # computation on a freshly loaded detector...
+    baseline = load_detector(model_root / "hospital", bundle.dirty)
+    baseline._train_cells = set()
+    from repro.dataset.table import Cell
+
+    for query, answer in zip(queries, single_answers):
+        predictions = baseline.predict([Cell(r, a) for r, a in query])
+        expected = {
+            (cell.row, cell.attr): round(float(p), 6)
+            for cell, p in zip(predictions.cells, predictions.probabilities)
+        }
+        assert answer == expected, "served answer drifted from direct predict"
+    # ...concurrent clients see exactly the sequential answers...
+    for _, answers in outcomes:
+        assert answers == single_answers, (
+            "concurrent responses diverged from the sequential baseline"
+        )
+    # ...requests actually coalesced...
+    assert batcher_stats["coalesced_requests"] > 0, "no coalescing happened"
+    # ...and concurrency is close to free: p95 within the 2x gate.
+    assert ratio <= P95_GATE, (
+        f"{CLIENTS}-client p95 is {ratio:.2f}x the single-client p95 "
+        f"(gate {P95_GATE}x): {1e3 * concurrent_p95:.1f}ms vs "
+        f"{1e3 * single_p95:.1f}ms"
+    )

@@ -1,12 +1,14 @@
 """Command-line interface.
 
-Six subcommands::
+Eight subcommands::
 
     python -m repro detect    --input data.csv --labels labels.csv ...
     python -m repro rescore   --input data.csv --labels labels.csv --edits edits.csv ...
     python -m repro benchmark --dataset hospital --rows 300
     python -m repro sweep     --spec sweep.toml --workers 4 --store results.jsonl --resume
     python -m repro spec      validate detector.toml   (or: describe)
+    python -m repro serve     --models models/ --port 8765
+    python -m repro client    detect --fingerprint ab12cd --input data.csv --tenant acme
     python -m repro policy    --input data.csv --labels labels.csv --value "60612"
 
 ``detect`` runs the full detector on a CSV and writes a triage CSV of
@@ -22,6 +24,10 @@ resumable on-disk result store (see ``docs/architecture.md``).  ``spec``
 validates and pretty-prints declarative detector specs
 (``repro.spec/v1``; see :mod:`repro.spec`) — ``detect`` and ``benchmark``
 accept one via ``--spec`` in place of the individual model flags.
+``serve`` runs the long-lived multi-tenant detection server over a
+directory of saved models, routing requests by spec fingerprint (see
+:mod:`repro.serving`); ``client`` drives a running server (score a CSV,
+apply repairs through the server-side session, health/registry/evict).
 ``policy`` prints the learned noisy channel's conditional distribution for
 a probe value.
 
@@ -125,27 +131,15 @@ def load_edits(path: str | Path, dataset: Dataset) -> dict[Cell, str]:
 def _write_triage(
     path: str | Path, dataset: Dataset, predictions: ErrorPredictions, threshold: float
 ) -> int:
-    """Write the ranked per-cell triage CSV; returns the flagged-cell count."""
-    flagged = 0
-    with Path(path).open("w", newline="", encoding="utf-8") as f:
-        writer = csv.writer(f)
-        writer.writerow(["row", "attribute", "value", "error_probability", "flagged"])
-        ranked = sorted(
-            zip(predictions.cells, predictions.probabilities), key=lambda t: -t[1]
-        )
-        for cell, probability in ranked:
-            is_flagged = probability >= threshold
-            flagged += is_flagged
-            writer.writerow(
-                [
-                    cell.row,
-                    cell.attr,
-                    dataset.value(cell),
-                    f"{probability:.4f}",
-                    int(is_flagged),
-                ]
-            )
-    return flagged
+    """Write the ranked per-cell triage CSV; returns the flagged-cell count.
+
+    Delegates to the shared report helpers (:mod:`repro.serving.reports`) so
+    the CSV, the ``--json`` report, and the serving layer's responses all
+    rank and flag identically.
+    """
+    from repro.serving.reports import write_triage_csv
+
+    return write_triage_csv(path, dataset, predictions, threshold)
 
 
 def _detector_config(args: argparse.Namespace) -> DetectorConfig:
@@ -189,50 +183,19 @@ def _write_detect_json(
     dataset: Dataset,
     detector: HoloDetect,
     predictions: ErrorPredictions,
-    flagged: int,
 ) -> None:
-    """The machine-readable ``repro.detect/v1`` companion of the triage CSV."""
-    from repro import __version__
+    """The machine-readable ``repro.detect/v1`` companion of the triage CSV.
 
-    payload = {
-        "schema": "repro.detect/v1",
-        "version": __version__,
-        "input": str(args.input),
-        "rows": dataset.num_rows,
-        "attributes": list(dataset.attributes),
-        "threshold": args.threshold,
-        "scored_cells": len(predictions.cells),
-        # int(): the triage writer accumulates numpy bools.
-        "flagged_cells": int(flagged),
-        "spec_fingerprint": (
-            detector.spec.fingerprint() if detector.spec is not None else None
-        ),
-        # Additive repro.detect/v1 fields: fit/predict-path engine counters
-        # (null when the corresponding engine is disabled/absent).
-        "feature_cache": (
-            detector.cache_stats.as_dict()
-            if detector.cache_stats is not None
-            else None
-        ),
-        "artifact_store": (
-            detector.artifact_stats.as_dict()
-            if detector.artifact_stats is not None
-            else None
-        ),
-        "cells": [
-            {
-                "row": cell.row,
-                "attribute": cell.attr,
-                "value": dataset.value(cell),
-                "error_probability": round(float(probability), 6),
-                "flagged": bool(probability >= args.threshold),
-            }
-            for cell, probability in sorted(
-                zip(predictions.cells, predictions.probabilities),
-                key=lambda t: (-t[1], t[0].row, t[0].attr),
-            )
-        ],
-    }
+    One report builder feeds both this file and the serving layer's
+    ``POST /v1/detect`` responses (:mod:`repro.serving.reports`), so the two
+    outputs cannot drift; the CLI only adds its file-path context.
+    """
+    from repro.serving.reports import build_detect_report
+
+    payload = build_detect_report(
+        dataset, predictions, args.threshold, detector=detector
+    )
+    payload["input"] = str(args.input)
     Path(path).write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
@@ -260,7 +223,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
     flagged = _write_triage(args.output, dataset, predictions, args.threshold)
     print(f"wrote {args.output}: {flagged} cells flagged", file=sys.stderr)
     if args.json:
-        _write_detect_json(args.json, args, dataset, detector, predictions, flagged)
+        _write_detect_json(args.json, args, dataset, detector, predictions)
         print(f"wrote {args.json}", file=sys.stderr)
     if detector.cache_stats is not None:
         print(f"feature cache: {detector.cache_stats.summary()}", file=sys.stderr)
@@ -440,6 +403,175 @@ def cmd_spec(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serving.server import DetectionServer, ServeConfig
+
+    try:
+        config = ServeConfig(
+            model_root=args.models,
+            host=args.host,
+            port=args.port,
+            capacity=args.capacity,
+            artifact_root=args.artifacts,
+            max_body=args.max_body,
+            read_timeout=args.read_timeout,
+            batch_window=args.batch_window,
+            max_batch_cells=args.max_batch_cells,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid server configuration: {exc}") from exc
+    server = DetectionServer(config)
+    fingerprints = server.registry.fingerprints
+    if not fingerprints:
+        print(
+            f"warning: no servable models under {args.models} "
+            "(save one with: repro detect --spec ... --save-model DIR)",
+            file=sys.stderr,
+        )
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"serving {len(fingerprints)} model(s) on "
+            f"http://{config.host}:{server.port} "
+            f"(registry capacity {config.capacity}, "
+            f"batch window {config.batch_window * 1000:.1f}ms)",
+            file=sys.stderr,
+        )
+        for fingerprint in fingerprints:
+            print(f"  {fingerprint[:12]}  {server.registry.path_of(fingerprint)}",
+                  file=sys.stderr)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    from repro.serving.client import ServeClient, ServeClientError
+
+    client = ServeClient(args.host, args.port, binary=args.binary)
+    try:
+        return _run_client_action(args, client)
+    except ServeClientError as exc:
+        raise SystemExit(f"server error: {exc}") from exc
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            f"cannot reach server at {args.host}:{args.port}: {exc}"
+        ) from exc
+
+
+def _run_client_action(args: argparse.Namespace, client) -> int:
+    if args.action == "health":
+        print(json.dumps(client.health(), indent=2, sort_keys=True))
+        return 0
+    if args.action == "registry":
+        print(json.dumps(client.registry(), indent=2, sort_keys=True))
+        return 0
+    if args.action == "evict":
+        if not args.fingerprint and not args.tenant:
+            raise SystemExit("client evict needs --fingerprint and/or --tenant")
+        response = client.evict(fingerprint=args.fingerprint, tenant=args.tenant)
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0
+    if args.action == "detect":
+        if not args.input:
+            raise SystemExit("client detect needs --input")
+        if not args.fingerprint and not args.tenant:
+            raise SystemExit("client detect needs --fingerprint (or a registered --tenant)")
+        dataset = read_csv(args.input)
+        response = client.detect(
+            args.fingerprint or None,
+            dataset=dataset,
+            tenant=args.tenant,
+            threshold=args.threshold,
+        )
+    elif args.action == "rescore":
+        if not args.tenant:
+            raise SystemExit("client rescore needs --tenant")
+        if not args.edits:
+            raise SystemExit("client rescore needs --edits")
+        edits = _load_wire_edits(args.edits)
+        response = client.rescore(
+            args.tenant, edits, refresh=args.refresh, threshold=args.threshold
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown client action {args.action!r}")
+
+    report = response.get("report", {})
+    print(
+        f"{args.action}: {report.get('scored_cells', 0)} cells scored, "
+        f"{report.get('flagged_cells', 0)} flagged "
+        f"(fingerprint {str(response.get('fingerprint'))[:12]})",
+        file=sys.stderr,
+    )
+    if args.action == "rescore":
+        print(
+            f"applied {response.get('applied_edits', 0)} edits; "
+            f"re-scored {response.get('rescored_cells', 0)} cells",
+            file=sys.stderr,
+        )
+    if args.output:
+        _write_report_triage(args.output, report)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(response, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def _load_wire_edits(path: str | Path) -> list[dict]:
+    """Read a ``row,attribute,value`` edits CSV into wire edit objects.
+
+    Range/attribute validation happens server-side (the server owns the
+    tenant's relation; the client may not have a copy at all).
+    """
+    edits = []
+    with Path(path).open(newline="", encoding="utf-8") as f:
+        reader = csv.DictReader(f)
+        required = {"row", "attribute", "value"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise SystemExit(
+                f"{path}: edits CSV needs columns {sorted(required)}, "
+                f"got {reader.fieldnames}"
+            )
+        for record in reader:
+            try:
+                row = int(record["row"])
+            except ValueError:
+                raise SystemExit(f"{path}: row {record['row']!r} is not an integer")
+            edits.append(
+                {"row": row, "attribute": record["attribute"], "value": record["value"]}
+            )
+    return edits
+
+
+def _write_report_triage(path: str | Path, report: dict) -> None:
+    """Render a served detect report's ranked cells as the triage CSV."""
+    from repro.serving.reports import report_cells
+
+    with Path(path).open("w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(["row", "attribute", "value", "error_probability", "flagged"])
+        for entry in report_cells(report):
+            writer.writerow(
+                [
+                    entry["row"],
+                    entry["attribute"],
+                    entry["value"],
+                    f"{entry['error_probability']:.4f}",
+                    int(entry["flagged"]),
+                ]
+            )
+
+
 def cmd_policy(args: argparse.Namespace) -> int:
     dataset = read_csv(args.input)
     training = load_labels(args.labels, dataset)
@@ -585,6 +717,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     spec.add_argument("file", help="detector spec file (repro.spec/v1 .toml/.json)")
     spec.set_defaults(func=cmd_spec)
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant detection server over saved models"
+    )
+    serve.add_argument(
+        "--models", required=True,
+        help="model root: a directory of saved detectors (repro detect --save-model)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=8,
+        help="hot-registry LRU capacity (loaded detectors kept in memory)",
+    )
+    serve.add_argument(
+        "--artifacts", metavar="DIR",
+        help="root for per-tenant fitted-artifact stores (<DIR>/tenants/<name>)",
+    )
+    serve.add_argument(
+        "--max-body", type=int, default=8 * 1024 * 1024,
+        help="reject request bodies larger than this many bytes",
+    )
+    serve.add_argument(
+        "--read-timeout", type=float, default=10.0,
+        help="seconds before a slow client is timed out",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.002,
+        help="seconds concurrent small detect requests wait to coalesce",
+    )
+    serve.add_argument(
+        "--max-batch-cells", type=int, default=4096,
+        help="bound on one coalesced scoring pass, in cells",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    client = sub.add_parser(
+        "client", help="drive a running detection server (repro serve)"
+    )
+    client.add_argument(
+        "action",
+        choices=("detect", "rescore", "health", "registry", "evict"),
+        help="what to ask the server",
+    )
+    client.add_argument("--host", default="127.0.0.1", help="server address")
+    client.add_argument("--port", type=int, default=8765, help="server port")
+    client.add_argument(
+        "--fingerprint", help="spec fingerprint of the detector (prefix ok)"
+    )
+    client.add_argument(
+        "--tenant", help="tenant name (registers/uses a server-side session)"
+    )
+    client.add_argument("--input", help="input CSV to score (detect)")
+    client.add_argument("--edits", help="edits CSV row,attribute,value (rescore)")
+    client.add_argument(
+        "--refresh", action="store_true",
+        help="also refit representation models dirtied by the edits (rescore)",
+    )
+    client.add_argument(
+        "--threshold", type=float, default=None, help="flagging threshold"
+    )
+    client.add_argument("--output", help="write the served triage CSV here")
+    client.add_argument("--json", help="write the full wire response as JSON")
+    client.add_argument(
+        "--binary", action="store_true",
+        help="speak the compact repro-pack wire format instead of JSON",
+    )
+    client.set_defaults(func=cmd_client)
 
     policy = sub.add_parser("policy", help="inspect the learned noisy channel")
     policy.add_argument("--input", required=True, help="input CSV")

@@ -12,6 +12,18 @@ serialises all of it to an explicit, inspectable on-disk format:
 No pickle is involved, so saved models are safe to share and load.
 """
 
-from repro.persistence.detector_io import load_detector, save_detector
+from repro.persistence.detector_io import (
+    detector_fingerprint,
+    detector_index,
+    load_detector,
+    load_detector_by_fingerprint,
+    save_detector,
+)
 
-__all__ = ["save_detector", "load_detector"]
+__all__ = [
+    "save_detector",
+    "load_detector",
+    "detector_fingerprint",
+    "detector_index",
+    "load_detector_by_fingerprint",
+]

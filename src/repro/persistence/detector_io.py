@@ -437,6 +437,78 @@ def save_detector(detector: HoloDetect, path: str | Path) -> None:
         )
 
 
+def detector_fingerprint(path: str | Path) -> str | None:
+    """The spec fingerprint of one saved detector directory, or ``None``.
+
+    Reads the ``spec.json`` sidecar when present (cheap — no arrays touched);
+    falls back to recomputing from the spec embedded in ``state.json``.
+    Spec-less saves (imperative construction) have no fingerprint.
+    """
+    path = Path(path)
+    sidecar = path / "spec.json"
+    if sidecar.exists():
+        try:
+            payload = json.loads(sidecar.read_text(encoding="utf-8"))
+            fingerprint = payload.get("fingerprint")
+            if isinstance(fingerprint, str) and fingerprint:
+                return fingerprint
+        except (json.JSONDecodeError, OSError):
+            pass  # fall through to state.json
+    state_path = path / "state.json"
+    if not state_path.exists():
+        return None
+    try:
+        state = json.loads(state_path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError):
+        return None
+    spec_state = state.get("spec")
+    if spec_state is None:
+        return None
+    from repro.spec import DetectorSpec, SpecError
+
+    try:
+        return DetectorSpec.from_dict(spec_state).fingerprint()
+    except SpecError:
+        return None
+
+
+def detector_index(root: str | Path) -> dict[str, Path]:
+    """Scan ``root`` for saved detectors; map spec fingerprint → directory.
+
+    A *model root* is a directory whose immediate children are
+    :func:`save_detector` outputs (any directory containing ``state.json``
+    is considered; unreadable or spec-less saves are skipped rather than
+    failing the scan).  When two saves carry the same fingerprint the
+    lexically last directory wins, deterministically.
+    """
+    root = Path(root)
+    index: dict[str, Path] = {}
+    if not root.is_dir():
+        return index
+    for entry in sorted(root.iterdir()):
+        if not entry.is_dir() or not (entry / "state.json").exists():
+            continue
+        fingerprint = detector_fingerprint(entry)
+        if fingerprint is not None:
+            index[fingerprint] = entry
+    return index
+
+
+def load_detector_by_fingerprint(
+    root: str | Path, fingerprint: str, dataset: Dataset
+) -> HoloDetect:
+    """Load the saved detector whose spec fingerprint matches ``fingerprint``.
+
+    ``fingerprint`` may be a unique prefix (>= 6 chars, git style); raises
+    :class:`~repro.spec.SpecError` when it is unknown or ambiguous within
+    ``root``.
+    """
+    from repro.spec import resolve_fingerprint
+
+    index = detector_index(root)
+    return load_detector(index[resolve_fingerprint(fingerprint, index)], dataset)
+
+
 def load_detector(path: str | Path, dataset: Dataset) -> HoloDetect:
     """Load a detector saved by :func:`save_detector` and re-attach it to
     ``dataset`` (the same relation it was fitted on)."""

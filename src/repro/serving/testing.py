@@ -1,0 +1,215 @@
+"""Deterministic serving-test harness: in-process server + fault transports.
+
+Serving code is asynchronous, stateful, and network-facing — the three
+things that make test suites flaky.  This module keeps the suite
+deterministic:
+
+- :class:`InProcessServer` runs a real :class:`~repro.serving.server.DetectionServer`
+  on an ephemeral localhost port inside a dedicated event-loop thread, so
+  ordinary *blocking* test code (and :class:`~repro.serving.client.ServeClient`)
+  can drive it without ``async`` plumbing.  ``submit`` runs a coroutine on
+  the server's own loop — the way tests reach into live server state safely.
+- :class:`RawConnection` is a misbehaving-client kit: send partial requests,
+  declare bodies that never arrive, disconnect mid-request — the fault
+  vectors the server must survive with structured errors and a live loop.
+- :func:`feed_request` drives the connection handler directly over in-memory
+  streams (no sockets at all) for the fastest protocol-level tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.server import DetectionServer, ServeConfig
+
+
+class InProcessServer:
+    """Context manager running a DetectionServer in a background loop thread.
+
+    ::
+
+        with InProcessServer(ServeConfig(model_root=models)) as harness:
+            client = ServeClient(harness.host, harness.port)
+            client.health()
+    """
+
+    def __init__(self, config: "ServeConfig"):
+        from repro.serving.server import DetectionServer
+
+        self.config = config
+        self.server = DetectionServer(config)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------- #
+
+    def __enter__(self) -> "InProcessServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self) -> "InProcessServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-test", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("in-process server failed to start within 30s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        async def main() -> None:
+            await self.server.start()
+            self._started.set()
+
+        loop.run_until_complete(main())
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.server.close())
+            loop.close()
+
+    def stop(self) -> None:
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+        self._loop = None
+        self._thread = None
+
+    # -- access ----------------------------------------------------------- #
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def submit(self, coroutine) -> object:
+        """Run a coroutine on the server's loop; return its result.
+
+        Server state (tenants, registry, batcher) belongs to the loop
+        thread — tests must inspect or mutate it *on that loop*, never from
+        the test thread directly.
+        """
+        if self._loop is None:
+            raise RuntimeError("server is not running")
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result(
+            timeout=60
+        )
+
+
+class RawConnection:
+    """A deliberately misbehaving HTTP client over a plain socket."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 10.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+
+    def send(self, data: bytes) -> "RawConnection":
+        self.sock.sendall(data)
+        return self
+
+    def send_request_head(
+        self,
+        method: str = "POST",
+        path: str = "/v1/detect",
+        *,
+        content_length: int,
+        content_type: str = "application/json",
+    ) -> "RawConnection":
+        """Headers declaring a body of ``content_length`` bytes (not sent)."""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: test\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {content_length}\r\n\r\n"
+        )
+        return self.send(head.encode("latin-1"))
+
+    def read_response(self) -> bytes:
+        """Everything the server sends until it closes the connection."""
+        chunks = []
+        while True:
+            try:
+                chunk = self.sock.recv(65536)
+            except (TimeoutError, OSError):
+                break
+            if not chunk:
+                break
+            chunks.append(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def abort(self) -> None:
+        """Hard reset: close without a graceful FIN handshake."""
+        try:
+            self.sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                __import__("struct").pack("ii", 1, 0),
+            )
+        except OSError:
+            pass
+        self.close()
+
+
+def feed_request(server: "DetectionServer", raw: bytes) -> bytes:
+    """Drive the connection handler over in-memory streams (no sockets).
+
+    Returns the raw HTTP response bytes.  The fastest way to protocol-test
+    the server: deterministic, loop-per-call, no ports involved.
+    """
+
+    async def run() -> bytes:
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        transport = _CaptureTransport()
+        protocol = asyncio.StreamReaderProtocol(asyncio.StreamReader())
+        writer = asyncio.StreamWriter(
+            transport, protocol, None, asyncio.get_running_loop()
+        )
+        await server._handle_connection(reader, writer)
+        return b"".join(transport.chunks)
+
+    return asyncio.run(run())
+
+
+class _CaptureTransport(asyncio.Transport):
+    """Minimal in-memory transport capturing everything written."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.chunks: list[bytes] = []
+        self._closing = False
+
+    def write(self, data: bytes) -> None:
+        self.chunks.append(bytes(data))
+
+    def close(self) -> None:
+        self._closing = True
+
+    def is_closing(self) -> bool:
+        return self._closing
+
+    def get_extra_info(self, name: str, default: object = None) -> object:
+        return default

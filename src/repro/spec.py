@@ -47,7 +47,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.registry import REGISTRY, ComponentError
 
@@ -402,6 +402,44 @@ class DetectorSpec:
         if artifacts:
             lines.append(f"{'artifacts:':<12} {artifacts}  (not fingerprinted)")
         return "\n".join(lines)
+
+
+#: Shortest spec-fingerprint abbreviation accepted by :func:`resolve_fingerprint`.
+MIN_FINGERPRINT_PREFIX = 6
+
+
+def resolve_fingerprint(query: str, fingerprints: "Iterable[str]") -> str:
+    """Expand a (possibly abbreviated) spec fingerprint to exactly one match.
+
+    The serving layer routes requests by :meth:`DetectorSpec.fingerprint`;
+    like git object ids, the full 64-hex digest is unwieldy on a command
+    line, so any unique prefix of at least :data:`MIN_FINGERPRINT_PREFIX`
+    characters resolves.  Raises :class:`SpecError` when the query is too
+    short, unknown, or ambiguous — naming the candidates, so a caller can
+    surface an actionable error.
+    """
+    if not isinstance(query, str) or not query:
+        raise SpecError(f"fingerprint query must be a non-empty string, got {query!r}")
+    candidates = sorted(set(fingerprints))
+    if query in candidates:
+        return query
+    if len(query) < MIN_FINGERPRINT_PREFIX:
+        raise SpecError(
+            f"fingerprint prefix {query!r} is too short "
+            f"(need >= {MIN_FINGERPRINT_PREFIX} characters)"
+        )
+    matches = [f for f in candidates if f.startswith(query)]
+    if not matches:
+        raise SpecError(
+            f"unknown spec fingerprint {query!r} "
+            f"({len(candidates)} known: {[f[:12] for f in candidates]})"
+        )
+    if len(matches) > 1:
+        raise SpecError(
+            f"ambiguous fingerprint prefix {query!r}: "
+            f"matches {[f[:12] for f in matches]}"
+        )
+    return matches[0]
 
 
 def load_spec(source: "DetectorSpec | Mapping[str, object] | str | Path") -> DetectorSpec:

@@ -83,3 +83,47 @@ def tiny_bundle():
     from repro.data import load_dataset
 
     return load_dataset("hospital", num_rows=200, seed=7)
+
+
+@pytest.fixture(scope="session")
+def served_world(tmp_path_factory):
+    """One fitted detector saved twice (two specs → two fingerprints) plus
+    its source bundle — the shared world of the serving test suites.
+
+    Fitting is the expensive part, so it happens once per session; the
+    second save reuses the fitted state under a different spec (predict-time
+    state is identical, only fit-time hyperparameters differ), which is all
+    the registry/LRU tests need from a "second model".
+    """
+    from types import SimpleNamespace
+
+    from repro import DetectorSpec, HoloDetect, load_dataset, make_split
+    from repro.persistence import save_detector
+
+    bundle = load_dataset("hospital", num_rows=60, seed=11)
+    split = make_split(bundle, 0.15, rng=0)
+    spec = DetectorSpec.default(
+        epochs=4, embedding_dim=8, min_training_steps=50, embedding_epochs=1
+    )
+    detector = HoloDetect.from_spec(spec)
+    detector.fit(bundle.dirty, split.training, bundle.constraints)
+
+    model_root = tmp_path_factory.mktemp("served-models")
+    save_detector(detector, model_root / "alpha")
+    spec_b = DetectorSpec.default(
+        epochs=5, embedding_dim=8, min_training_steps=50, embedding_epochs=1
+    )
+    detector.spec = spec_b
+    save_detector(detector, model_root / "beta")
+    detector.spec = spec
+
+    return SimpleNamespace(
+        bundle=bundle,
+        split=split,
+        spec=spec,
+        spec_b=spec_b,
+        fingerprint=spec.fingerprint(),
+        fingerprint_b=spec_b.fingerprint(),
+        model_root=model_root,
+        detector=detector,
+    )

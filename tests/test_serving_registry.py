@@ -1,0 +1,292 @@
+"""Registry tests: fingerprint index, prefix routing, LRU pool, corruption.
+
+The serving layer's correctness depends on the registry's contracts:
+fingerprints resolve like git object ids, hot entries are true LRU, tenant
+checkouts are private instances, and a corrupt saved-model directory is an
+error *response* — never a cached poisoned entry, never a dead registry.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import pytest
+
+from repro.persistence import (
+    detector_fingerprint,
+    detector_index,
+    load_detector,
+    load_detector_by_fingerprint,
+)
+from repro.serving.registry import DetectorRegistry, RegistryError, RegistryStats
+from repro.spec import MIN_FINGERPRINT_PREFIX, SpecError, resolve_fingerprint
+
+
+class TestResolveFingerprint:
+    FP_A = "aabbcc" + "0" * 58
+    FP_B = "aabbdd" + "1" * 58
+    KNOWN = [FP_A, FP_B]
+
+    def test_full_match(self):
+        assert resolve_fingerprint(self.FP_A, self.KNOWN) == self.FP_A
+
+    def test_unique_prefix(self):
+        assert resolve_fingerprint("aabbcc", self.KNOWN) == self.FP_A
+        assert resolve_fingerprint(self.FP_B[:20], self.KNOWN) == self.FP_B
+
+    def test_too_short_prefix_rejected(self):
+        with pytest.raises(SpecError, match="too short"):
+            resolve_fingerprint("aabb", self.KNOWN)
+        assert MIN_FINGERPRINT_PREFIX == 6
+
+    def test_unknown_prefix_names_candidates(self):
+        with pytest.raises(SpecError, match="unknown spec fingerprint"):
+            resolve_fingerprint("deadbeef", self.KNOWN)
+
+    def test_ambiguous_six_char_prefix(self):
+        shared = ["abcdef" + "0" * 58, "abcdef" + "1" * 58]
+        with pytest.raises(SpecError, match="ambiguous"):
+            resolve_fingerprint("abcdef", shared)
+
+    def test_empty_or_non_string_rejected(self):
+        with pytest.raises(SpecError):
+            resolve_fingerprint("", self.KNOWN)
+        with pytest.raises(SpecError):
+            resolve_fingerprint(None, self.KNOWN)  # type: ignore[arg-type]
+
+
+class TestDetectorIndex:
+    def test_fingerprint_from_sidecar(self, served_world):
+        assert (
+            detector_fingerprint(served_world.model_root / "alpha")
+            == served_world.fingerprint
+        )
+
+    def test_fingerprint_recomputed_without_sidecar(self, served_world, tmp_path):
+        copy = tmp_path / "nosidecar"
+        shutil.copytree(served_world.model_root / "alpha", copy)
+        (copy / "spec.json").unlink()
+        assert detector_fingerprint(copy) == served_world.fingerprint
+
+    def test_fingerprint_none_for_unreadable(self, tmp_path):
+        broken = tmp_path / "broken"
+        broken.mkdir()
+        (broken / "state.json").write_text("{nope", encoding="utf-8")
+        assert detector_fingerprint(broken) is None
+        assert detector_fingerprint(tmp_path / "missing") is None
+
+    def test_index_maps_fingerprints_to_dirs(self, served_world):
+        index = detector_index(served_world.model_root)
+        assert index == {
+            served_world.fingerprint: served_world.model_root / "alpha",
+            served_world.fingerprint_b: served_world.model_root / "beta",
+        }
+
+    def test_index_skips_non_model_entries(self, served_world, tmp_path):
+        root = tmp_path / "root"
+        shutil.copytree(served_world.model_root / "alpha", root / "model")
+        (root / "not-a-model").mkdir()
+        (root / "stray.txt").write_text("x", encoding="utf-8")
+        assert set(detector_index(root).values()) == {root / "model"}
+
+    def test_index_duplicate_fingerprint_last_dir_wins(self, served_world, tmp_path):
+        root = tmp_path / "root"
+        shutil.copytree(served_world.model_root / "alpha", root / "aaa")
+        shutil.copytree(served_world.model_root / "alpha", root / "zzz")
+        assert detector_index(root)[served_world.fingerprint] == root / "zzz"
+
+    def test_index_of_missing_root_is_empty(self, tmp_path):
+        assert detector_index(tmp_path / "nowhere") == {}
+
+    def test_load_by_fingerprint_prefix(self, served_world):
+        detector = load_detector_by_fingerprint(
+            served_world.model_root,
+            served_world.fingerprint[:12],
+            served_world.bundle.dirty,
+        )
+        assert detector.spec.fingerprint() == served_world.fingerprint
+
+
+class TestDetectorRegistry:
+    @pytest.fixture()
+    def registry(self, served_world) -> DetectorRegistry:
+        return DetectorRegistry(served_world.model_root, capacity=8)
+
+    def test_lists_servable_fingerprints(self, served_world, registry):
+        assert registry.fingerprints == sorted(
+            [served_world.fingerprint, served_world.fingerprint_b]
+        )
+        assert registry.hot_fingerprints == []
+
+    def test_acquire_loads_once_then_hits(self, served_world, registry):
+        dataset = served_world.bundle.dirty
+        first = registry.acquire(served_world.fingerprint, dataset)
+        second = registry.acquire(served_world.fingerprint[:12], dataset)
+        assert first is second
+        assert registry.stats.loads == 1
+        assert registry.stats.hits == 1
+        assert registry.hot_fingerprints == [served_world.fingerprint]
+
+    def test_acquire_clears_training_cell_exclusion(self, served_world, registry):
+        detector = registry.acquire(
+            served_world.fingerprint, served_world.bundle.dirty
+        )
+        assert detector._train_cells == set()
+
+    def test_acquire_reattaches_dataset_on_hit(self, served_world, registry):
+        dataset = served_world.bundle.dirty
+        other = served_world.bundle.clean
+        registry.acquire(served_world.fingerprint, dataset)
+        detector = registry.acquire(served_world.fingerprint, other)
+        assert detector._dataset is other
+
+    def test_lru_eviction_at_capacity(self, served_world):
+        registry = DetectorRegistry(served_world.model_root, capacity=1)
+        dataset = served_world.bundle.dirty
+        registry.acquire(served_world.fingerprint, dataset)
+        registry.acquire(served_world.fingerprint_b, dataset)
+        assert registry.hot_fingerprints == [served_world.fingerprint_b]
+        assert registry.stats.evictions == 1
+        # The evicted model reloads cleanly from disk.
+        registry.acquire(served_world.fingerprint, dataset)
+        assert registry.hot_fingerprints == [served_world.fingerprint]
+        assert registry.stats.loads == 3
+
+    def test_lru_order_follows_use(self, served_world, registry):
+        dataset = served_world.bundle.dirty
+        registry.acquire(served_world.fingerprint, dataset)
+        registry.acquire(served_world.fingerprint_b, dataset)
+        registry.acquire(served_world.fingerprint, dataset)  # refresh A
+        assert registry.hot_fingerprints == [
+            served_world.fingerprint_b,
+            served_world.fingerprint,
+        ]
+
+    def test_checkout_is_private_instance(self, served_world, registry):
+        dataset = served_world.bundle.dirty
+        hot = registry.acquire(served_world.fingerprint, dataset)
+        private = registry.checkout(served_world.fingerprint, dataset)
+        assert private is not hot
+        assert registry.stats.checkouts == 1
+        # Checkouts never enter the LRU.
+        assert registry.hot_fingerprints == [served_world.fingerprint]
+
+    def test_resolve_rescans_for_models_saved_after_init(
+        self, served_world, tmp_path
+    ):
+        root = tmp_path / "growing"
+        root.mkdir()
+        registry = DetectorRegistry(root, capacity=4)
+        assert registry.fingerprints == []
+        shutil.copytree(served_world.model_root / "alpha", root / "alpha")
+        assert registry.resolve(served_world.fingerprint[:12]) == served_world.fingerprint
+
+    def test_unknown_fingerprint_error_code(self, registry):
+        with pytest.raises(RegistryError) as excinfo:
+            registry.resolve("deadbeefdead")
+        assert excinfo.value.code == "unknown_fingerprint"
+
+    def test_ambiguous_fingerprint_error_code(
+        self, served_world, registry, monkeypatch
+    ):
+        # Real SHA-256 fingerprints never collide on a 6-char prefix in a
+        # two-model fixture, so fake the index (and pin the rescan-on-miss
+        # path so resolve sees the ambiguity twice).
+        registry._index = {
+            "abcdef" + "0" * 58: served_world.model_root / "alpha",
+            "abcdef" + "1" * 58: served_world.model_root / "beta",
+        }
+        monkeypatch.setattr(
+            registry, "refresh_index", lambda: dict(registry._index)
+        )
+        with pytest.raises(RegistryError) as excinfo:
+            registry.resolve("abcdef")
+        assert excinfo.value.code == "ambiguous_fingerprint"
+
+    def test_evict(self, served_world, registry):
+        dataset = served_world.bundle.dirty
+        assert registry.evict(served_world.fingerprint) is False  # not hot yet
+        registry.acquire(served_world.fingerprint, dataset)
+        assert registry.evict(served_world.fingerprint[:12]) is True
+        assert registry.hot_fingerprints == []
+        assert registry.evict("deadbeefdead") is False  # unknown → no raise
+
+    def test_capacity_must_be_positive(self, served_world):
+        with pytest.raises(ValueError, match="capacity"):
+            DetectorRegistry(served_world.model_root, capacity=0)
+
+    def test_stats_dict_keys(self):
+        assert RegistryStats().as_dict() == {
+            "hits": 0, "loads": 0, "evictions": 0,
+            "load_failures": 0, "checkouts": 0,
+        }
+
+
+class TestCorruptModels:
+    @pytest.fixture()
+    def corrupt_root(self, served_world, tmp_path):
+        """A model root whose single save has a truncated state.json."""
+        root = tmp_path / "models"
+        shutil.copytree(served_world.model_root / "alpha", root / "alpha")
+        state = root / "alpha" / "state.json"
+        state.write_text(state.read_text(encoding="utf-8")[:200], encoding="utf-8")
+        return root
+
+    def test_corrupt_load_raises_and_counts(self, served_world, corrupt_root):
+        registry = DetectorRegistry(corrupt_root, capacity=4)
+        with pytest.raises(RegistryError) as excinfo:
+            registry.acquire(served_world.fingerprint, served_world.bundle.dirty)
+        assert excinfo.value.code == "corrupt_model"
+        assert registry.stats.load_failures == 1
+
+    def test_corrupt_load_never_poisons_the_pool(self, served_world, corrupt_root):
+        registry = DetectorRegistry(corrupt_root, capacity=4)
+        for _ in range(3):
+            with pytest.raises(RegistryError):
+                registry.acquire(served_world.fingerprint, served_world.bundle.dirty)
+        assert registry.hot_fingerprints == []
+        assert registry.stats.load_failures == 3
+
+    def test_repairing_the_directory_heals_without_restart(
+        self, served_world, corrupt_root
+    ):
+        registry = DetectorRegistry(corrupt_root, capacity=4)
+        with pytest.raises(RegistryError):
+            registry.acquire(served_world.fingerprint, served_world.bundle.dirty)
+        shutil.copyfile(
+            served_world.model_root / "alpha" / "state.json",
+            corrupt_root / "alpha" / "state.json",
+        )
+        detector = registry.acquire(
+            served_world.fingerprint, served_world.bundle.dirty
+        )
+        assert registry.hot_fingerprints == [served_world.fingerprint]
+        assert detector.spec.fingerprint() == served_world.fingerprint
+
+    def test_missing_arrays_are_corrupt_not_fatal(self, served_world, tmp_path):
+        root = tmp_path / "models"
+        shutil.copytree(served_world.model_root / "alpha", root / "alpha")
+        state_path = root / "alpha" / "state.json"
+        state = json.loads(state_path.read_text(encoding="utf-8"))
+        removed = next(iter(state))
+        state.pop(removed)
+        state_path.write_text(json.dumps(state), encoding="utf-8")
+        registry = DetectorRegistry(root, capacity=4)
+        with pytest.raises(RegistryError) as excinfo:
+            registry.acquire(served_world.fingerprint, served_world.bundle.dirty)
+        assert excinfo.value.code == "corrupt_model"
+
+
+class TestSavedDetectorStillLoadsDirectly:
+    def test_load_detector_predictions_match_fitted(self, served_world):
+        """The serving fixtures save a real fitted detector: loading it back
+        reproduces the fitted detector's probabilities exactly."""
+        dataset = served_world.bundle.dirty
+        loaded = load_detector(served_world.model_root / "alpha", dataset)
+        cells = list(dataset.cells())
+        direct = served_world.detector.predict(cells)
+        reloaded = loaded.predict(cells)
+        assert list(map(float, direct.probabilities)) == list(
+            map(float, reloaded.probabilities)
+        )
