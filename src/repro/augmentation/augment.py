@@ -101,6 +101,69 @@ def _has_standard_sampling(policy: Policy) -> bool:
     )
 
 
+def _transform_chunk(
+    correct,
+    idx: np.ndarray,
+    coins: np.ndarray,
+    phi_us: np.ndarray,
+    pos_us: np.ndarray,
+    alpha: float,
+    samplers: "_ConditionalSampler",
+    occurrences: dict,
+) -> tuple[np.ndarray, list]:
+    """Apply one chunk of draws, grouped instead of one draw at a time.
+
+    Returns ``(codes, transformed)`` aligned with the chunk: code 1 =
+    rejected by the acceptance coin, 2 = identity/no-op draw, 0 = a usable
+    transformed value in ``transformed``.  Draws are grouped by source
+    value (one vectorised ``searchsorted`` inverts Π̂(v) for all of a
+    value's draws at once) and then by transformation, so each kind's
+    occurrence scan runs once and its string splices apply in one pass.
+    Outcomes are bit-identical to the per-draw loop; the caller's serial
+    prefix walk over ``codes`` keeps the attempt/cutoff accounting exact.
+    """
+    codes = np.zeros(idx.size, dtype=np.int8)
+    transformed: list[str | None] = [None] * idx.size
+    codes[coins >= alpha] = 1
+    accepted = np.flatnonzero(coins < alpha)
+    if accepted.size == 0:
+        return codes, transformed
+    by_value: dict[str, list[int]] = {}
+    for k in accepted:
+        by_value.setdefault(correct[int(idx[k])].observed, []).append(int(k))
+    for value, members in by_value.items():
+        sampler = samplers(value)
+        ks = np.asarray(members)
+        if sampler is None:
+            codes[ks] = 2
+            continue
+        transformations, cumulative = sampler
+        choices = np.searchsorted(cumulative, phi_us[ks], side="right")
+        by_phi: dict[int, list[int]] = {}
+        for j, choice in enumerate(choices):
+            by_phi.setdefault(int(choice), []).append(j)
+        for choice, group in by_phi.items():
+            phi = transformations[choice]
+            key = (phi, value)
+            positions = occurrences.get(key)
+            if positions is None:
+                positions = occurrences[key] = phi.occurrences(value)
+            count = len(positions)
+            gks = ks[np.asarray(group)]
+            picks = np.minimum(
+                (pos_us[gks] * count).astype(np.int64), count - 1
+            )
+            dst, src_len = phi.dst, len(phi.src)
+            for k, pick in zip(gks, picks):
+                pos = positions[int(pick)]
+                result = value[:pos] + dst + value[pos + src_len:]
+                if result == value:
+                    codes[k] = 2
+                else:
+                    transformed[k] = result
+    return codes, transformed
+
+
 def augment_training_set(
     training: TrainingSet,
     policy: Policy,
@@ -142,6 +205,7 @@ def augment_training_set(
 
     fast = _has_standard_sampling(policy)
     samplers = _ConditionalSampler(policy) if fast else None
+    occurrences: dict = {}
     examples: list[LabeledCell] = []
     sources: set[int] = set()
     attempts = rejected_alpha = identity_draws = 0
@@ -154,29 +218,42 @@ def augment_training_set(
         if fast:
             phi_us = gen.random(_CHUNK)
             pos_us = gen.random(_CHUNK)
+            # Apply the whole chunk grouped by value/transformation; the
+            # serial walk below only does the attempt accounting.  Draws
+            # past the needed/max_attempts cutoff are computed and dropped,
+            # exactly as their randomness was already drawn and dropped.
+            codes, chunk_transformed = _transform_chunk(
+                correct, idx, coins, phi_us, pos_us, alpha, samplers,
+                occurrences,
+            )
         for k in range(_CHUNK):
             if len(examples) >= needed or attempts >= max_attempts:
                 break
             attempts += 1
+            if fast:
+                code = codes[k]
+                if code == 1:
+                    rejected_alpha += 1
+                    continue
+                if code == 2:
+                    identity_draws += 1
+                    continue
+                source = correct[int(idx[k])]
+                examples.append(
+                    LabeledCell(
+                        cell=source.cell,
+                        observed=chunk_transformed[k],
+                        true=source.observed,
+                    )
+                )
+                sources.add(int(idx[k]))
+                continue
             if coins[k] >= alpha:
                 rejected_alpha += 1
                 continue
             source = correct[int(idx[k])]
             value = source.observed
-            if fast:
-                sampler = samplers(value)
-                if sampler is None:
-                    identity_draws += 1
-                    continue
-                transformations, cumulative = sampler
-                phi = transformations[
-                    int(np.searchsorted(cumulative, phi_us[k], side="right"))
-                ]
-                positions = phi.occurrences(value)
-                pos = positions[min(int(pos_us[k] * len(positions)), len(positions) - 1)]
-                transformed = value[:pos] + phi.dst + value[pos + len(phi.src):]
-            else:
-                transformed = policy.transform(value, gen)
+            transformed = policy.transform(value, gen)
             if transformed is None or transformed == value:
                 identity_draws += 1
                 continue

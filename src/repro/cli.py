@@ -153,6 +153,7 @@ def _detector_config(args: argparse.Namespace) -> DetectorConfig:
             prediction_workers=args.prediction_workers,
             feature_cache=not args.no_feature_cache,
             artifact_dir=getattr(args, "artifacts", None),
+            backend=getattr(args, "backend", None),
         )
     except ValueError as exc:
         raise SystemExit(f"invalid detector configuration: {exc}") from exc
@@ -173,6 +174,10 @@ def _build_detector(args: argparse.Namespace) -> HoloDetect:
         if getattr(args, "artifacts", None):
             # The flag wins over the spec's own [artifacts] table.
             detector.use_artifacts(args.artifacts)
+        if getattr(args, "backend", None):
+            # The flag wins over the spec's own [compute] table; neither
+            # affects the fingerprint, so this is always safe.
+            detector.config.backend = args.backend
         return detector
     return HoloDetect(_detector_config(args))
 
@@ -292,12 +297,33 @@ def cmd_benchmark(args: argparse.Namespace) -> int:
     bundle = load_dataset(args.dataset, num_rows=args.rows, seed=args.seed)
     split = make_split(bundle, args.training_fraction, rng=args.seed)
     detector = _build_detector(args)
+
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     detector.fit(bundle.dirty, split.training, bundle.constraints)
+    flagged = detector.predict_error_cells(split.test_cells)
+    if profiler is not None:
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        print(
+            f"wrote {args.profile} (inspect with: python -m pstats {args.profile})",
+            file=sys.stderr,
+        )
     metrics = evaluate_predictions(
-        detector.predict_error_cells(split.test_cells),
+        flagged,
         bundle.error_cells,
         split.test_cells,
     )
+    if detector.timings:
+        stages = "  ".join(
+            f"{stage}={seconds:.3f}s"
+            for stage, seconds in sorted(detector.timings.items())
+        )
+        print(f"timings: {stages}", file=sys.stderr)
     print(f"{args.dataset}: P={metrics.precision:.3f} R={metrics.recall:.3f} F1={metrics.f1:.3f}")
     return 0
 
@@ -352,6 +378,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         executor=args.executor,
         on_result=progress,
         artifact_dir=args.artifacts,
+        backend=args.backend,
     )
     elapsed = time.perf_counter() - started
     print(report.table())
@@ -419,6 +446,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             read_timeout=args.read_timeout,
             batch_window=args.batch_window,
             max_batch_cells=args.max_batch_cells,
+            backend=args.backend,
         )
     except ValueError as exc:
         raise SystemExit(f"invalid server configuration: {exc}") from exc
@@ -629,6 +657,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="fitted-artifact store directory: reuse trained embeddings "
             "and fitted featurizer states across runs (see docs/architecture.md)",
         )
+        p.add_argument(
+            "--backend",
+            metavar="NAME",
+            help="compute backend for training/scoring: numpy (fused "
+            "kernels, default), reference (autodiff graph), torch, or a "
+            "module:attr reference (see docs/architecture.md)",
+        )
 
     detect = sub.add_parser("detect", help="detect errors in a CSV")
     detect.add_argument("--input", required=True, help="input CSV (header row required)")
@@ -677,6 +712,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="declarative detector spec (repro.spec/v1 .toml/.json); "
         "supersedes the individual model flags",
     )
+    bench.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="profile fit+predict with cProfile and write the pstats dump here",
+    )
     add_model_args(bench)
     bench.set_defaults(func=cmd_benchmark)
 
@@ -700,6 +740,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="shared fitted-artifact store directory: workers reuse one "
         "embedding/featurizer fit per (data, config) instead of one per scenario",
+    )
+    sweep.add_argument(
+        "--backend",
+        metavar="NAME",
+        help="compute backend every worker trains on (numpy, reference, "
+        "torch, or module:attr)",
     )
     sweep.add_argument(
         "--resume",
@@ -752,6 +798,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-batch-cells", type=int, default=4096,
         help="bound on one coalesced scoring pass, in cells",
+    )
+    serve.add_argument(
+        "--backend",
+        metavar="NAME",
+        help="compute backend every served detector scores on (numpy, "
+        "reference, torch, or module:attr)",
     )
     serve.set_defaults(func=cmd_serve)
 

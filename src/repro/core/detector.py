@@ -91,6 +91,15 @@ class DetectorConfig:
     artifact_store: ArtifactStore | None = field(
         default=None, repr=False, compare=False
     )
+    #: Compute backend for model training and scoring (registry kind
+    #: ``"backend"``: ``"numpy"``, ``"reference"``, ``"torch"``, or a
+    #: ``module:attr`` reference).  ``None`` = the ambient default
+    #: (normally the fused-numpy kernels).  Like the artifact store, this
+    #: is an execution detail: at float64 every backend's default path is
+    #: bit-identical, so the knob never enters spec fingerprints.
+    backend: str | None = None
+    #: Training compute precision — ``"float64"`` (exact) or ``"float32"``.
+    compute_dtype: str = "float64"
     seed: int = 0
     #: Override the learned policy (augmentation-strategy ablations, Table 4).
     policy_override: Policy | None = field(default=None, repr=False)
@@ -176,6 +185,18 @@ class DetectorConfig:
                 f"artifact_store must be an ArtifactStore or None, "
                 f"got {type(self.artifact_store).__name__}"
             )
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise ValueError(
+                f"backend must be a registry key string or None, "
+                f"got {self.backend!r}"
+            )
+        from repro.nn.backend import SUPPORTED_DTYPES
+
+        if self.compute_dtype not in SUPPORTED_DTYPES:
+            raise ValueError(
+                f"compute_dtype must be one of {list(SUPPORTED_DTYPES)}, "
+                f"got {self.compute_dtype!r}"
+            )
 
 
 @dataclass
@@ -260,6 +281,11 @@ class HoloDetect:
         #: ``model`` or ``model/<column>``); persisted with the detector.
         self.artifact_keys: dict[str, str] = {}
         self.augmented_count = 0
+        #: Wall-clock seconds of the last ``fit`` (keys ``fit``,
+        #: ``featurize``, ``train``) and the last ``predict`` (key
+        #: ``predict``).  Surfaced in ``repro.detect/v1`` reports and
+        #: serving responses.
+        self.timings: dict[str, float] = {}
         self._dataset: Dataset | None = None
         self._train_cells: set[Cell] = set()
 
@@ -285,6 +311,13 @@ class HoloDetect:
             # store directory (validate() rejects it under [detector], so
             # it can never enter the fingerprint).
             config_kwargs["artifact_dir"] = artifacts["dir"]
+        compute = dict(spec.compute)
+        if compute.get("backend") is not None:
+            # Same pattern for the compute backend: an execution detail,
+            # spec-able only through the unfingerprinted [compute] table.
+            config_kwargs["backend"] = compute["backend"]
+        if compute.get("dtype") is not None:
+            config_kwargs["compute_dtype"] = compute["dtype"]
         return cls(DetectorConfig(**config_kwargs), spec=spec)
 
     @property
@@ -343,10 +376,14 @@ class HoloDetect:
         constraints: Sequence[DenialConstraint] | None = None,
     ) -> "HoloDetect":
         """Learn the channel, the representation, and the classifier."""
+        from time import perf_counter
+
         cfg = self.config
         rng = as_generator(cfg.seed)
         self._dataset = dataset
         self._train_cells = set(training.cells)
+        t_fit = perf_counter()
+        self.timings = {}
 
         train_main, holdout = training.split_holdout(cfg.holdout_fraction, rng=rng)
         if len(train_main) == 0:
@@ -356,10 +393,12 @@ class HoloDetect:
         # effect, fitted embeddings and featurizer states are served from
         # it; a warm fit is bit-identical to a cold one because embedding
         # training seeds derive from content, not from the shared stream.
+        t0 = perf_counter()
         self.pipeline = self._build_pipeline(constraints)
         self.pipeline.cache = self.cache
         self.pipeline.artifacts = self.artifacts
         self.pipeline.fit(dataset)
+        self.timings["featurize"] = perf_counter() - t0
         self.artifact_keys = self.pipeline.artifact_keys
 
         # Module 1: noisy channel learning + augmentation.
@@ -388,6 +427,7 @@ class HoloDetect:
             dropout=cfg.dropout,
             rng=rng,
         )
+        t0 = perf_counter()
         train_model(
             self.model,
             features,
@@ -399,20 +439,40 @@ class HoloDetect:
                 weight_decay=cfg.weight_decay,
                 min_steps=cfg.min_training_steps,
                 seed=int(rng.integers(0, 2**31)),
+                backend=cfg.backend,
+                dtype=cfg.compute_dtype,
             ),
         )
+        self.timings["train"] = perf_counter() - t0
 
         self.scaler = self._build_calibrator()
         if cfg.calibrate and len(holdout) > 0:
             hold_features = self.pipeline.transform(
                 [e.cell for e in holdout], dataset, values=[e.observed for e in holdout]
             )
-            hold_scores = self.model.error_scores(hold_features)
+            with self._backend_scope():
+                hold_scores = self.model.error_scores(hold_features)
             hold_targets = np.array([1.0 if e.is_error else 0.0 for e in holdout])
             self.scaler.fit(hold_scores, hold_targets)
         else:
             self.scaler.fit(np.zeros(0), np.zeros(0))
+        self.timings["fit"] = perf_counter() - t_fit
         return self
+
+    def _backend_scope(self):
+        """Scoped backend override for forward passes.
+
+        When the config names a backend, model scoring runs on it;
+        otherwise the ambient default (sweep workers, serving layer)
+        applies untouched.
+        """
+        import contextlib
+
+        from repro.nn.backend import use_backend
+
+        if self.config.backend is None:
+            return contextlib.nullcontext()
+        return use_backend(self.config.backend)
 
     def _build_pipeline(self, constraints) -> FeaturePipeline:
         """The representation model Q: spec-declared or the Table 7 default.
@@ -521,6 +581,9 @@ class HoloDetect:
         (``predict``, ``DetectionSession``) may chunk any subset of cells
         and obtain the same per-cell values.
         """
+        from time import perf_counter
+
+        t_predict = perf_counter()
         batch = max(1, self.config.prediction_batch)
         chunks = [
             CellBatch(cells[start : start + batch], self._dataset)
@@ -551,21 +614,24 @@ class HoloDetect:
             probabilities[start : start + n] = self.scaler.probability(scores)
             start += n
 
-        if workers > 1 and len(chunks) > 1:
-            # Featurise a bounded window of chunks in parallel, then score it
-            # before moving on: peak memory stays O(window x batch), not
-            # O(all cells), no matter how large the relation is.
-            window = 4 * workers
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                for lo in range(0, len(chunks), window):
-                    for features in pool.map(
-                        self.pipeline.transform_batch, chunks[lo : lo + window]
-                    ):
-                        score(features)
-        else:
-            # Sequential path streams chunk-by-chunk.
-            for chunk in chunks:
-                score(self.pipeline.transform_batch(chunk))
+        with self._backend_scope():
+            if workers > 1 and len(chunks) > 1:
+                # Featurise a bounded window of chunks in parallel, then
+                # score it before moving on: peak memory stays
+                # O(window x batch), not O(all cells), no matter how large
+                # the relation is.
+                window = 4 * workers
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    for lo in range(0, len(chunks), window):
+                        for features in pool.map(
+                            self.pipeline.transform_batch, chunks[lo : lo + window]
+                        ):
+                            score(features)
+            else:
+                # Sequential path streams chunk-by-chunk.
+                for chunk in chunks:
+                    score(self.pipeline.transform_batch(chunk))
+        self.timings["predict"] = perf_counter() - t_predict
         return probabilities
 
     def predict_error_cells(self, cells: Sequence[Cell] | None = None) -> set[Cell]:

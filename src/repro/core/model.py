@@ -89,15 +89,20 @@ class JointModel(Module):
     def error_scores(self, features: CellFeatures) -> np.ndarray:
         """Uncalibrated error-class score ``z = logit_error - logit_correct``.
 
-        This is the scalar score Platt scaling calibrates.
+        This is the scalar score Platt scaling calibrates.  The forward
+        pass runs on the ambient compute backend (fused numpy kernels by
+        default); every backend's prediction path is bit-identical to the
+        autodiff graph at float64, so scores do not depend on the backend.
         """
+        from repro.nn.backend import resolve_backend
         from repro.nn.tensor import no_grad
 
+        backend = resolve_backend()
         was_training = self.training
         self.eval()
         try:
             with no_grad():
-                logits = self.forward(features).numpy()
+                logits = backend.predict_logits(self, features)
         finally:
             if was_training:
                 self.train()

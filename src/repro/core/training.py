@@ -3,6 +3,16 @@
 The paper trains for 500 epochs with batch size 5 using ADAM (§6.1); our
 defaults are scaled down for CPU-only runtime but fully configurable — the
 loss surface is identical, only the budget differs.
+
+The loop is split along the compute-backend seam (:mod:`repro.nn.backend`):
+this driver owns everything that defines a run — label validation, the
+epoch/permutation/minibatch schedule, the step-count floor, loss history —
+while the per-step math (forward, backward, optimiser update) comes from a
+:class:`~repro.nn.backend.JointTrainer` built by the selected backend.
+Because the driver draws the batch permutations from one generator, every
+backend sees the *same* batch sequence; the default numpy backend is then
+bit-identical to the historical autodiff loop, and foreign backends differ
+only by kernel arithmetic.
 """
 
 from __future__ import annotations
@@ -13,7 +23,7 @@ import numpy as np
 
 from repro.core.model import JointModel
 from repro.features.pipeline import CellFeatures
-from repro.nn import Adam, softmax_cross_entropy
+from repro.nn.backend import SUPPORTED_DTYPES, resolve_backend
 from repro.utils.rng import as_generator
 
 
@@ -25,6 +35,13 @@ class TrainerConfig:
     few-shot training sets are small, so a fixed epoch count can mean very
     few updates and high seed-to-seed variance.  When the configured epochs
     yield fewer steps than the floor, the epoch count is raised.
+
+    ``backend`` selects the compute backend (registry kind ``"backend"``:
+    a built-in key or ``module:attr`` reference; ``None`` = the ambient
+    default, normally ``"numpy"``).  ``dtype`` is the compute precision —
+    ``"float64"`` (exact, the default) or ``"float32"`` (faster matmuls;
+    losses still accumulate in float64).  Neither knob changes what is
+    learned at float64, so neither enters spec fingerprints.
     """
 
     epochs: int = 40
@@ -33,6 +50,15 @@ class TrainerConfig:
     weight_decay: float = 1e-5
     min_steps: int = 0
     seed: int = 0
+    backend: str | None = None
+    dtype: str = "float64"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in SUPPORTED_DTYPES:
+            raise ValueError(
+                f"dtype must be one of {list(SUPPORTED_DTYPES)}, "
+                f"got {self.dtype!r}"
+            )
 
 
 def _slice_features(features: CellFeatures, idx: np.ndarray) -> CellFeatures:
@@ -59,9 +85,10 @@ def train_model(
         raise ValueError("labels length must match feature batch size")
     if n == 0:
         raise ValueError("cannot train on an empty batch")
-    optimizer = Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+    backend = resolve_backend(config.backend)
     gen = as_generator(config.seed)
     model.train()
+    trainer = backend.joint_trainer(model, features, labels, config)
     history: list[float] = []
     steps_per_epoch = max(1, -(-n // config.batch_size))  # ceil division
     epochs = max(config.epochs, -(-config.min_steps // steps_per_epoch))
@@ -71,13 +98,9 @@ def train_model(
         batches = 0
         for start in range(0, n, config.batch_size):
             idx = order[start : start + config.batch_size]
-            optimizer.zero_grad()
-            logits = model(_slice_features(features, idx))
-            loss = softmax_cross_entropy(logits, labels[idx])
-            loss.backward()
-            optimizer.step()
-            epoch_loss += loss.item()
+            epoch_loss += trainer.step(idx)
             batches += 1
         history.append(epoch_loss / max(batches, 1))
+    trainer.finalize()
     model.eval()
     return history

@@ -63,6 +63,7 @@ class FastTextEmbedding:
         epochs: int = 3,
         lr: float = 0.05,
         max_pairs_per_epoch: int = 200_000,
+        backend: str | None = None,
         rng=None,
     ):
         if dim < 1:
@@ -76,6 +77,14 @@ class FastTextEmbedding:
         self.epochs = epochs
         self.lr = lr
         self.max_pairs_per_epoch = max_pairs_per_epoch
+        #: Compute backend executing the SGNS batch updates (``None`` = the
+        #: default numpy kernel, which is the reference math — the default
+        #: path trains bit-identically to the historical inline loop).
+        #: Deliberately *not* inherited from the ambient backend: the
+        #: backend is part of :meth:`config_dict` and hence the artifact
+        #: key, and an ambient setting changing trained weights under an
+        #: unchanged key would serve stale artifacts.
+        self.backend = backend
         self._rng = as_generator(rng)
         self._vocab: dict[str, int] = {}
         self._index_to_word: list[str] = []
@@ -201,6 +210,20 @@ class FastTextEmbedding:
     def _train_epoch(
         self, centers: np.ndarray, contexts: np.ndarray, noise: np.ndarray
     ) -> None:
+        """One SGNS pass; the batch update runs on the compute backend.
+
+        Positive and negative targets share the same update form (grad on
+        score = sigmoid(score) - label); the per-batch math lives in
+        :meth:`repro.nn.backend.ComputeBackend.sgns_step`, whose numpy
+        kernel is the reference implementation.  Negative sampling stays
+        here so every backend consumes the embedding's RNG stream
+        identically.
+        """
+        from repro.nn.backend import DEFAULT_BACKEND, resolve_backend
+
+        # Never the *ambient* backend: the key config pins self.backend, so
+        # only an explicitly pinned backend may change the trained tables.
+        backend = resolve_backend(self.backend or DEFAULT_BACKEND)
         batch = 512
         vocab_size = noise.size
         for start in range(0, centers.size, batch):
@@ -208,28 +231,10 @@ class FastTextEmbedding:
             o = contexts[start : start + batch]
             n = c.size
             negs = self._rng.choice(vocab_size, size=(n, self.negatives), p=noise)
-            sub_ids = self._sub_ids[c]  # [n, S]
-            sub_mask = self._sub_mask[c]  # [n, S]
-            counts = sub_mask.sum(axis=1, keepdims=True)  # [n, 1]
-            in_vecs = (self._in[sub_ids] * sub_mask[:, :, None]).sum(axis=1) / counts
-
-            # Positive and negative targets share the same update form:
-            # grad on score = sigmoid(score) - label.
-            targets = np.concatenate([o[:, None], negs], axis=1)  # [n, 1+k]
-            labels = np.zeros((n, 1 + self.negatives))
-            labels[:, 0] = 1.0
-            out_vecs = self._out[targets]  # [n, 1+k, d]
-            scores = np.einsum("nd,nkd->nk", in_vecs, out_vecs)
-            g = (1.0 / (1.0 + np.exp(-np.clip(scores, -30, 30))) - labels) * self.lr
-
-            # Update output vectors.
-            grad_out = g[:, :, None] * in_vecs[:, None, :]  # [n, 1+k, d]
-            np.add.at(self._out, targets.ravel(), -grad_out.reshape(-1, self.dim))
-
-            # Update input (subword) vectors.
-            grad_in = np.einsum("nk,nkd->nd", g, out_vecs) / counts  # [n, d]
-            weighted = grad_in[:, None, :] * sub_mask[:, :, None]  # [n, S, d]
-            np.add.at(self._in, sub_ids.ravel(), -weighted.reshape(-1, self.dim))
+            backend.sgns_step(
+                self._in, self._out, self._sub_ids[c], self._sub_mask[c],
+                o, negs, self.lr,
+            )
 
     def _clip_norms(self, max_norm: float = 10.0) -> None:
         """Renormalise rows whose norm exceeds ``max_norm``.
@@ -254,16 +259,48 @@ class FastTextEmbedding:
         return self._in[ids].mean(axis=0)
 
     def sentence_vector(self, tokens: Sequence[str]) -> np.ndarray:
-        """Mean of token vectors; zero vector for an empty token list."""
+        """Mean of token vectors; zero vector for an empty token list.
+
+        In-vocabulary tokens are served as rows of the precomputed
+        vocabulary matrix (one gather instead of per-token subword hashing);
+        only out-of-vocabulary tokens fall back to :meth:`vector`.  The
+        stacked rows equal the per-token loop's bit-for-bit, so the mean is
+        unchanged.
+        """
         if not tokens:
             return np.zeros(self.dim)
-        return np.mean([self.vector(t) for t in tokens], axis=0)
+        if self._in is None:
+            raise RuntimeError("embedding not fitted")
+        vocab = self._vocab
+        indices = np.array([vocab.get(t, -1) for t in tokens], dtype=np.int64)
+        if np.all(indices >= 0):
+            rows = self._word_vectors()[indices]
+        else:
+            rows = np.empty((len(tokens), self.dim))
+            known = indices >= 0
+            if known.any():
+                rows[known] = self._word_vectors()[indices[known]]
+            for i in np.flatnonzero(~known):
+                rows[i] = self.vector(tokens[i])
+        return np.mean(rows, axis=0)
 
     def _word_vectors(self) -> np.ndarray:
+        """The ``[vocab, dim]`` matrix of in-vocabulary word vectors.
+
+        Built as grouped gathers over the padded subword id table: words
+        with the same subword count form one ``[m, L, dim]`` gather and a
+        single ``mean(axis=1)``.  Reducing over a strided axis accumulates
+        in index order exactly like the per-word ``_in[ids].mean(axis=0)``,
+        so each row is bit-identical to :meth:`vector`.
+        """
         if self._word_vectors_cache is None:
-            self._word_vectors_cache = np.stack(
-                [self.vector(w) for w in self._index_to_word]
-            )
+            counts = self._sub_mask.sum(axis=1).astype(np.int64)
+            vectors = np.empty((len(self._index_to_word), self.dim))
+            for length in np.unique(counts):
+                members = np.flatnonzero(counts == length)
+                gathered = self._in[self._sub_ids[members, :length]]
+                vectors[members] = gathered.mean(axis=1)
+            self._word_vectors_cache = vectors
         return self._word_vectors_cache
 
     # ------------------------------------------------------------------ #
@@ -295,7 +332,7 @@ class FastTextEmbedding:
         enumeration is what guarantees that changing *any* training default
         changes the key instead of silently serving stale weights.
         """
-        return {
+        config = {
             "dim": self.dim,
             "window": self.window,
             "negatives": self.negatives,
@@ -306,6 +343,15 @@ class FastTextEmbedding:
             "lr": self.lr,
             "max_pairs_per_epoch": self.max_pairs_per_epoch,
         }
+        if self.backend is not None:
+            # A pinned non-default backend (e.g. torch) may differ in low
+            # bits from the numpy reference kernel, so it must key — and
+            # seed, since training seeds derive from the key — its
+            # artifacts separately.  ``None`` stays *out* of the config:
+            # artifact keys are also the training-seed material, so adding
+            # the field would reseed (and change) every default-path fit.
+            config["backend"] = self.backend
+        return config
 
     @classmethod
     def from_state(cls, state: dict) -> "FastTextEmbedding":

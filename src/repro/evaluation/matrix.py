@@ -382,10 +382,15 @@ def run_scenario(spec: ScenarioSpec) -> dict:
     return scenario_record(spec, result, timer.elapsed)
 
 
-def _init_artifact_worker(directory: str) -> None:
-    """Process-pool initializer: one shared-directory artifact store per
-    worker, ambient for every detector the worker builds."""
-    set_default_store(ArtifactStore(directory=directory))
+def _init_worker(directory: str | None, backend: str | None) -> None:
+    """Process-pool initializer: install the ambient artifact store and/or
+    compute backend for every detector the worker builds."""
+    if directory is not None:
+        set_default_store(ArtifactStore(directory=directory))
+    if backend is not None:
+        from repro.nn.backend import set_default_backend
+
+        set_default_backend(backend)
 
 
 def _run_with_artifact_stats(runner: Callable[["ScenarioSpec"], dict], spec) -> dict:
@@ -485,13 +490,15 @@ class SweepReport:
         return payload
 
 
-def _make_pool(executor: str, workers: int, artifact_dir: str | None) -> Executor:
+def _make_pool(
+    executor: str, workers: int, artifact_dir: str | None, backend: str | None
+) -> Executor:
     if executor == "process":
-        if artifact_dir is not None:
+        if artifact_dir is not None or backend is not None:
             return ProcessPoolExecutor(
                 max_workers=workers,
-                initializer=_init_artifact_worker,
-                initargs=(artifact_dir,),
+                initializer=_init_worker,
+                initargs=(artifact_dir, backend),
             )
         return ProcessPoolExecutor(max_workers=workers)
     return ThreadPoolExecutor(max_workers=workers)
@@ -506,6 +513,7 @@ def run_matrix(
     on_result: Callable[[dict], None] | None = None,
     scenario_runner: Callable[[ScenarioSpec], dict] = run_scenario,
     artifact_dir: str | Path | None = None,
+    backend: str | None = None,
 ) -> SweepReport:
     """Run every scenario in ``matrix``, fanning out over a worker pool.
 
@@ -529,6 +537,12 @@ def run_matrix(
     × trials over one dirty relation) share one fit instead of retraining.
     Fits are content-seeded, so metrics are bit-identical with or without
     the store, at any worker count.
+
+    ``backend`` installs a process/thread-ambient compute backend
+    (:func:`repro.nn.backend.set_default_backend`) in every worker, so each
+    scenario's detector trains and scores on it without the name appearing
+    in any scenario fingerprint — metrics at float64 are bit-identical
+    across backends, so cached records stay valid.
     """
     if executor not in _EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; choose from {_EXECUTORS}")
@@ -588,11 +602,18 @@ def run_matrix(
             return nullcontext(None)
         return use_store(ArtifactStore(directory=artifact_dir))
 
+    def in_process_backend():
+        if backend is None:
+            return nullcontext(None)
+        from repro.nn.backend import use_backend
+
+        return use_backend(backend)
+
     effective = clamp_workers(workers, len(pending))
     if pending:
         if effective == 1 or executor == "serial":
             effective = 1
-            with in_process_store() as shared:
+            with in_process_store() as shared, in_process_backend():
                 for spec in pending:
                     try:
                         result = task(spec)
@@ -607,7 +628,7 @@ def run_matrix(
                 in_process_store() if executor == "thread" else nullcontext(None)
             )
             with coordinator_store as shared, _make_pool(
-                executor, effective, artifact_dir
+                executor, effective, artifact_dir, backend
             ) as pool:
                 futures = {pool.submit(task, spec): spec for spec in pending}
                 not_done = set(futures)

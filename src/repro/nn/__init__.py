@@ -10,11 +10,25 @@ implements the same mathematical stack from scratch:
 - :mod:`repro.nn.layers` — ``Module`` containers and the layers the paper
   uses (Linear, ReLU, Sigmoid, Dropout, Highway, Sequential),
 - :mod:`repro.nn.loss` — softmax cross-entropy and logistic losses,
-- :mod:`repro.nn.optim` — ADAM [36] and SGD.
+- :mod:`repro.nn.optim` — ADAM [36] and SGD,
+- :mod:`repro.nn.backend` / :mod:`repro.nn.backends` — pluggable compute
+  backends (registry kind ``"backend"``): the fused-numpy default that
+  runs training as minibatch BLAS kernels, the autodiff ``reference``
+  ground truth, and an optional ``torch`` backend.
 
-Gradients are verified against finite differences by property-based tests.
+Gradients are verified against finite differences by property-based tests,
+uniformly across backends.
 """
 
+from repro.nn.backend import (
+    BackendUnavailable,
+    ComputeBackend,
+    JointTrainer,
+    default_backend_name,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.nn.tensor import Tensor, concat, no_grad
 from repro.nn.layers import (
     Dropout,
@@ -46,4 +60,11 @@ __all__ = [
     "Optimizer",
     "Adam",
     "SGD",
+    "BackendUnavailable",
+    "ComputeBackend",
+    "JointTrainer",
+    "default_backend_name",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
 ]

@@ -1,0 +1,140 @@
+"""Reference backend: the original autodiff-graph training loop.
+
+This backend *is* the pre-fusion stack — ``Tensor`` graph forward,
+reverse-topological backward, per-parameter :class:`repro.nn.optim.Adam` —
+kept registered as ``"reference"`` so the fused backends have a live ground
+truth: ``benchmarks/bench_training.py`` and the backend-equivalence tests
+train the same model on ``reference`` and on the backend under test and
+assert bit-identity (numpy/float64) or documented tolerance (torch,
+float32).  It is intentionally slow; never the default.
+
+The kernel-level API is implemented *through the graph* (build tensors,
+run backward), so the gradient-check suite exercising every backend's
+kernels also covers the autodiff ops themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.backend import ComputeBackend, JointTrainer
+from repro.nn.loss import softmax_cross_entropy
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+
+
+class _GraphTrainer(JointTrainer):
+    """One step = zero_grad → graph forward → loss → backward → Adam."""
+
+    def __init__(self, model, features, labels, config):
+        self._model = model
+        self._features = features
+        self._labels = np.asarray(labels, dtype=np.int64)
+        self._optimizer = Adam(
+            model.parameters(), lr=config.lr, weight_decay=config.weight_decay
+        )
+
+    def step(self, idx: np.ndarray) -> float:
+        from repro.core.training import _slice_features
+
+        self._optimizer.zero_grad()
+        logits = self._model(_slice_features(self._features, idx))
+        loss = softmax_cross_entropy(logits, self._labels[idx])
+        loss.backward()
+        self._optimizer.step()
+        return loss.item()
+
+
+class GraphBackend(ComputeBackend):
+    """The autodiff stack as a backend (``"reference"``)."""
+
+    name = "reference"
+
+    def joint_trainer(self, model, features, labels, config) -> JointTrainer:
+        return _GraphTrainer(model, features, labels, config)
+
+    # -- kernel API via the Tensor graph -------------------------------- #
+
+    def affine(self, x, W, b):
+        return (Tensor(x) @ Tensor(W) + Tensor(b)).data
+
+    def affine_grad(self, x, W, dy):
+        tx = Tensor(x, requires_grad=True)
+        tW = Tensor(W, requires_grad=True)
+        tb = Tensor(np.zeros((1, np.asarray(W).shape[1])), requires_grad=True)
+        y = tx @ tW + tb
+        y.backward(dy)
+        return tx.grad, tW.grad, tb.grad
+
+    def relu(self, x):
+        return Tensor(x).relu().data
+
+    def relu_grad(self, x, dy):
+        tx = Tensor(x, requires_grad=True)
+        tx.relu().backward(dy)
+        return tx.grad
+
+    def sigmoid(self, x):
+        return Tensor(x).sigmoid().data
+
+    def sigmoid_grad(self, s, dy):
+        # The graph's sigmoid backward is dy * s * (1 - s) over the forward
+        # output; reconstruct it directly from ``s``.
+        s = np.asarray(s, dtype=np.float64)
+        return dy * s * (1.0 - s)
+
+    def _highway_graph(self, x, Wt, bt, Wg, bg):
+        tx = Tensor(x, requires_grad=True)
+        tWt = Tensor(Wt, requires_grad=True)
+        tbt = Tensor(bt, requires_grad=True)
+        tWg = Tensor(Wg, requires_grad=True)
+        tbg = Tensor(bg, requires_grad=True)
+        t = (tx @ tWg + tbg).sigmoid()
+        h = (tx @ tWt + tbt).relu()
+        y = t * h + (Tensor(1.0) - t) * tx
+        return y, (tx, tWt, tbt, tWg, tbg)
+
+    def highway(self, x, Wt, bt, Wg, bg):
+        y, leaves = self._highway_graph(x, Wt, bt, Wg, bg)
+        return y.data, (y, leaves)
+
+    def highway_grad(self, cache, dy, need_dx=True):
+        y, (tx, tWt, tbt, tWg, tbg) = cache
+        y.backward(dy)
+        grads = {
+            "dWt": tWt.grad, "dbt": tbt.grad,
+            "dWg": tWg.grad, "dbg": tbg.grad,
+        }
+        if need_dx:
+            grads["dx"] = tx.grad
+        return grads
+
+    def softmax_xent(self, logits, targets):
+        tl = Tensor(logits, requires_grad=True)
+        loss = softmax_cross_entropy(tl, targets)
+        loss.backward()
+        return loss.item(), tl.grad
+
+    def adam_step(self, p, g, m, v, t, *, lr, beta1=0.9, beta2=0.999,
+                  eps=1e-8, weight_decay=0.0):
+        # Exactly the per-parameter update of repro.nn.optim.Adam.step.
+        grad = g
+        if weight_decay:
+            grad = grad + weight_decay * p
+        m *= beta1
+        m += (1.0 - beta1) * grad
+        v *= beta2
+        v += (1.0 - beta2) * grad**2
+        m_hat = m / (1.0 - beta1**t)
+        v_hat = v / (1.0 - beta2**t)
+        p -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+    def sgns_step(self, in_table, out_table, sub_ids, sub_mask, contexts,
+                  negatives, lr):
+        from repro.nn.backends.numpy_backend import sgns_step_numpy
+
+        # The SGNS loop predates the graph and was always plain numpy; the
+        # numpy implementation is its reference semantics.
+        sgns_step_numpy(
+            in_table, out_table, sub_ids, sub_mask, contexts, negatives, lr
+        )

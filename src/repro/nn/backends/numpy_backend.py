@@ -1,0 +1,570 @@
+"""Fused pure-numpy backend — the default compute backend.
+
+Replaces the per-op autodiff graph of the training loop with straight-line
+minibatch BLAS kernels: one fused affine→nonlinearity→Highway-gate
+forward/backward per layer per batch, a flat-parameter ADAM step over one
+concatenated vector, and a per-batch-size workspace of preallocated
+activation/gradient buffers reused across steps (every ufunc and matmul
+writes through ``out=``; a steady-state step allocates nothing).
+
+Bit-identity contract: at float64 this backend reproduces the autodiff
+stack *exactly* — same elementary operations in the same accumulation
+order, consuming the same RNG streams (batch permutations from the trainer
+seed, dropout masks from the model's own dropout generator).  Every
+rewrite below relies on an exact IEEE identity, not an algebraic one:
+
+- ``a - b`` ≡ ``a + (-b)`` (the graph's subtract is add-of-negation);
+- ``g * g`` ≡ ``g ** 2`` (numpy's small-integer-exponent pow fast path);
+- ``float64 * bool`` ≡ ``float64 * bool.astype(float64)``;
+- ``arr.sum(axis=0)`` ≡ ``np.add.reduce(arr, axis=0)``;
+- ``Generator.random(out=buf)`` consumes the stream of ``random(shape)``;
+- ``np.take(a, idx, out=buf)`` ≡ the fancy-index copy ``a[idx]``;
+- the cached forward carry ``s = 1 - t`` equals the backward recompute.
+
+float32 compute halves memory traffic for the matmuls; the loss (and its
+softmax backward) is still computed in float64 from the cast logits and
+the epoch loss accumulated in float64, so reported histories stay stable.
+float32 results are *not* bit-pinned — that mode trades exactness for
+speed, like any foreign backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.backend import (
+    SUPPORTED_DTYPES,
+    ComputeBackend,
+    JointTrainer,
+)
+from repro.nn.layers import Dropout, Highway, Linear, ReLU, Sequential
+
+
+def extract_structure(model):
+    """The (branches, dropout, linear1, linear2) layers of a JointModel.
+
+    Returns ``None`` when ``model`` is not shaped like
+    :class:`repro.core.model.JointModel` (fused kernels are specialised to
+    that architecture; anything else falls back to the autodiff graph).
+    """
+    try:
+        branch_seqs = model.branches
+        classifier = model.classifier
+        names = model.branch_names
+    except AttributeError:
+        return None
+    if not isinstance(classifier, Sequential) or len(classifier.modules) != 4:
+        return None
+    drop, lin1, relu_c, lin2 = classifier.modules
+    if not (
+        isinstance(drop, Dropout)
+        and isinstance(lin1, Linear)
+        and isinstance(relu_c, ReLU)
+        and isinstance(lin2, Linear)
+    ):
+        return None
+    if len(branch_seqs) != len(names):
+        return None
+    branches = []
+    for seq in branch_seqs:
+        if not isinstance(seq, Sequential) or len(seq.modules) != 4:
+            return None
+        h1, h2, relu_b, lin = seq.modules
+        if not (
+            isinstance(h1, Highway)
+            and isinstance(h2, Highway)
+            and isinstance(relu_b, ReLU)
+            and isinstance(lin, Linear)
+        ):
+            return None
+        branches.append((h1, h2, lin))
+    return branches, drop, lin1, lin2
+
+
+# Hot-loop aliases: skip the np-module attribute lookup per call, and — for
+# clip — the fromnumeric wrapper entirely (maximum∘minimum computes the
+# identical result elementwise: each output is exactly x, lo, or hi).
+_mm = np.matmul
+_add = np.add
+_sub = np.subtract
+_mul = np.multiply
+_div = np.divide
+_neg = np.negative
+_exp = np.exp
+_max = np.maximum
+_min = np.minimum
+_gt = np.greater
+_reduce_add = np.add.reduce
+
+
+def _hw_fwd(x, Wt, bt, Wg, bg, tg, z2, h, s, y, tmp):
+    """Fused highway forward into preallocated buffers.
+
+    Leaves the backward cache in place: ``tg`` (gate), ``z2`` (transform
+    pre-activation), ``h`` (relu), ``s`` (= 1 - tg carry), with ``y`` the
+    output.
+    """
+    _mm(x, Wg, out=tg)
+    _add(tg, bg, out=tg)
+    _max(tg, -60.0, out=tg)
+    _min(tg, 60.0, out=tg)
+    _neg(tg, out=tg)
+    _exp(tg, out=tg)
+    _add(tg, 1.0, out=tg)
+    _div(1.0, tg, out=tg)
+    _mm(x, Wt, out=z2)
+    _add(z2, bt, out=z2)
+    _max(z2, 0.0, out=h)
+    _mul(tg, h, out=y)
+    _sub(1.0, tg, out=s)
+    _mul(s, x, out=tmp)
+    _add(y, tmp, out=y)
+
+
+def _hw_bwd(dy, x, tg, z2, h, s, Wt, Wg, gWt, gbt, gWg, gbg,
+            dt, dh, ds, dz1, boolb, tmp, dx, need_dx):
+    """Fused highway backward; mirrors the graph's reversed-topo op order.
+
+    Writes parameter gradients into the ``g*`` views and (when ``need_dx``)
+    the input gradient into ``dx``.  The ``dx`` accumulation order —
+    transform path, then carry path, then gate path — is the graph's
+    accumulation order and must not be reordered.
+    """
+    _mul(dy, h, out=dt)
+    _mul(dy, tg, out=dh)
+    _gt(z2, 0.0, out=boolb)
+    _mul(dh, boolb, out=dh)  # dz2
+    _reduce_add(dh, axis=0, out=gbt, keepdims=True)
+    if need_dx:
+        _mm(dh, Wt.T, out=dx)
+    _mm(x.T, dh, out=gWt)
+    _mul(dy, x, out=ds)
+    if need_dx:
+        _mul(dy, s, out=tmp)
+        _add(dx, tmp, out=dx)
+    _sub(dt, ds, out=dt)
+    _mul(dt, tg, out=dz1)
+    _mul(dz1, s, out=dz1)
+    _reduce_add(dz1, axis=0, out=gbg, keepdims=True)
+    if need_dx:
+        _mm(dz1, Wg.T, out=tmp)
+        _add(dx, tmp, out=dx)
+    _mm(x.T, dz1, out=gWg)
+
+
+class _BranchSpace:
+    """Per-branch activation/gradient buffers for one batch size."""
+
+    __slots__ = (
+        "xb", "tg1", "z21", "h1", "s1", "y1", "tg2", "z22", "h2", "s2",
+        "y2", "r", "tmp", "boolb", "dt", "dh", "ds", "dz1", "dx", "dr",
+        "dz3",
+    )
+
+    def __init__(self, nb: int, d: int, dtype):
+        for slot in self.__slots__:
+            if slot == "boolb":
+                setattr(self, slot, np.empty((nb, d), dtype=bool))
+            elif slot == "dz3":
+                setattr(self, slot, np.empty((nb, 1), dtype=dtype))
+            else:
+                setattr(self, slot, np.empty((nb, d), dtype=dtype))
+
+
+class _Workspace:
+    """All buffers of one batch size (only two sizes occur: full and tail)."""
+
+    def __init__(self, nb, dims, numeric_dim, joint_dim, hidden, classes,
+                 dtype, loss64):
+        self.branches = [_BranchSpace(nb, d, dtype) for d in dims]
+        self.joint = np.empty((nb, joint_dim), dtype=dtype)
+        self.numbuf = np.empty((nb, numeric_dim), dtype=dtype)
+        self.mask64 = np.empty((nb, joint_dim), dtype=np.float64)
+        self.boolj = np.empty((nb, joint_dim), dtype=bool)
+        self.maskc = np.empty((nb, joint_dim), dtype=dtype)
+        self.xd = np.empty((nb, joint_dim), dtype=dtype)
+        self.z4 = np.empty((nb, hidden), dtype=dtype)
+        self.r4 = np.empty((nb, hidden), dtype=dtype)
+        self.boolh = np.empty((nb, hidden), dtype=bool)
+        self.dr4 = np.empty((nb, hidden), dtype=dtype)
+        self.dxd = np.empty((nb, joint_dim), dtype=dtype)
+        self.logits = np.empty((nb, classes), dtype=dtype)
+        # Loss buffers stay float64: accumulation precision is part of the
+        # backend contract even in float32 compute mode.
+        self.l64 = self.logits if not loss64 else np.empty(
+            (nb, classes), dtype=np.float64
+        )
+        self.col = np.empty((nb, 1), dtype=np.float64)
+        self.col2 = np.empty((nb, 1), dtype=np.float64)
+        self.shifted = np.empty((nb, classes), dtype=np.float64)
+        self.expb = np.empty((nb, classes), dtype=np.float64)
+        self.probs = np.empty((nb, classes), dtype=np.float64)
+        self.dlc = self.probs if not loss64 else np.empty(
+            (nb, classes), dtype=dtype
+        )
+        self.yb = np.empty(nb, dtype=np.int64)
+        self.ar = np.arange(nb)
+
+
+class _FusedJointTrainer(JointTrainer):
+    """Flat-parameter fused trainer over a JointModel's layer structure."""
+
+    def __init__(self, model, features, labels, config, structure):
+        branches, drop, lin1, lin2 = structure
+        dtype = np.dtype(config.dtype)
+        if str(dtype) not in SUPPORTED_DTYPES:
+            raise ValueError(
+                f"unsupported compute dtype {config.dtype!r}; "
+                f"choose from {list(SUPPORTED_DTYPES)}"
+            )
+        self._model = model
+        self._dtype = dtype
+        self._f64 = dtype == np.float64
+
+        params = []
+        for h1, h2, lin in branches:
+            params += [
+                h1.transform.weight, h1.transform.bias,
+                h1.gate.weight, h1.gate.bias,
+                h2.transform.weight, h2.transform.bias,
+                h2.gate.weight, h2.gate.bias,
+                lin.weight, lin.bias,
+            ]
+        params += [lin1.weight, lin1.bias, lin2.weight, lin2.bias]
+        self._params = params
+        sizes = [p.data.size for p in params]
+        offsets = np.concatenate(([0], np.cumsum(sizes)))
+        total = int(offsets[-1])
+        self._P = np.empty(total, dtype=dtype)
+        self._G = np.empty(total, dtype=dtype)
+        self._M = np.zeros(total, dtype=dtype)
+        self._V = np.zeros(total, dtype=dtype)
+        self._T1 = np.empty(total, dtype=dtype)
+        self._T2 = np.empty(total, dtype=dtype)
+        views_p, views_g = [], []
+        for p, lo, hi in zip(params, offsets[:-1], offsets[1:]):
+            self._P[lo:hi] = p.data.ravel()
+            views_p.append(self._P[lo:hi].reshape(p.data.shape))
+            views_g.append(self._G[lo:hi].reshape(p.data.shape))
+        self._views_p = views_p
+        # Per-branch (param-view, grad-view) bundles in fused-kernel order.
+        self._bviews = []
+        for bi in range(len(branches)):
+            o = bi * 10
+            self._bviews.append(
+                (tuple(views_p[o:o + 10]), tuple(views_g[o:o + 10]))
+            )
+        o = len(branches) * 10
+        self._cW1, self._cb1, self._cW2, self._cb2 = views_p[o:o + 4]
+        self._gcW1, self._gcb1, self._gcW2, self._gcb2 = views_g[o:o + 4]
+
+        names = model.branch_names
+        self._xs = [
+            np.ascontiguousarray(np.asarray(features.branches[n], dtype=dtype))
+            for n in names
+        ]
+        self._numeric = np.ascontiguousarray(
+            np.asarray(features.numeric, dtype=dtype)
+        )
+        self._labels = np.ascontiguousarray(np.asarray(labels, dtype=np.int64))
+        self._dims = [x.shape[1] for x in self._xs]
+        self._nbranch = len(names)
+        self._joint_dim = self._nbranch + self._numeric.shape[1]
+        self._hidden = lin1.weight.data.shape[1]
+        self._classes = lin2.weight.data.shape[1]
+        self._drop_p = drop.p
+        self._drop_rng = drop._rng
+        self._keep = 1.0 - drop.p
+
+        self._lr = config.lr
+        self._wd = config.weight_decay
+        self._b1, self._b2 = 0.9, 0.999
+        self._eps = 1e-8
+        self._t = 0
+        self._spaces: dict[int, _Workspace] = {}
+
+    def _workspace(self, nb: int) -> _Workspace:
+        ws = self._spaces.get(nb)
+        if ws is None:
+            ws = _Workspace(
+                nb, self._dims, self._numeric.shape[1], self._joint_dim,
+                self._hidden, self._classes, self._dtype, not self._f64,
+            )
+            self._spaces[nb] = ws
+        return ws
+
+    def step(self, idx: np.ndarray) -> float:
+        nb = idx.shape[0]
+        ws = self._workspace(nb)
+        yb = ws.yb
+        ar = ws.ar
+        self._labels.take(idx, out=yb)
+        joint = ws.joint
+        nbranch = self._nbranch
+
+        for bi in range(nbranch):
+            b = ws.branches[bi]
+            pv, _ = self._bviews[bi]
+            Wt1, bt1, Wg1, bg1, Wt2, bt2, Wg2, bg2, lW, lb = pv
+            self._xs[bi].take(idx, axis=0, out=b.xb)
+            _hw_fwd(b.xb, Wt1, bt1, Wg1, bg1,
+                    b.tg1, b.z21, b.h1, b.s1, b.y1, b.tmp)
+            _hw_fwd(b.y1, Wt2, bt2, Wg2, bg2,
+                    b.tg2, b.z22, b.h2, b.s2, b.y2, b.tmp)
+            _max(b.y2, 0.0, out=b.r)
+            _mm(b.r, lW, out=b.dz3)
+            _add(b.dz3, lb, out=b.dz3)
+            joint[:, bi] = b.dz3[:, 0]
+        if self._numeric.shape[1]:
+            self._numeric.take(idx, axis=0, out=ws.numbuf)
+            joint[:, nbranch:] = ws.numbuf
+
+        if self._drop_p > 0.0:
+            self._drop_rng.random(out=ws.mask64)
+            np.less(ws.mask64, self._keep, out=ws.boolj)
+            _div(ws.boolj, self._keep, out=ws.maskc)
+            _mul(joint, ws.maskc, out=ws.xd)
+            xd = ws.xd
+        else:
+            xd = joint
+        _mm(xd, self._cW1, out=ws.z4)
+        _add(ws.z4, self._cb1, out=ws.z4)
+        _max(ws.z4, 0.0, out=ws.r4)
+        _mm(ws.r4, self._cW2, out=ws.logits)
+        _add(ws.logits, self._cb2, out=ws.logits)
+
+        l64 = ws.l64
+        if not self._f64:
+            l64[...] = ws.logits
+        l64.max(axis=1, out=ws.col, keepdims=True)
+        _sub(l64, ws.col, out=ws.shifted)
+        _exp(ws.shifted, out=ws.expb)
+        _reduce_add(ws.expb, axis=1, out=ws.col2, keepdims=True)
+        np.log(ws.col2, out=ws.col2)
+        _sub(ws.shifted, ws.col2, out=ws.shifted)  # log-probs
+        # ``picked.mean()`` is pairwise-sum / count; _reduce_add over the
+        # 1-D gather is the identical reduction.
+        loss = -(_reduce_add(ws.shifted[ar, yb]) / nb)
+
+        _exp(ws.shifted, out=ws.probs)
+        ws.probs[ar, yb] -= 1.0
+        _div(ws.probs, nb, out=ws.probs)
+        dl = ws.dlc
+        if not self._f64:
+            dl[...] = ws.probs
+        _reduce_add(dl, axis=0, out=self._gcb2, keepdims=True)
+        _mm(dl, self._cW2.T, out=ws.dr4)
+        _mm(ws.r4.T, dl, out=self._gcW2)
+        _gt(ws.z4, 0.0, out=ws.boolh)
+        _mul(ws.dr4, ws.boolh, out=ws.dr4)  # dz4
+        _reduce_add(ws.dr4, axis=0, out=self._gcb1, keepdims=True)
+        _mm(ws.dr4, self._cW1.T, out=ws.dxd)
+        _mm(xd.T, ws.dr4, out=self._gcW1)
+        if self._drop_p > 0.0:
+            _mul(ws.dxd, ws.maskc, out=ws.dxd)
+        djoint = ws.dxd
+
+        for bi in range(nbranch):
+            b = ws.branches[bi]
+            pv, gv = self._bviews[bi]
+            Wt1, bt1, Wg1, bg1, Wt2, bt2, Wg2, bg2, lW, lb = pv
+            gWt1, gbt1, gWg1, gbg1, gWt2, gbt2, gWg2, gbg2, glW, glb = gv
+            np.copyto(b.dz3, djoint[:, bi:bi + 1])
+            _reduce_add(b.dz3, axis=0, out=glb, keepdims=True)
+            _mm(b.dz3, lW.T, out=b.dr)
+            _mm(b.r.T, b.dz3, out=glW)
+            _gt(b.y2, 0.0, out=b.boolb)
+            _mul(b.dr, b.boolb, out=b.dr)  # dy2
+            _hw_bwd(b.dr, b.y1, b.tg2, b.z22, b.h2, b.s2, Wt2, Wg2,
+                    gWt2, gbt2, gWg2, gbg2,
+                    b.dt, b.dh, b.ds, b.dz1, b.boolb, b.tmp, b.dx, True)
+            _hw_bwd(b.dx, b.xb, b.tg1, b.z21, b.h1, b.s1, Wt1, Wg1,
+                    gWt1, gbt1, gWg1, gbg1,
+                    b.dt, b.dh, b.ds, b.dz1, b.boolb, b.tmp, None, False)
+
+        self._adam()
+        return float(loss)
+
+    def _adam(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self._b1 ** self._t
+        bias2 = 1.0 - self._b2 ** self._t
+        P, G, M, V = self._P, self._G, self._M, self._V
+        T1, T2 = self._T1, self._T2
+        if self._wd:
+            _mul(P, self._wd, out=T1)
+            _add(G, T1, out=T1)
+            grad = T1
+        else:
+            grad = G
+        _mul(M, self._b1, out=M)
+        _mul(grad, 1.0 - self._b1, out=T2)
+        _add(M, T2, out=M)
+        _mul(V, self._b2, out=V)
+        _mul(grad, grad, out=T2)
+        _mul(T2, 1.0 - self._b2, out=T2)
+        _add(V, T2, out=V)
+        _div(M, bias1, out=T1)
+        _div(V, bias2, out=T2)
+        np.sqrt(T2, out=T2)
+        _add(T2, self._eps, out=T2)
+        _mul(T1, self._lr, out=T1)
+        _div(T1, T2, out=T1)
+        _sub(P, T1, out=P)
+
+    def finalize(self) -> None:
+        for p, view in zip(self._params, self._views_p):
+            p.data = view.copy() if self._f64 else view.astype(np.float64)
+
+
+def sgns_step_numpy(in_table, out_table, sub_ids, sub_mask, contexts,
+                    negatives, lr):
+    """The skip-gram negative-sampling batch update (reference numpy math)."""
+    counts = sub_mask.sum(axis=1, keepdims=True)
+    in_vecs = (in_table[sub_ids] * sub_mask[:, :, None]).sum(axis=1) / counts
+    n = contexts.shape[0]
+    dim = in_table.shape[1]
+    targets = np.concatenate([contexts[:, None], negatives], axis=1)
+    labels = np.zeros((n, 1 + negatives.shape[1]))
+    labels[:, 0] = 1.0
+    out_vecs = out_table[targets]
+    scores = np.einsum("nd,nkd->nk", in_vecs, out_vecs)
+    g = (1.0 / (1.0 + np.exp(-np.clip(scores, -30, 30))) - labels) * lr
+    grad_out = g[:, :, None] * in_vecs[:, None, :]
+    np.add.at(out_table, targets.ravel(), -grad_out.reshape(-1, dim))
+    grad_in = np.einsum("nk,nkd->nd", g, out_vecs) / counts
+    weighted = grad_in[:, None, :] * sub_mask[:, :, None]
+    np.add.at(in_table, sub_ids.ravel(), -weighted.reshape(-1, dim))
+
+
+def _eval_highway(x, highway: Highway) -> np.ndarray:
+    Wg, bg = highway.gate.weight.data, highway.gate.bias.data
+    Wt, bt = highway.transform.weight.data, highway.transform.bias.data
+    t = 1.0 / (1.0 + np.exp(-np.clip(x @ Wg + bg, -60.0, 60.0)))
+    h = np.maximum(x @ Wt + bt, 0.0)
+    return t * h + (1.0 - t) * x
+
+
+class NumpyBackend(ComputeBackend):
+    """Default backend: fused numpy kernels, bit-identical at float64."""
+
+    name = "numpy"
+
+    def joint_trainer(self, model, features, labels, config) -> JointTrainer:
+        structure = extract_structure(model)
+        if structure is None:
+            from repro.nn.backends.graph_backend import GraphBackend
+
+            return GraphBackend().joint_trainer(model, features, labels, config)
+        return _FusedJointTrainer(model, features, labels, config, structure)
+
+    def predict_logits(self, model, features) -> np.ndarray:
+        structure = extract_structure(model)
+        if (
+            structure is None
+            or any(n not in features.branches for n in model.branch_names)
+            or (
+                model.numeric_dim
+                and features.numeric.shape[1] != model.numeric_dim
+            )
+        ):
+            # The graph forward raises the canonical errors for malformed
+            # batches; shape-mismatched inputs take that path.
+            return super().predict_logits(model, features)
+        branches, _, lin1, lin2 = structure
+        names = model.branch_names
+        first = (
+            np.asarray(features.branches[names[0]])
+            if names
+            else np.asarray(features.numeric)
+        )
+        n = first.shape[0]
+        joint = np.empty((n, model.numeric_dim + len(names)))
+        for bi, (name, (h1, h2, lin)) in enumerate(zip(names, branches)):
+            x = np.asarray(features.branches[name], dtype=np.float64)
+            y2 = _eval_highway(_eval_highway(x, h1), h2)
+            r = np.maximum(y2, 0.0)
+            joint[:, bi:bi + 1] = r @ lin.weight.data + lin.bias.data
+        if model.numeric_dim:
+            joint[:, len(names):] = np.asarray(
+                features.numeric, dtype=np.float64
+            )
+        z4 = joint @ lin1.weight.data + lin1.bias.data
+        r4 = np.maximum(z4, 0.0)
+        return r4 @ lin2.weight.data + lin2.bias.data
+
+    # -- kernel API (uniform test surface, plain allocating versions) ---- #
+
+    def affine(self, x, W, b):
+        return x @ W + b
+
+    def affine_grad(self, x, W, dy):
+        return dy @ W.T, x.T @ dy, dy.sum(axis=0, keepdims=True)
+
+    def relu(self, x):
+        return np.maximum(x, 0.0)
+
+    def relu_grad(self, x, dy):
+        return dy * (x > 0.0)
+
+    def sigmoid(self, x):
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+    def sigmoid_grad(self, s, dy):
+        return dy * s * (1.0 - s)
+
+    def highway(self, x, Wt, bt, Wg, bg):
+        tg = self.sigmoid(x @ Wg + bg)
+        z2 = x @ Wt + bt
+        h = np.maximum(z2, 0.0)
+        y = tg * h + (1.0 - tg) * x
+        return y, (x, tg, z2, h, Wt, Wg)
+
+    def highway_grad(self, cache, dy, need_dx=True):
+        x, tg, z2, h, Wt, Wg = cache
+        dt = dy * h
+        dz2 = (dy * tg) * (z2 > 0)
+        grads = {"dbt": dz2.sum(axis=0, keepdims=True)}
+        dx = dz2 @ Wt.T if need_dx else None
+        grads["dWt"] = x.T @ dz2
+        ds = dy * x
+        if need_dx:
+            dx = dx + dy * (1.0 - tg)
+        dt = dt - ds
+        dz1 = dt * tg * (1.0 - tg)
+        grads["dbg"] = dz1.sum(axis=0, keepdims=True)
+        if need_dx:
+            dx = dx + dz1 @ Wg.T
+            grads["dx"] = dx
+        grads["dWg"] = x.T @ dz1
+        return grads
+
+    def softmax_xent(self, logits, targets):
+        targets = np.asarray(targets, dtype=np.int64)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        log_probs = shifted - log_z
+        n = logits.shape[0]
+        loss = -log_probs[np.arange(n), targets].mean()
+        dlogits = np.exp(log_probs)
+        dlogits[np.arange(n), targets] -= 1.0
+        dlogits /= n
+        return float(loss), dlogits
+
+    def adam_step(self, p, g, m, v, t, *, lr, beta1=0.9, beta2=0.999,
+                  eps=1e-8, weight_decay=0.0):
+        if weight_decay:
+            g = g + weight_decay * p
+        m *= beta1
+        m += (1.0 - beta1) * g
+        v *= beta2
+        v += (1.0 - beta2) * g**2
+        m_hat = m / (1.0 - beta1**t)
+        v_hat = v / (1.0 - beta2**t)
+        p -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+    def sgns_step(self, in_table, out_table, sub_ids, sub_mask, contexts,
+                  negatives, lr):
+        sgns_step_numpy(
+            in_table, out_table, sub_ids, sub_mask, contexts, negatives, lr
+        )

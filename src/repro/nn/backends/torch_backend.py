@@ -1,0 +1,244 @@
+"""Optional torch compute backend.
+
+Trains the joint model with torch tensors and autograd while consuming the
+*same RNG streams* as the numpy backends — batch permutations come from the
+driver's generator and dropout masks are drawn from the model's numpy
+dropout generator — so numpy-vs-torch runs differ only by floating-point
+kernel details, not by randomness.  Results therefore match the reference
+stack within tolerance (see "Compute backends" in ``docs/architecture.md``:
+final predictions agree to ~1e-6 at float64, ~1e-3 at float32 at bench
+scale) rather than bit-for-bit.
+
+torch is never imported at module import time: constructing the backend
+raises :class:`~repro.nn.backend.BackendUnavailable` when the dependency is
+missing, and every consumer (tests, CLI, specs) treats that as "skip".
+The repo never declares torch as a dependency — this backend exists to
+prove the ``module:attr``/registry seam carries a real foreign array stack
+with zero repo edits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.backend import BackendUnavailable, ComputeBackend, JointTrainer
+
+
+def _require_torch():
+    try:
+        import torch
+    except ImportError as exc:  # pragma: no cover - torch absent in CI tier-1
+        raise BackendUnavailable(
+            "backend 'torch' needs the optional torch dependency "
+            "(pip install torch); it is skipped wherever torch is absent"
+        ) from exc
+    return torch
+
+
+def _hw(T, x, Wt, bt, Wg, bg):
+    t = T.sigmoid(T.clamp(x @ Wg + bg, -60.0, 60.0))
+    h = T.relu(x @ Wt + bt)
+    return t * h + (1.0 - t) * x
+
+
+class _TorchJointTrainer(JointTrainer):
+    def __init__(self, backend, model, features, labels, config, structure):
+        T = backend._torch
+        self._T = T
+        dev = backend.device
+        dtype = T.float64 if config.dtype == "float64" else T.float32
+        branches, drop, lin1, lin2 = structure
+        np_params = []
+        for h1, h2, lin in branches:
+            np_params += [
+                h1.transform.weight, h1.transform.bias,
+                h1.gate.weight, h1.gate.bias,
+                h2.transform.weight, h2.transform.bias,
+                h2.gate.weight, h2.gate.bias,
+                lin.weight, lin.bias,
+            ]
+        np_params += [lin1.weight, lin1.bias, lin2.weight, lin2.bias]
+        self._np_params = np_params
+        self._params = [
+            T.tensor(p.data, dtype=dtype, device=dev, requires_grad=True)
+            for p in np_params
+        ]
+        self._branch_params = [
+            self._params[i * 10:(i + 1) * 10] for i in range(len(branches))
+        ]
+        self._cls = self._params[len(branches) * 10:]
+        names = model.branch_names
+        self._xs = [
+            T.tensor(
+                np.asarray(features.branches[n], dtype=np.float64),
+                dtype=dtype, device=dev,
+            )
+            for n in names
+        ]
+        self._numeric = T.tensor(
+            np.asarray(features.numeric, dtype=np.float64),
+            dtype=dtype, device=dev,
+        )
+        self._labels = T.tensor(np.asarray(labels, dtype=np.int64), device=dev)
+        self._drop_p = drop.p
+        self._drop_rng = drop._rng
+        self._keep = 1.0 - drop.p
+        self._joint_dim = len(names) + int(features.numeric.shape[1])
+        self._dtype = dtype
+        self._dev = dev
+        self._opt = T.optim.Adam(
+            self._params, lr=config.lr, betas=(0.9, 0.999), eps=1e-8,
+            weight_decay=config.weight_decay,
+        )
+
+    def step(self, idx: np.ndarray) -> float:
+        T = self._T
+        tidx = T.from_numpy(np.ascontiguousarray(idx)).to(self._dev)
+        yb = self._labels.index_select(0, tidx)
+        parts = []
+        for bp, xsrc in zip(self._branch_params, self._xs):
+            Wt1, bt1, Wg1, bg1, Wt2, bt2, Wg2, bg2, lW, lb = bp
+            x = xsrc.index_select(0, tidx)
+            y2 = _hw(T, _hw(T, x, Wt1, bt1, Wg1, bg1), Wt2, bt2, Wg2, bg2)
+            parts.append(T.relu(y2) @ lW + lb)
+        if self._numeric.shape[1]:
+            parts.append(self._numeric.index_select(0, tidx))
+        joint = parts[0] if len(parts) == 1 else T.cat(parts, dim=1)
+        if self._drop_p > 0.0:
+            mask = (
+                self._drop_rng.random((idx.shape[0], self._joint_dim))
+                < self._keep
+            ).astype(np.float64) / self._keep
+            joint = joint * T.tensor(mask, dtype=self._dtype, device=self._dev)
+        W1, b1, W2, b2 = self._cls
+        logits = T.relu(joint @ W1 + b1) @ W2 + b2
+        loss = T.nn.functional.cross_entropy(logits, yb)
+        self._opt.zero_grad()
+        loss.backward()
+        self._opt.step()
+        return float(loss.item())
+
+    def finalize(self) -> None:
+        T = self._T
+        with T.no_grad():
+            for p, tp in zip(self._np_params, self._params):
+                p.data = tp.detach().to("cpu", T.float64).numpy().copy()
+
+
+class TorchBackend(ComputeBackend):
+    """Torch training backend (optional dependency, tolerance-matched)."""
+
+    name = "torch"
+
+    def __init__(self, device: str = "cpu"):
+        torch = _require_torch()
+        self._torch = torch
+        self.device = torch.device(device)
+
+    def joint_trainer(self, model, features, labels, config) -> JointTrainer:
+        from repro.nn.backends.numpy_backend import extract_structure
+
+        structure = extract_structure(model)
+        if structure is None:
+            from repro.nn.backends.graph_backend import GraphBackend
+
+            return GraphBackend().joint_trainer(model, features, labels, config)
+        return _TorchJointTrainer(
+            self, model, features, labels, config, structure
+        )
+
+    # -- kernel API ------------------------------------------------------ #
+
+    def _f64(self, x):
+        return self._torch.as_tensor(np.asarray(x, dtype=np.float64))
+
+    def affine(self, x, W, b):
+        return (self._f64(x) @ self._f64(W) + self._f64(b)).numpy()
+
+    def affine_grad(self, x, W, dy):
+        tx, tW, tdy = self._f64(x), self._f64(W), self._f64(dy)
+        return (
+            (tdy @ tW.T).numpy(),
+            (tx.T @ tdy).numpy(),
+            tdy.sum(dim=0, keepdim=True).numpy(),
+        )
+
+    def relu(self, x):
+        return self._torch.relu(self._f64(x)).numpy()
+
+    def relu_grad(self, x, dy):
+        T = self._torch
+        return (self._f64(dy) * (self._f64(x) > 0)).numpy()
+
+    def sigmoid(self, x):
+        T = self._torch
+        return T.sigmoid(T.clamp(self._f64(x), -60.0, 60.0)).numpy()
+
+    def sigmoid_grad(self, s, dy):
+        ts = self._f64(s)
+        return (self._f64(dy) * ts * (1.0 - ts)).numpy()
+
+    def highway(self, x, Wt, bt, Wg, bg):
+        T = self._torch
+        leaves = [
+            T.tensor(np.asarray(a, dtype=np.float64), requires_grad=True)
+            for a in (x, Wt, bt, Wg, bg)
+        ]
+        tx, tWt, tbt, tWg, tbg = leaves
+        y = _hw(T, tx, tWt, tbt, tWg, tbg)
+        return y.detach().numpy(), (y, leaves)
+
+    def highway_grad(self, cache, dy, need_dx=True):
+        y, (tx, tWt, tbt, tWg, tbg) = cache
+        y.backward(self._f64(dy))
+        grads = {
+            "dWt": tWt.grad.numpy(), "dbt": tbt.grad.numpy(),
+            "dWg": tWg.grad.numpy(), "dbg": tbg.grad.numpy(),
+        }
+        if need_dx:
+            grads["dx"] = tx.grad.numpy()
+        return grads
+
+    def softmax_xent(self, logits, targets):
+        T = self._torch
+        tl = T.tensor(np.asarray(logits, dtype=np.float64), requires_grad=True)
+        tt = T.as_tensor(np.asarray(targets, dtype=np.int64))
+        loss = T.nn.functional.cross_entropy(tl, tt)
+        loss.backward()
+        return float(loss.item()), tl.grad.numpy()
+
+    def adam_step(self, p, g, m, v, t, *, lr, beta1=0.9, beta2=0.999,
+                  eps=1e-8, weight_decay=0.0):
+        T = self._torch
+        tp, tg, tm, tv = (T.from_numpy(a) for a in (p, g, m, v))
+        if weight_decay:
+            tg = tg + weight_decay * tp
+        tm.mul_(beta1).add_(tg, alpha=1.0 - beta1)
+        tv.mul_(beta2).addcmul_(tg, tg, value=1.0 - beta2)
+        m_hat = tm / (1.0 - beta1**t)
+        v_hat = tv / (1.0 - beta2**t)
+        tp.sub_(lr * m_hat / (v_hat.sqrt() + eps))
+
+    def sgns_step(self, in_table, out_table, sub_ids, sub_mask, contexts,
+                  negatives, lr):
+        T = self._torch
+        in_t = T.from_numpy(in_table)
+        out_t = T.from_numpy(out_table)
+        ids = T.from_numpy(np.ascontiguousarray(sub_ids))
+        mask = T.from_numpy(np.ascontiguousarray(sub_mask))
+        ctx = T.from_numpy(np.ascontiguousarray(contexts))
+        neg = T.from_numpy(np.ascontiguousarray(negatives))
+        counts = mask.sum(dim=1, keepdim=True)
+        in_vecs = (in_t[ids] * mask.unsqueeze(-1)).sum(dim=1) / counts
+        targets = T.cat([ctx.unsqueeze(1), neg], dim=1)
+        labels = T.zeros(targets.shape, dtype=in_t.dtype)
+        labels[:, 0] = 1.0
+        out_vecs = out_t[targets]
+        scores = (in_vecs.unsqueeze(1) * out_vecs).sum(dim=-1)
+        g = (T.sigmoid(T.clamp(scores, -30.0, 30.0)) - labels) * lr
+        dim = in_t.shape[1]
+        grad_out = g.unsqueeze(-1) * in_vecs.unsqueeze(1)
+        out_t.index_add_(0, targets.reshape(-1), -grad_out.reshape(-1, dim))
+        grad_in = (g.unsqueeze(-1) * out_vecs).sum(dim=1) / counts
+        weighted = grad_in.unsqueeze(1) * mask.unsqueeze(-1)
+        in_t.index_add_(0, ids.reshape(-1), -weighted.reshape(-1, dim))

@@ -60,6 +60,7 @@ def build_detect_report(
     spec_fingerprint = None
     feature_cache = None
     artifact_store = None
+    timings = None
     if detector is not None:
         if detector.spec is not None:
             spec_fingerprint = detector.spec.fingerprint()
@@ -67,6 +68,10 @@ def build_detect_report(
             feature_cache = detector.cache_stats.as_dict()
         if detector.artifact_stats is not None:
             artifact_store = detector.artifact_stats.as_dict()
+        if getattr(detector, "timings", None):
+            # Wall-clock seconds of the fit/featurize/train/predict stages
+            # (additive field; absent for detectors without timing data).
+            timings = {k: round(v, 6) for k, v in detector.timings.items()}
     return {
         "schema": DETECT_SCHEMA,
         "version": __version__,
@@ -78,6 +83,7 @@ def build_detect_report(
         "spec_fingerprint": spec_fingerprint,
         "feature_cache": feature_cache,
         "artifact_store": artifact_store,
+        "timings": timings,
         "cells": [
             {
                 "row": cell.row,

@@ -1,0 +1,441 @@
+"""Compute-backend tests: kernel gradient checks + equivalence + wiring.
+
+Every backend implements the same kernel-level API (see
+:class:`repro.nn.backend.ComputeBackend`), so one suite gradient-checks
+every fused kernel on every available backend against central finite
+differences — the same ground truth ``test_nn_tensor.py`` holds the
+autodiff ops to.  On top of the kernel checks:
+
+- the ``numpy`` backend trains **bit-identically** to the ``reference``
+  (autodiff graph) backend at float64 — parameters, loss history, and the
+  fused prediction path;
+- the optional ``torch`` backend matches within documented tolerance and
+  every torch test skips when torch is absent;
+- backend selection wiring: registry keys and ``module:attr`` references,
+  the process-ambient default, ``DetectorConfig`` validation, and the
+  non-fingerprinted ``[compute]`` spec table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.detector import DetectorConfig
+from repro.core.model import JointModel
+from repro.core.training import TrainerConfig, train_model
+from repro.features.pipeline import CellFeatures
+from repro.nn.backend import (
+    DEFAULT_BACKEND,
+    SUPPORTED_DTYPES,
+    BackendUnavailable,
+    backend_names,
+    default_backend_name,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.registry import ComponentError
+from repro.spec import SPEC_SCHEMA, DetectorSpec, SpecError
+
+
+def _torch_available() -> bool:
+    try:
+        import torch  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+BACKENDS = ["reference", "numpy"] + (["torch"] if _torch_available() else [])
+
+#: Kernel-level agreement with finite differences / the reference backend.
+#: torch float64 kernels reorder reductions, hence the looser bound.
+KERNEL_ATOL = {"reference": 1e-6, "numpy": 1e-6, "torch": 1e-5}
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return resolve_backend(request.param)
+
+
+def finite_difference(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued f at x."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = f(x)
+        flat[i] = original - eps
+        minus = f(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+# --------------------------------------------------------------------- #
+# Kernel gradient checks (every backend vs central finite differences)
+# --------------------------------------------------------------------- #
+
+
+class TestKernelGradients:
+    def test_affine_grad(self, backend):
+        rng = np.random.default_rng(0)
+        x, W, b = rng.normal(size=(5, 4)), rng.normal(size=(4, 3)), rng.normal(size=3)
+        R = rng.normal(size=(5, 3))  # contraction weights: L = sum(y * R)
+        dx, dW, db = backend.affine_grad(x, W, R)
+        atol = KERNEL_ATOL[backend.name]
+        np.testing.assert_allclose(
+            dx, finite_difference(lambda a: (backend.affine(a, W, b) * R).sum(), x.copy()),
+            atol=atol,
+        )
+        np.testing.assert_allclose(
+            dW, finite_difference(lambda a: (backend.affine(x, a, b) * R).sum(), W.copy()),
+            atol=atol,
+        )
+        # bias grads come back in the layer's storage shape (1, d)
+        np.testing.assert_allclose(
+            np.ravel(db),
+            finite_difference(lambda a: (backend.affine(x, W, a) * R).sum(), b.copy()),
+            atol=atol,
+        )
+
+    def test_relu_grad(self, backend):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, 6))
+        x[np.abs(x) < 0.1] = 0.5  # keep away from the kink
+        R = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(
+            backend.relu_grad(x, R),
+            finite_difference(lambda a: (backend.relu(a) * R).sum(), x.copy()),
+            atol=KERNEL_ATOL[backend.name],
+        )
+
+    def test_sigmoid_grad(self, backend):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(3, 5))
+        R = rng.normal(size=(3, 5))
+        s = backend.sigmoid(x)
+        np.testing.assert_allclose(
+            backend.sigmoid_grad(s, R),
+            finite_difference(lambda a: (backend.sigmoid(a) * R).sum(), x.copy()),
+            atol=KERNEL_ATOL[backend.name],
+        )
+
+    def test_highway_grad(self, backend):
+        rng = np.random.default_rng(3)
+        d = 4
+        x = rng.normal(size=(6, d))
+        Wt, Wg = rng.normal(size=(d, d)), rng.normal(size=(d, d))
+        bt, bg = rng.normal(size=d), rng.normal(size=d)
+        R = rng.normal(size=(6, d))
+        atol = KERNEL_ATOL[backend.name]
+
+        def loss(xx=x, wt=Wt, btb=bt, wg=Wg, bgb=bg):
+            y, _ = backend.highway(xx, wt, btb, wg, bgb)
+            return (y * R).sum()
+
+        _, cache = backend.highway(x, Wt, bt, Wg, bg)
+        grads = backend.highway_grad(cache, R, need_dx=True)
+        np.testing.assert_allclose(
+            grads["dx"], finite_difference(lambda a: loss(xx=a), x.copy()), atol=atol
+        )
+        np.testing.assert_allclose(
+            grads["dWt"], finite_difference(lambda a: loss(wt=a), Wt.copy()), atol=atol
+        )
+        np.testing.assert_allclose(
+            np.ravel(grads["dbt"]),
+            finite_difference(lambda a: loss(btb=a), bt.copy()),
+            atol=atol,
+        )
+        np.testing.assert_allclose(
+            grads["dWg"], finite_difference(lambda a: loss(wg=a), Wg.copy()), atol=atol
+        )
+        np.testing.assert_allclose(
+            np.ravel(grads["dbg"]),
+            finite_difference(lambda a: loss(bgb=a), bg.copy()),
+            atol=atol,
+        )
+        # need_dx=False must still deliver the weight gradients
+        _, cache = backend.highway(x, Wt, bt, Wg, bg)
+        slim = backend.highway_grad(cache, R, need_dx=False)
+        assert "dx" not in slim
+        np.testing.assert_allclose(slim["dWt"], grads["dWt"], atol=atol)
+
+    def test_softmax_xent(self, backend):
+        rng = np.random.default_rng(4)
+        logits = rng.normal(size=(6, 3))
+        targets = rng.integers(0, 3, size=6)
+        loss, dlogits = backend.softmax_xent(logits, targets)
+        # loss value: mean negative log-softmax of the target class
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -logp[np.arange(6), targets].mean()
+        assert loss == pytest.approx(expected, abs=1e-9)
+        np.testing.assert_allclose(
+            dlogits,
+            finite_difference(
+                lambda a: backend.softmax_xent(a, targets)[0], logits.copy()
+            ),
+            atol=KERNEL_ATOL[backend.name],
+        )
+
+    @pytest.mark.parametrize("t", [1, 7])
+    @pytest.mark.parametrize("weight_decay", [0.0, 0.01])
+    def test_adam_step_matches_reference(self, backend, t, weight_decay):
+        reference = resolve_backend("reference")
+        rng = np.random.default_rng(5)
+        p = rng.normal(size=(4, 3))
+        g = rng.normal(size=(4, 3))
+        m = rng.normal(size=(4, 3)) * 0.1
+        v = np.abs(rng.normal(size=(4, 3))) * 0.1
+        expect_p, expect_m, expect_v = p.copy(), m.copy(), v.copy()
+        reference.adam_step(
+            expect_p, g, expect_m, expect_v, t, lr=1e-2, weight_decay=weight_decay
+        )
+        got_p, got_m, got_v = p.copy(), m.copy(), v.copy()
+        backend.adam_step(
+            got_p, g, got_m, got_v, t, lr=1e-2, weight_decay=weight_decay
+        )
+        atol = KERNEL_ATOL[backend.name]
+        np.testing.assert_allclose(got_p, expect_p, atol=atol)
+        np.testing.assert_allclose(got_m, expect_m, atol=atol)
+        np.testing.assert_allclose(got_v, expect_v, atol=atol)
+
+
+class TestKernelGradientProperties:
+    """Hypothesis sweep: affine gradients hold across shapes and data."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=st.integers(1, 5),
+        inner=st.integers(1, 4),
+        cols=st.integers(1, 4),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_affine_grad_any_shape(self, rows, inner, cols, seed):
+        rng = np.random.default_rng(seed)
+        x, W = rng.normal(size=(rows, inner)), rng.normal(size=(inner, cols))
+        b, R = rng.normal(size=cols), rng.normal(size=(rows, cols))
+        for name in BACKENDS:
+            backend = resolve_backend(name)
+            dx, dW, db = backend.affine_grad(x, W, R)
+            np.testing.assert_allclose(
+                dx,
+                finite_difference(
+                    lambda a: (backend.affine(a, W, b) * R).sum(), x.copy()
+                ),
+                atol=1e-5,
+            )
+            np.testing.assert_allclose(
+                dW,
+                finite_difference(
+                    lambda a: (backend.affine(x, a, b) * R).sum(), W.copy()
+                ),
+                atol=1e-5,
+            )
+            np.testing.assert_allclose(np.ravel(db), R.sum(axis=0), atol=1e-10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=st.integers(1, 6),
+        classes=st.integers(2, 4),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_softmax_xent_grad_any_shape(self, rows, classes, seed):
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(rows, classes))
+        targets = rng.integers(0, classes, size=rows)
+        for name in BACKENDS:
+            backend = resolve_backend(name)
+            _, dlogits = backend.softmax_xent(logits, targets)
+            np.testing.assert_allclose(
+                dlogits,
+                finite_difference(
+                    lambda a: backend.softmax_xent(a, targets)[0], logits.copy()
+                ),
+                atol=1e-5,
+            )
+            # softmax gradient rows sum to zero
+            np.testing.assert_allclose(
+                dlogits.sum(axis=1), np.zeros(rows), atol=1e-12
+            )
+
+
+# --------------------------------------------------------------------- #
+# Training / prediction equivalence
+# --------------------------------------------------------------------- #
+
+
+def _problem(n=60, numeric=5, branch=6, seed=1):
+    rng = np.random.default_rng(0)
+    branches = {"char": branch, "word": branch}
+    features = CellFeatures(
+        numeric=rng.normal(size=(n, numeric)),
+        branches={k: rng.normal(size=(n, d)) for k, d in branches.items()},
+    )
+    labels = rng.integers(0, 2, size=n)
+    model = JointModel(
+        numeric, branches, hidden_dim=8, dropout=0.2,
+        rng=np.random.default_rng(seed),
+    )
+    return model, features, labels
+
+
+_SMALL = dict(epochs=4, batch_size=8, min_steps=20, seed=9)
+
+
+class TestTrainingEquivalence:
+    def test_numpy_bit_identical_to_reference(self):
+        graph_model, features, labels = _problem()
+        graph_history = train_model(
+            graph_model, features, labels,
+            TrainerConfig(**_SMALL, backend="reference"),
+        )
+        fused_model, _, _ = _problem()
+        fused_history = train_model(
+            fused_model, features, labels, TrainerConfig(**_SMALL, backend="numpy")
+        )
+        assert graph_history == fused_history
+        for a, b in zip(graph_model.state_arrays(), fused_model.state_arrays()):
+            assert np.array_equal(a, b)
+
+    def test_predict_logits_bit_identical(self):
+        model, features, labels = _problem()
+        train_model(model, features, labels, TrainerConfig(**_SMALL))
+        graph = resolve_backend("reference").predict_logits(model, features)
+        fused = resolve_backend("numpy").predict_logits(model, features)
+        assert np.array_equal(graph, fused)
+
+    def test_float32_trains_close_to_float64(self):
+        f64_model, features, labels = _problem()
+        train_model(
+            f64_model, features, labels, TrainerConfig(**_SMALL, dtype="float64")
+        )
+        f32_model, _, _ = _problem()
+        history = train_model(
+            f32_model, features, labels, TrainerConfig(**_SMALL, dtype="float32")
+        )
+        assert all(np.isfinite(loss) for loss in history)
+        for a, b in zip(f64_model.state_arrays(), f32_model.state_arrays()):
+            assert a.dtype == np.float64  # finalize restores model dtype
+            np.testing.assert_allclose(a, b, atol=1e-3)
+
+    @pytest.mark.skipif(not _torch_available(), reason="torch not installed")
+    def test_torch_trains_within_tolerance(self):
+        f64_model, features, labels = _problem()
+        train_model(
+            f64_model, features, labels, TrainerConfig(**_SMALL, backend="numpy")
+        )
+        torch_model, _, _ = _problem()
+        train_model(
+            torch_model, features, labels, TrainerConfig(**_SMALL, backend="torch")
+        )
+        for a, b in zip(f64_model.state_arrays(), torch_model.state_arrays()):
+            np.testing.assert_allclose(a, b, atol=1e-6)
+
+    def test_dtype_validation(self):
+        with pytest.raises(ValueError, match="dtype"):
+            TrainerConfig(**_SMALL, dtype="float16")
+
+
+# --------------------------------------------------------------------- #
+# Selection wiring: registry, ambient default, config, spec
+# --------------------------------------------------------------------- #
+
+
+class TestBackendSelection:
+    def test_builtin_names_registered(self):
+        names = backend_names()
+        for key in ("numpy", "reference", "torch"):
+            assert key in names
+
+    def test_default_is_numpy(self):
+        assert DEFAULT_BACKEND == "numpy"
+        assert resolve_backend().name == "numpy"
+
+    def test_module_attr_reference_resolves(self):
+        backend = resolve_backend("repro.nn.backends.graph_backend:GraphBackend")
+        assert backend.name == "reference"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ComponentError):
+            resolve_backend("no-such-backend")
+
+    @pytest.mark.skipif(_torch_available(), reason="torch installed")
+    def test_torch_unavailable_raises_backend_unavailable(self):
+        with pytest.raises(BackendUnavailable, match="torch"):
+            resolve_backend("torch")
+
+    def test_ambient_default_scoping(self):
+        assert default_backend_name() == "numpy"
+        with use_backend("reference"):
+            assert default_backend_name() == "reference"
+            assert resolve_backend().name == "reference"
+        assert default_backend_name() == "numpy"
+        previous = set_default_backend("reference")
+        try:
+            assert previous is None
+            assert default_backend_name() == "reference"
+        finally:
+            set_default_backend(previous)
+
+    def test_detector_config_validation(self):
+        with pytest.raises(ValueError, match="backend"):
+            DetectorConfig(backend=123)
+        with pytest.raises(ValueError, match="compute_dtype"):
+            DetectorConfig(compute_dtype="float16")
+        config = DetectorConfig(backend="reference", compute_dtype="float32")
+        assert config.backend == "reference"
+        assert config.compute_dtype in SUPPORTED_DTYPES
+
+
+class TestComputeSpecTable:
+    def _spec(self, compute=None):
+        payload = {"schema": SPEC_SCHEMA, "detector": {"epochs": 3}}
+        if compute is not None:
+            payload["compute"] = compute
+        return DetectorSpec.from_dict(payload)
+
+    def test_compute_table_parses_and_maps_to_config(self):
+        from repro.core import HoloDetect
+
+        spec = self._spec({"backend": "reference", "dtype": "float32"})
+        config = HoloDetect.from_spec(spec).config
+        assert config.backend == "reference"
+        assert config.compute_dtype == "float32"
+
+    def test_compute_is_not_fingerprinted(self):
+        bare = self._spec()
+        pinned = self._spec({"backend": "reference", "dtype": "float32"})
+        assert bare.fingerprint() == pinned.fingerprint()
+
+    def test_backend_rejected_under_detector_table(self):
+        with pytest.raises(SpecError, match=r"\[compute\]"):
+            DetectorSpec.from_dict(
+                {"schema": SPEC_SCHEMA, "detector": {"backend": "numpy"}}
+            )
+
+    def test_validate_rejects_unknown_compute_key(self):
+        with pytest.raises(SpecError, match="compute"):
+            self._spec({"device": "gpu"})
+
+    def test_validate_rejects_unknown_compute_backend(self):
+        with pytest.raises(SpecError, match="backend"):
+            self._spec({"backend": "no-such-backend"})
+
+    def test_validate_rejects_bad_compute_dtype(self):
+        with pytest.raises(SpecError, match="dtype"):
+            self._spec({"dtype": "float16"})
+
+    def test_describe_mentions_compute(self):
+        spec = self._spec({"backend": "reference"})
+        assert "not fingerprinted" in spec.describe()
+
+    def test_to_dict_round_trips_compute(self):
+        spec = self._spec({"backend": "reference"})
+        again = DetectorSpec.from_dict(spec.to_dict())
+        assert dict(again.compute)["backend"] == "reference"
