@@ -64,6 +64,27 @@ def artifact_key(
     return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
 
 
+def shard_partial_key(
+    kind: str,
+    shard_fingerprint: str,
+    config: Mapping[str, object] | None = None,
+) -> str:
+    """The content key of one *per-shard partial* of a relation-scoped fit.
+
+    Out-of-core fits of mergeable featurizer states (co-occurrence joint
+    counts, FD group tables — see ``repro.features.partials``) compute one
+    partial per row shard and merge them.  Each partial is keyed on the
+    shard's own content fingerprint (``Relation.shard_fingerprint``) under
+    the parent kind with a ``.partial`` suffix, so appending shards to a
+    relation reuses every existing shard's partial and computes only the new
+    ones.  For a single-shard relation the shard fingerprint equals the
+    relation fingerprint, and the partial key degenerates to a
+    whole-relation key under the ``.partial`` kind — disjoint from the
+    whole-state artifact by construction.
+    """
+    return artifact_key(f"{kind}.partial", shard_fingerprint, config)
+
+
 def training_seed(key: str) -> int:
     """A deterministic 63-bit RNG seed derived from an artifact key.
 

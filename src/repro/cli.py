@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands::
+Nine subcommands::
 
     python -m repro detect    --input data.csv --labels labels.csv ...
     python -m repro rescore   --input data.csv --labels labels.csv --edits edits.csv ...
@@ -10,6 +10,7 @@ Eight subcommands::
     python -m repro serve     --models models/ --port 8765
     python -m repro client    detect --fingerprint ab12cd --input data.csv --tenant acme
     python -m repro policy    --input data.csv --labels labels.csv --value "60612"
+    python -m repro shard     convert --input big.csv --out big-shards/   (or: info, verify)
 
 ``detect`` runs the full detector on a CSV and writes a triage CSV of
 per-cell error probabilities (``--json`` additionally writes a
@@ -29,7 +30,10 @@ directory of saved models, routing requests by spec fingerprint (see
 :mod:`repro.serving`); ``client`` drives a running server (score a CSV,
 apply repairs through the server-side session, health/registry/evict).
 ``policy`` prints the learned noisy channel's conditional distribution for
-a probe value.
+a probe value.  ``shard`` manages out-of-core shard directories
+(:mod:`repro.dataset.sharded`): ``convert`` streams a CSV into
+memory-mapped shards at bounded memory, ``info`` prints the manifest
+summary, and ``verify`` recomputes every shard digest.
 
 File formats:
 
@@ -616,6 +620,47 @@ def cmd_policy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_shard(args: argparse.Namespace) -> int:
+    from repro.dataset.sharded import ShardedDataset
+
+    if args.shard_command == "convert":
+        sharded = ShardedDataset.from_csv(
+            args.input,
+            args.out,
+            shard_rows=args.rows_per_shard,
+            force=args.force,
+        )
+        print(
+            f"wrote {sharded.num_rows} rows x {len(sharded.attributes)} "
+            f"attributes into {sharded.num_shards} shards at {args.out}"
+        )
+        print(f"fingerprint: {sharded.fingerprint()}")
+        return 0
+    sharded = ShardedDataset(args.dir)
+    if args.shard_command == "info":
+        info = {
+            "dir": str(args.dir),
+            "rows": sharded.num_rows,
+            "attributes": list(sharded.attributes),
+            "shards": sharded.num_shards,
+            "fingerprint": sharded.fingerprint(),
+            "inmemory_bytes": sharded.inmemory_bytes,
+        }
+        print(json.dumps(info, indent=2))
+        return 0
+    # verify: recompute every per-shard column digest against the manifest.
+    try:
+        sharded.verify()
+    except ValueError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"ok: {sharded.num_shards} shards, {sharded.num_rows} rows, "
+        f"fingerprint {sharded.fingerprint()}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -847,6 +892,34 @@ def build_parser() -> argparse.ArgumentParser:
     policy.add_argument("--top", type=int, default=10, help="entries to print")
     add_model_args(policy)
     policy.set_defaults(func=cmd_policy)
+
+    shard = sub.add_parser(
+        "shard", help="convert/inspect out-of-core shard directories"
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+    convert = shard_sub.add_parser(
+        "convert", help="stream a CSV into a memory-mapped shard directory"
+    )
+    convert.add_argument("--input", required=True, help="input CSV (header row required)")
+    convert.add_argument("--out", required=True, help="shard directory to create")
+    convert.add_argument(
+        "--rows-per-shard",
+        type=int,
+        default=4096,
+        help="rows per shard chunk (default 4096)",
+    )
+    convert.add_argument(
+        "--force", action="store_true", help="overwrite an existing shard directory"
+    )
+    convert.set_defaults(func=cmd_shard)
+    info = shard_sub.add_parser("info", help="print a shard directory's manifest summary")
+    info.add_argument("dir", help="shard directory")
+    info.set_defaults(func=cmd_shard)
+    verify = shard_sub.add_parser(
+        "verify", help="recompute shard digests against the manifest"
+    )
+    verify.add_argument("dir", help="shard directory")
+    verify.set_defaults(func=cmd_shard)
     return parser
 
 

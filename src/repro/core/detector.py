@@ -20,7 +20,7 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import PurePath
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -79,6 +79,12 @@ class DetectorConfig:
     feature_cache: bool = True
     #: LRU capacity of the feature cache, in blocks.
     cache_max_entries: int = 1024
+    #: Optional LRU capacity of the feature cache, in bytes of cached
+    #: blocks (``None`` = unbounded bytes).  Streaming prediction over an
+    #: out-of-core relation visits far more distinct blocks than fit-time
+    #: work ever re-reads, so a byte bound keeps the cache from holding the
+    #: relation's entire feature matrix.
+    cache_max_bytes: int | None = None
     #: Threads featurising prediction chunks concurrently (1 = sequential).
     #: Scoring stays on the calling thread; only featurization fans out.
     prediction_workers: int = 1
@@ -134,6 +140,15 @@ class DetectorConfig:
             "prediction_workers",
         ):
             positive_int(name)
+        if self.cache_max_bytes is not None and (
+            not isinstance(self.cache_max_bytes, int)
+            or isinstance(self.cache_max_bytes, bool)
+            or self.cache_max_bytes < 1
+        ):
+            raise ValueError(
+                "cache_max_bytes must be a positive integer or None, "
+                f"got {self.cache_max_bytes!r}"
+            )
         fraction("dropout")
         fraction("holdout_fraction")
         if not isinstance(self.lr, (int, float)) or not self.lr > 0:
@@ -264,7 +279,10 @@ class HoloDetect:
         self.scaler: PlattScaler | None = None
         self.policy: Policy | None = None
         self.cache: FeatureCache | None = (
-            FeatureCache(self.config.cache_max_entries)
+            FeatureCache(
+                self.config.cache_max_entries,
+                max_bytes=self.config.cache_max_bytes,
+            )
             if self.config.feature_cache
             else None
         )
@@ -574,6 +592,69 @@ class HoloDetect:
             cells=cells, probabilities=self._score_probabilities(cells)
         )
 
+    def iter_predict(
+        self, cells: Iterable[Cell] | None = None
+    ) -> Iterator[tuple[Cell, float]]:
+        """Stream ``(cell, probability)`` pairs without materialising scores.
+
+        The out-of-core counterpart of :meth:`predict`: ``cells`` may be any
+        (lazy) iterable — by default every cell of D outside the training
+        set, produced one at a time — and cells are buffered into
+        ``config.prediction_batch``-cell chunks as they arrive.  Peak memory
+        is one chunk's features, independent of the relation's size.
+
+        Chunk boundaries match :meth:`predict` exactly (same batch size,
+        same fixed-shape padding of the trailing chunk), so for the same
+        cell sequence the streamed probabilities are bit-identical to a
+        ``predict`` pass.
+        """
+        if self.model is None or self.pipeline is None or self._dataset is None:
+            raise RuntimeError("detector used before fit()")
+        if cells is None:
+            cells = (
+                c for c in self._dataset.cells() if c not in self._train_cells
+            )
+        batch = max(1, self.config.prediction_batch)
+        buffer: list[Cell] = []
+        for cell in cells:
+            buffer.append(cell)
+            if len(buffer) == batch:
+                yield from self._score_chunk(buffer)
+                buffer = []
+        if buffer:
+            yield from self._score_chunk(buffer)
+
+    def _score_chunk(self, chunk: list[Cell]) -> list[tuple[Cell, float]]:
+        """Featurise and score one prediction chunk (used by iter_predict)."""
+        with self._backend_scope():
+            features = self.pipeline.transform_batch(CellBatch(chunk, self._dataset))
+            probabilities = self._score_features(features)
+        return list(zip(chunk, (float(p) for p in probabilities)))
+
+    def _score_features(self, features: CellFeatures) -> np.ndarray:
+        """Calibrated probabilities for one chunk's transformed features.
+
+        Every chunk is forwarded at the fixed ``prediction_batch`` shape
+        (short chunks are zero-padded): BLAS kernel selection — and hence
+        reduction order — is shape-dependent, and per-cell scores must not
+        depend on chunk composition.  ``DetectionSession`` patches subsets
+        and relies on bit-for-bit agreement with a full prediction pass.
+        """
+        batch = max(1, self.config.prediction_batch)
+        n = features.batch_size
+
+        def pad(block: np.ndarray) -> np.ndarray:
+            filler = np.zeros((batch - block.shape[0], block.shape[1]), dtype=block.dtype)
+            return np.concatenate([block, filler], axis=0)
+
+        if n < batch:
+            features = CellFeatures(
+                numeric=pad(features.numeric),
+                branches={k: pad(v) for k, v in features.branches.items()},
+            )
+        scores = self.model.error_scores(features)[:n]
+        return self.scaler.probability(scores)
+
     def _score_probabilities(self, cells: list[Cell]) -> np.ndarray:
         """Calibrated probabilities for an explicit cell list (chunked).
 
@@ -593,25 +674,12 @@ class HoloDetect:
         probabilities = np.zeros(len(cells))
         start = 0
 
-        def pad(block: np.ndarray) -> np.ndarray:
-            filler = np.zeros((batch - block.shape[0], block.shape[1]), dtype=block.dtype)
-            return np.concatenate([block, filler], axis=0)
-
         def score(features) -> None:
+            # Fixed-shape forwarding lives in _score_features (shared with
+            # the streaming iter_predict path, which must agree bit-for-bit).
             nonlocal start
             n = features.batch_size
-            if n < batch:
-                # Forward every chunk at the same fixed shape: BLAS kernel
-                # selection (and hence reduction order) is shape-dependent,
-                # and per-cell scores must not depend on chunk composition —
-                # DetectionSession patches subsets and relies on bit-for-bit
-                # agreement with a full prediction pass.
-                features = CellFeatures(
-                    numeric=pad(features.numeric),
-                    branches={k: pad(v) for k, v in features.branches.items()},
-                )
-            scores = self.model.error_scores(features)[:n]
-            probabilities[start : start + n] = self.scaler.probability(scores)
+            probabilities[start : start + n] = self._score_features(features)
             start += n
 
         with self._backend_scope():

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
+from pathlib import PurePath
 
 from repro.data.adult import generate_adult
 from repro.data.animal import generate_animal
@@ -23,6 +24,7 @@ from repro.data.bundle import DatasetBundle
 from repro.data.food import generate_food
 from repro.data.hospital import generate_hospital
 from repro.data.soccer import generate_soccer
+from repro.dataset.ground_truth import GroundTruth
 from repro.registry import REGISTRY, ComponentError, deprecated_name_map
 
 
@@ -77,6 +79,60 @@ for _name, (_generate, _doc) in _BENCHMARKS.items():
 
 #: Names of the five benchmark datasets (Table 1).
 DATASET_NAMES = tuple(_BENCHMARKS)
+
+
+@dataclass(frozen=True)
+class ShardedDatasetParams:
+    """Typed config of the ``sharded`` dataset kind.
+
+    Unlike the synthetic generators, a sharded bundle is backed by an
+    on-disk shard directory (``repro shard convert`` /
+    :class:`~repro.dataset.sharded.ShardWriter`): ``num_rows`` cannot
+    resize it and ``seed`` has nothing to randomise, but both fields are
+    accepted (``None``/``0`` only) so generic callers like
+    :func:`load_dataset` can pass their usual arguments.
+    """
+
+    dir: str = ""
+    name: str | None = None
+    num_rows: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.dir:
+            raise ValueError(
+                "sharded dataset requires a 'dir' pointing at a shard "
+                "directory (see `repro shard convert`)"
+            )
+        if self.num_rows is not None:
+            raise ValueError(
+                "sharded datasets are fixed-size; num_rows must be None, "
+                f"got {self.num_rows!r}"
+            )
+        if self.seed != 0:
+            raise ValueError(
+                f"sharded datasets take no seed; got {self.seed!r}"
+            )
+
+
+def _sharded_factory(cfg: ShardedDatasetParams) -> DatasetBundle:
+    from repro.dataset.sharded import ShardedDataset
+
+    relation = ShardedDataset(cfg.dir)
+    # No clean twin and no truth on an ingested relation: detection-only.
+    return DatasetBundle(
+        name=cfg.name or PurePath(cfg.dir).name,
+        clean=relation,
+        dirty=relation,
+        truth=GroundTruth({}),
+    )
+
+
+REGISTRY.add(
+    "dataset", "sharded", _sharded_factory,
+    config=ShardedDatasetParams,
+    description="out-of-core shard directory (memory-mapped, detection-only)",
+)
 
 
 def load_dataset(name: str, num_rows: int | None = None, seed: int = 0) -> DatasetBundle:

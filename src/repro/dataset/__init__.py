@@ -1,25 +1,33 @@
 """Relational dataset substrate.
 
 HoloDetect operates on cell-level observations of a relation.  This package
-provides the in-memory relation (:class:`Dataset`), cell addressing
-(:class:`Cell`), ground-truth bookkeeping (:class:`GroundTruth`), and the
-labelled training set abstraction (:class:`TrainingSet`) that the paper calls
-``T = {(c, v_c, v*_c)}``.
+provides the relation protocol (:class:`Relation`) with two backings — the
+in-memory :class:`Dataset` and the out-of-core :class:`ShardedDataset` —
+cell addressing (:class:`Cell`), ground-truth bookkeeping
+(:class:`GroundTruth`), and the labelled training set abstraction
+(:class:`TrainingSet`) that the paper calls ``T = {(c, v_c, v*_c)}``.
 """
 
+from repro.dataset.relation import Relation, ShardSpan
 from repro.dataset.table import Cell, Dataset, DatasetDelta, Schema
+from repro.dataset.sharded import ShardedDataset, ShardWriter
 from repro.dataset.ground_truth import GroundTruth
 from repro.dataset.training import LabeledCell, TrainingSet
-from repro.dataset.loader import read_csv, write_csv
+from repro.dataset.loader import open_relation, read_csv, write_csv
 
 __all__ = [
     "Cell",
     "Dataset",
     "DatasetDelta",
+    "Relation",
     "Schema",
+    "ShardSpan",
+    "ShardedDataset",
+    "ShardWriter",
     "GroundTruth",
     "LabeledCell",
     "TrainingSet",
+    "open_relation",
     "read_csv",
     "write_csv",
 ]

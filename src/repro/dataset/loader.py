@@ -2,6 +2,9 @@
 
 Kept deliberately small: the benchmark datasets in this repo are generated
 programmatically, but downstream users load their own relations from CSV.
+:func:`open_relation` additionally accepts a shard directory
+(:mod:`repro.dataset.sharded`), so CLI entry points take either form of
+input with one argument.
 """
 
 from __future__ import annotations
@@ -9,6 +12,7 @@ from __future__ import annotations
 import csv
 from pathlib import Path
 
+from repro.dataset.relation import Relation
 from repro.dataset.table import Dataset
 
 
@@ -37,3 +41,18 @@ def write_csv(dataset: Dataset, path: str | Path) -> None:
         writer.writerow(dataset.attributes)
         for row in range(dataset.num_rows):
             writer.writerow(dataset.row_values(row))
+
+
+def open_relation(path: str | Path, missing_token: str = "") -> Relation:
+    """Open either a CSV file or a shard directory as a relation.
+
+    A directory containing ``manifest.json`` opens as an out-of-core
+    :class:`~repro.dataset.sharded.ShardedDataset`; anything else is read as
+    a headered CSV into an in-memory :class:`Dataset`.
+    """
+    path = Path(path)
+    if path.is_dir():
+        from repro.dataset.sharded import ShardedDataset
+
+        return ShardedDataset(path)
+    return read_csv(path, missing_token=missing_token)

@@ -1,12 +1,12 @@
 """In-memory relation with cell-level addressing and column-scoped versioning.
 
-The paper's data model (§3.1): a dataset ``D`` is a set of tuples over
-attributes ``A1..AN``; a *cell* is the value of one attribute in one tuple.
-All values are strings (error detection treats cell contents as opaque text;
-numerics are compared lexically exactly as the original system did).
-
-Storage is columnar (``dict[attr, list[str]]``) which keeps per-attribute
-statistics — the dominant access pattern in featurisation — cheap.
+The abstract relation protocol — :class:`Cell`, :class:`Schema`,
+:class:`DatasetDelta`, the fingerprint recipes, and the read-side
+:class:`~repro.dataset.relation.Relation` base — lives in
+:mod:`repro.dataset.relation` (they are re-exported here for compatibility).
+This module provides the *mutable in-memory backing*: storage is columnar
+(``dict[attr, list[str]]``), which keeps per-attribute statistics — the
+dominant access pattern in featurisation — cheap.
 
 Versioning is column-scoped: every column carries its own memoised content
 fingerprint, and the relation fingerprint is derived from the column
@@ -20,91 +20,24 @@ describing exactly the touched rows and columns.
 from __future__ import annotations
 
 import hashlib
-from collections import Counter
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
+
+from repro.dataset.relation import (
+    Cell,
+    DatasetDelta,
+    Relation,
+    Schema,
+    compose_fingerprint,
+    hash_column,
+)
+
+__all__ = ["Cell", "Dataset", "DatasetDelta", "Schema"]
+
+#: Compatibility alias — the recipe moved to :mod:`repro.dataset.relation`.
+_hash_column = hash_column
 
 
-@dataclass(frozen=True, slots=True)
-class Cell:
-    """Address of a single cell: row index plus attribute name."""
-
-    row: int
-    attr: str
-
-
-@dataclass(frozen=True)
-class Schema:
-    """Ordered attribute list of a relation."""
-
-    attributes: tuple[str, ...]
-
-    def __post_init__(self) -> None:
-        if len(set(self.attributes)) != len(self.attributes):
-            raise ValueError("duplicate attribute names in schema")
-        if not self.attributes:
-            raise ValueError("schema must have at least one attribute")
-
-    def __contains__(self, attr: str) -> bool:
-        return attr in self.attributes
-
-    def __len__(self) -> int:
-        return len(self.attributes)
-
-    def index(self, attr: str) -> int:
-        """Position of ``attr`` in the schema (raises ``ValueError`` if absent)."""
-        return self.attributes.index(attr)
-
-
-@dataclass(frozen=True)
-class DatasetDelta:
-    """Structured description of one batch mutation of a :class:`Dataset`.
-
-    ``cells`` lists the pre-existing cells whose value actually changed
-    (no-op edits — writing the value already present — are excluded, because
-    they cannot invalidate anything).  ``columns`` are the touched attributes
-    in schema order; ``rows`` the touched row indices in ascending order,
-    including any appended rows, which are additionally listed in
-    ``appended``.
-    """
-
-    cells: tuple[Cell, ...] = ()
-    columns: tuple[str, ...] = ()
-    rows: tuple[int, ...] = ()
-    appended: tuple[int, ...] = ()
-
-    @property
-    def is_empty(self) -> bool:
-        """True when the mutation changed nothing."""
-        return not self.cells and not self.appended
-
-    def merge(self, other: "DatasetDelta") -> "DatasetDelta":
-        """Combine two deltas of the *same* dataset (self first, then other)."""
-        columns = dict.fromkeys(self.columns)
-        columns.update(dict.fromkeys(other.columns))
-        return DatasetDelta(
-            cells=self.cells + other.cells,
-            columns=tuple(columns),
-            rows=tuple(sorted({*self.rows, *other.rows})),
-            appended=tuple(sorted({*self.appended, *other.appended})),
-        )
-
-    def __repr__(self) -> str:
-        return (
-            f"DatasetDelta({len(self.cells)} cells, {len(self.columns)} columns, "
-            f"{len(self.rows)} rows, {len(self.appended)} appended)"
-        )
-
-
-def _hash_column(values: Sequence[str]) -> str:
-    h = hashlib.blake2b(digest_size=16)
-    for value in values:
-        h.update(value.encode("utf-8"))
-        h.update(b"\x1e")
-    return h.hexdigest()
-
-
-class Dataset:
+class Dataset(Relation):
     """A relation: ordered rows over a fixed schema, all values strings.
 
     Rows keep their integer identity (`Cell.row`) across copies so that
@@ -158,9 +91,12 @@ class Dataset:
     def copy(self) -> "Dataset":
         """Deep copy (cells can be mutated independently)."""
         clone = Dataset(self.schema, {a: list(v) for a, v in self._columns.items()})
-        # Content is identical, so memoised hashes carry over for free.
+        # Content is identical, so memoised hashes carry over for free — and
+        # so does the version counter: a consumer tracking ``version`` across
+        # a copy must never see it jump backwards.
         clone._column_fingerprints = dict(self._column_fingerprints)
         clone._fingerprint = self._fingerprint
+        clone._version = self._version
         return clone
 
     # ------------------------------------------------------------------ #
@@ -168,24 +104,13 @@ class Dataset:
     # ------------------------------------------------------------------ #
 
     @property
-    def attributes(self) -> tuple[str, ...]:
-        return self.schema.attributes
-
-    @property
     def num_rows(self) -> int:
         return self._num_rows
-
-    @property
-    def num_cells(self) -> int:
-        return self._num_rows * len(self.schema)
 
     @property
     def version(self) -> int:
         """Monotonic mutation counter (bumped by every effective mutation)."""
         return self._version
-
-    def __len__(self) -> int:
-        return self._num_rows
 
     def column(self, attr: str) -> list[str]:
         """The full value list of one attribute (do not mutate)."""
@@ -194,9 +119,6 @@ class Dataset:
     def value(self, cell: Cell) -> str:
         """Observed value ``v_c`` of a cell."""
         return self._columns[cell.attr][cell.row]
-
-    def __getitem__(self, cell: Cell) -> str:
-        return self.value(cell)
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -229,7 +151,10 @@ class Dataset:
         ``edits`` maps cells to their new values (or is an iterable of
         ``(cell, value)`` pairs; later entries win on duplicate cells).
         Edits that restate the current value are dropped from the delta —
-        they dirty nothing.  Only the touched columns are re-fingerprinted.
+        they dirty nothing.  "Current" means the value *before this batch*:
+        duplicate edits that net out to a no-op (write ``"b"``, write the
+        original back) leave the cell, its column, and the version counter
+        untouched.  Only the truly changed columns are re-fingerprinted.
         """
         items = edits.items() if isinstance(edits, Mapping) else edits
         # Validate (and coerce) the whole batch before touching anything, so
@@ -242,14 +167,21 @@ class Dataset:
             if not 0 <= cell.row < self._num_rows:
                 raise IndexError(f"row {cell.row} out of range")
             staged.append((cell, str(value)))
+        # Snapshot pre-batch values per distinct cell (first sighting wins),
+        # then apply in order (later entries win), then judge every cell
+        # against its pre-batch value — the delta's contract.
+        originals: dict[Cell, str] = {}
+        for cell, value in staged:
+            column = self._columns[cell.attr]
+            if cell not in originals:
+                originals[cell] = column[cell.row]
+            column[cell.row] = value
         changed: dict[Cell, None] = {}
         touched_attrs: set[str] = set()
         touched_rows: set[int] = set()
-        for cell, value in staged:
-            column = self._columns[cell.attr]
-            if column[cell.row] == value:
+        for cell, original in originals.items():
+            if self._columns[cell.attr][cell.row] == original:
                 continue
-            column[cell.row] = value
             changed[cell] = None
             touched_attrs.add(cell.attr)
             touched_rows.add(cell.row)
@@ -298,7 +230,7 @@ class Dataset:
         """
         fp = self._column_fingerprints[attr]
         if fp is None:
-            fp = _hash_column(self._columns[attr])
+            fp = hash_column(self._columns[attr])
             self._column_fingerprints[attr] = fp
         return fp
 
@@ -311,13 +243,10 @@ class Dataset:
         mutation invalidates them automatically.
         """
         if self._fingerprint is None:
-            h = hashlib.blake2b(digest_size=16)
-            for attr in self.schema.attributes:
-                h.update(attr.encode("utf-8"))
-                h.update(b"\x1f")
-                h.update(self.column_fingerprint(attr).encode("ascii"))
-                h.update(b"\x1d")
-            self._fingerprint = h.hexdigest()
+            self._fingerprint = compose_fingerprint(
+                self.schema.attributes,
+                {a: self.column_fingerprint(a) for a in self.schema.attributes},
+            )
         return self._fingerprint
 
     def rows_fingerprint(self, rows: Iterable[int]) -> str:
@@ -339,7 +268,7 @@ class Dataset:
         return h.hexdigest()
 
     # ------------------------------------------------------------------ #
-    # Row / cell access
+    # Row access (fast paths over the Relation defaults)
     # ------------------------------------------------------------------ #
 
     def row_dict(self, row: int) -> dict[str, str]:
@@ -352,29 +281,12 @@ class Dataset:
         """One tuple as a value list in schema order."""
         return [self._columns[a][row] for a in self.schema.attributes]
 
-    def cells(self) -> Iterator[Cell]:
-        """Iterate over every cell, attribute-major then row order."""
-        for attr in self.schema.attributes:
-            for row in range(self._num_rows):
-                yield Cell(row, attr)
-
-    def cells_of_row(self, row: int) -> list[Cell]:
-        return [Cell(row, attr) for attr in self.schema.attributes]
-
-    # ------------------------------------------------------------------ #
-    # Statistics used throughout featurisation
-    # ------------------------------------------------------------------ #
-
-    def value_counts(self, attr: str) -> dict[str, int]:
-        """Frequency of each distinct value within one attribute."""
-        return dict(Counter(self._columns[attr]))
-
-    def domain(self, attr: str) -> list[str]:
-        """Distinct values of an attribute, in first-seen order."""
-        return list(dict.fromkeys(self._columns[attr]))
-
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Dataset):
+            # Mixed-backing comparisons fall through to the chunk-wise
+            # Relation comparison (reflected for Dataset == ShardedDataset).
+            if isinstance(other, Relation):
+                return Relation.__eq__(self, other)
             return NotImplemented
         return self.schema == other.schema and self._columns == other._columns
 

@@ -294,7 +294,9 @@ class Featurizer:
                 self._artifact_keys = {self.name: key}
                 return
         self.fit(dataset)
-        self._artifact_keys = {self.name: key}
+        # Record (not replace): an out-of-core fit records its per-shard
+        # partial keys inside fit(), and the whole-state key joins them.
+        self._record_artifact(self.name, key)
         if store is not None:
             payload = featurizer_payload(self)
             if payload is not None:

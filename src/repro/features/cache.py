@@ -53,6 +53,11 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    #: Subset of ``evictions`` forced by the ``max_bytes`` bound (the rest
+    #: were forced by ``max_entries``).
+    byte_evictions: int = 0
+    #: Blocks never inserted because they alone exceed ``max_bytes``.
+    oversize_rejections: int = 0
 
     @property
     def lookups(self) -> int:
@@ -69,16 +74,24 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "byte_evictions": self.byte_evictions,
+            "oversize_rejections": self.oversize_rejections,
             "invalidations": self.invalidations,
             "lookups": self.lookups,
         }
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.hits} hits / {self.lookups} lookups "
             f"({self.hit_rate:.0%}), {self.evictions} evicted, "
             f"{self.invalidations} invalidated"
         )
+        if self.byte_evictions or self.oversize_rejections:
+            text += (
+                f" ({self.byte_evictions} by bytes, "
+                f"{self.oversize_rejections} oversize)"
+            )
+        return text
 
 
 @dataclass
@@ -94,16 +107,25 @@ class FeatureCache:
     """Bounded LRU cache of transformed feature blocks.
 
     ``max_entries`` bounds the entry count (an entry is one featurizer's
-    block for one batch).  All operations are thread-safe; a miss computes
+    block for one batch); ``max_bytes``, when set, additionally bounds the
+    total bytes held by cached blocks — out-of-core relations can stream
+    millions of cells through prediction, and an entry-count bound alone
+    lets the cache grow with block width.  Either bound evicts LRU-first.
+    A single block larger than ``max_bytes`` is returned to the caller but
+    never inserted.  All operations are thread-safe; a miss computes
     outside the lock so concurrent workers never serialise on featurization.
     """
 
-    def __init__(self, max_entries: int = 1024):
+    def __init__(self, max_entries: int = 1024, max_bytes: int | None = None):
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive when set")
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
         self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()
+        self._nbytes = 0
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -113,7 +135,7 @@ class FeatureCache:
     def nbytes(self) -> int:
         """Total bytes held by cached blocks."""
         with self._lock:
-            return sum(e.nbytes for e in self._entries.values())
+            return self._nbytes
 
     @staticmethod
     def key_for(featurizer: Featurizer, batch: CellBatch) -> CacheKey:
@@ -136,10 +158,21 @@ class FeatureCache:
         with self._lock:
             self.stats.misses += 1
             if key not in self._entries:
-                self._entries[key] = _Entry(block)
+                entry = _Entry(block)
+                if self.max_bytes is not None and entry.nbytes > self.max_bytes:
+                    self.stats.oversize_rejections += 1
+                    return block
+                self._entries[key] = entry
+                self._nbytes += entry.nbytes
                 while len(self._entries) > self.max_entries:
-                    self._entries.popitem(last=False)
+                    _, evicted = self._entries.popitem(last=False)
+                    self._nbytes -= evicted.nbytes
                     self.stats.evictions += 1
+                while self.max_bytes is not None and self._nbytes > self.max_bytes:
+                    _, evicted = self._entries.popitem(last=False)
+                    self._nbytes -= evicted.nbytes
+                    self.stats.evictions += 1
+                    self.stats.byte_evictions += 1
         return block
 
     def invalidate_scope(self, fingerprint: str) -> int:
@@ -155,6 +188,7 @@ class FeatureCache:
         with self._lock:
             stale = [k for k in self._entries if k[1] == fingerprint]
             for k in stale:
+                self._nbytes -= self._entries[k].nbytes
                 del self._entries[k]
             self.stats.invalidations += len(stale)
             return len(stale)
@@ -164,6 +198,7 @@ class FeatureCache:
         with self._lock:
             self.stats.invalidations += len(self._entries)
             self._entries.clear()
+            self._nbytes = 0
 
     def __repr__(self) -> str:
         return (

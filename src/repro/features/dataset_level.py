@@ -13,13 +13,20 @@ from typing import Sequence
 import numpy as np
 
 from repro.artifacts.codec import fit_embedding_artifact
-from repro.artifacts.keys import seed_material
+from repro.artifacts.keys import seed_material, shard_partial_key
 from repro.constraints.dc import DenialConstraint
 from repro.constraints.violations import ViolationEngine
+from repro.dataset.relation import ShardSpan
 from repro.dataset.table import Cell, Dataset
 from repro.embeddings.corpus import EMPTY_TOKEN, tuple_value_corpus
 from repro.embeddings.fasttext import FastTextEmbedding
 from repro.features.base import CellBatch, FeatureContext, Featurizer
+from repro.features.partials import (
+    decode_fd_group_partial,
+    encode_fd_group_partial,
+    fd_group_partial,
+    merge_fd_group_partials,
+)
 
 
 class ConstraintViolationFeaturizer(Featurizer):
@@ -70,10 +77,97 @@ class ConstraintViolationFeaturizer(Featurizer):
         self._fit_dataset: Dataset | None = None
 
     def fit(self, dataset: Dataset) -> "ConstraintViolationFeaturizer":
+        """Count per-tuple violations; shard-streamed when Σ is FD-shaped.
+
+        Over a multi-shard relation whose constraints are all FD-shaped,
+        the fit builds one mergeable group-table partial per (constraint,
+        shard) — consulted/stored through the artifact store under the
+        shard's fingerprint — then derives every tuple's count in a second
+        streaming pass: within a join group of size ``n`` holding ``m``
+        copies of the tuple's residual value, the tuple participates in
+        exactly ``n - m`` violating pairs, which is what the pairwise hash
+        join counts.  Any non-FD constraint (or a single-shard relation)
+        falls back to the whole-relation engine pass.
+        """
         self._fit_dataset = dataset
-        self._tuple_counts = self._engine.tuple_violation_counts(dataset)
-        self._fd_indexes = [self._build_fd_index(c, dataset) for c in self._constraints]
+        self._artifact_keys = {}
+        spans = dataset.shard_spans()
+        shapes = [self._fd_shape(c) for c in self._constraints]
+        if len(spans) <= 1 or any(shape is None for shape in shapes):
+            self._tuple_counts = self._engine.tuple_violation_counts(dataset)
+            self._fd_indexes = [
+                self._build_fd_index(c, dataset) for c in self._constraints
+            ]
+            return self
+        counts = np.zeros((dataset.num_rows, len(self._constraints)), dtype=np.float64)
+        indexes: list[dict | None] = []
+        for k, (constraint, shape) in enumerate(zip(self._constraints, shapes)):
+            join_attrs, residual_attr = shape
+            groups = merge_fd_group_partials(
+                self._shard_groups(dataset, span, constraint, join_attrs, residual_attr)
+                for span in spans
+            )
+            indexes.append(
+                {
+                    "join_attrs": join_attrs,
+                    "residual_attr": residual_attr,
+                    "groups": groups,
+                }
+            )
+            for span in spans:
+                join_chunks = [
+                    dataset.column_chunk(a, span.start, span.stop) for a in join_attrs
+                ]
+                residual_chunk = dataset.column_chunk(
+                    residual_attr, span.start, span.stop
+                )
+                for i in range(span.rows):
+                    group = groups[tuple(chunk[i] for chunk in join_chunks)]
+                    counts[span.start + i, k] = sum(group.values()) - group[
+                        residual_chunk[i]
+                    ]
+        self._tuple_counts = counts
+        self._fd_indexes = indexes
         return self
+
+    def _shard_groups(
+        self,
+        dataset: Dataset,
+        span: ShardSpan,
+        constraint: DenialConstraint,
+        join_attrs: list[str],
+        residual_attr: str,
+    ):
+        """One (constraint, shard) group-table partial, through the store."""
+        store = self.artifact_store
+        if store is None:
+            return fd_group_partial(dataset, span, join_attrs, residual_attr)
+        config = {
+            "constraint": {
+                "name": constraint.name,
+                "predicates": [
+                    [p.left_attr, p.op, p.right_attr, p.constant]
+                    for p in constraint.predicates
+                ],
+            }
+        }
+        key = shard_partial_key(
+            self.artifact_kind, dataset.shard_fingerprint(span.index), config
+        )
+        self._record_artifact(f"{self.name}/{constraint.name}/shard/{span.index}", key)
+        payload = store.get(key)
+        if payload is not None:
+            try:
+                return decode_fd_group_partial(payload)
+            except Exception:
+                pass  # corrupt partial: recount below, overwrite in store
+        groups = fd_group_partial(dataset, span, join_attrs, residual_attr)
+        store.put(
+            key,
+            encode_fd_group_partial(groups),
+            kind=f"{self.artifact_kind}.partial",
+        )
+        return groups
 
     @staticmethod
     def _fd_shape(constraint: DenialConstraint) -> tuple[list[str], str] | None:

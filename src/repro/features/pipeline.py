@@ -353,11 +353,19 @@ class FeaturePipeline:
 
     @staticmethod
     def _sample_cells(dataset: Dataset, limit: int) -> list[Cell]:
-        cells = list(dataset.cells())
-        if len(cells) <= limit:
-            return cells
-        stride = max(1, len(cells) // limit)
-        return cells[::stride][:limit]
+        # Arithmetic strided sample over the attr-major cell order — the
+        # same cells ``list(dataset.cells())[::stride][:limit]`` yields,
+        # without materialising every cell of an out-of-core relation.
+        total = dataset.num_cells
+        num_rows = dataset.num_rows
+        attributes = dataset.attributes
+        if total <= limit:
+            return list(dataset.cells())
+        stride = max(1, total // limit)
+        return [
+            Cell(row=i % num_rows, attr=attributes[i // num_rows])
+            for i in range(0, total, stride)[:limit]
+        ]
 
     def _block(self, featurizer: Featurizer, batch: CellBatch) -> np.ndarray:
         """One featurizer's block for the batch, through the cache if any."""

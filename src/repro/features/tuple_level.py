@@ -12,16 +12,21 @@ vectors are memoised per unique value and per ``(row, attribute)`` context.
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 import numpy as np
 
 from repro.artifacts.codec import fit_embedding_artifact
-from repro.artifacts.keys import seed_material
+from repro.artifacts.keys import seed_material, shard_partial_key
+from repro.dataset.relation import ShardSpan
 from repro.dataset.table import Cell, Dataset
 from repro.embeddings.corpus import tuple_corpus
 from repro.embeddings.fasttext import FastTextEmbedding
 from repro.features.base import CellBatch, FeatureContext, Featurizer
+from repro.features.partials import (
+    cooccurrence_partial,
+    decode_cooccurrence_partial,
+    encode_cooccurrence_partial,
+    merge_cooccurrence_partials,
+)
 from repro.text.tokenize import word_tokens
 
 
@@ -51,27 +56,50 @@ class CooccurrenceFeaturizer(Featurizer):
         self._attributes: tuple[str, ...] = ()
 
     def fit(self, dataset: Dataset) -> "CooccurrenceFeaturizer":
+        """Count joint occurrences, one row shard at a time.
+
+        The in-memory backing is a single shard spanning the relation, so
+        this is one scan; an out-of-core relation is summarised into one
+        mergeable partial per shard (consulted/stored through the artifact
+        store under its shard fingerprint — see
+        :mod:`repro.features.partials`), and the merged tables equal a
+        whole-relation scan exactly.
+        """
         self._attributes = dataset.attributes
-        joint: dict[tuple[str, str], dict[str, dict[str, int]]] = defaultdict(
-            lambda: defaultdict(lambda: defaultdict(int))
-        )
-        value_counts: dict[tuple[str, str], int] = defaultdict(int)
-        for row in range(dataset.num_rows):
-            values = dataset.row_dict(row)
-            for attr_a, value_a in values.items():
-                key = (attr_a, value_a)
-                value_counts[key] += 1
-                bucket = joint[key]
-                for attr_b, value_b in values.items():
-                    if attr_b != attr_a:
-                        bucket[attr_b][value_b] += 1
-        # Freeze the nested defaultdicts into plain dicts.
-        self._joint = {
-            key: {attr: dict(counts) for attr, counts in buckets.items()}
-            for key, buckets in joint.items()
-        }
-        self._value_counts = dict(value_counts)
+        self._artifact_keys = {}
+        spans = dataset.shard_spans()
+        # Generator, not list: the merge consumes lazily, so peak memory is
+        # two partials (one shard + the accumulator), not one per shard.
+        partials = (self._shard_partial(dataset, span, len(spans)) for span in spans)
+        joint, value_counts = merge_cooccurrence_partials(partials)
+        self._joint = joint
+        self._value_counts = value_counts
         return self
+
+    def _shard_partial(self, dataset: Dataset, span: ShardSpan, num_spans: int):
+        """One shard's joint-count partial, through the store when sharded."""
+        store = self.artifact_store
+        if store is None or num_spans <= 1:
+            return cooccurrence_partial(dataset, span)
+        key = shard_partial_key(
+            self.artifact_kind,
+            dataset.shard_fingerprint(span.index),
+            self.artifact_config(),
+        )
+        self._record_artifact(f"{self.name}/shard/{span.index}", key)
+        payload = store.get(key)
+        if payload is not None:
+            try:
+                return decode_cooccurrence_partial(payload)
+            except Exception:
+                pass  # corrupt partial: recount below, overwrite in store
+        partial = cooccurrence_partial(dataset, span)
+        store.put(
+            key,
+            encode_cooccurrence_partial(partial),
+            kind=f"{self.artifact_kind}.partial",
+        )
+        return partial
 
     def transform_batch(self, batch: CellBatch) -> np.ndarray:
         self._require_fitted("_joint")

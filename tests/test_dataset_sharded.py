@@ -1,0 +1,358 @@
+"""Out-of-core sharded relations (:mod:`repro.dataset.sharded`).
+
+The backing's whole contract is *indistinguishability*: a sharded relation
+must produce bit-identical fingerprints, featurizer fits, and predictions
+to the in-memory :class:`~repro.dataset.table.Dataset` holding the same
+rows — for every shard size.  Property tests drive that invariance with
+hypothesis-generated tables; fixed tests cover the ingestion path, the
+immutability guard, the registry kind, and the store round-trip of
+mergeable partials.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.artifacts.store import ArtifactStore
+from repro.data.registry import load_dataset
+from repro.dataset import Cell, Dataset, ShardedDataset, open_relation
+from repro.dataset.loader import read_csv, write_csv
+from repro.dataset.relation import ShardSpan, compose_fingerprint, hash_column
+from repro.features.dataset_level import ConstraintViolationFeaturizer
+from repro.features.partials import (
+    cooccurrence_partial,
+    decode_cooccurrence_partial,
+    decode_fd_group_partial,
+    encode_cooccurrence_partial,
+    encode_fd_group_partial,
+    fd_group_partial,
+    merge_cooccurrence_partials,
+    merge_fd_group_partials,
+)
+from repro.features.tuple_level import CooccurrenceFeaturizer
+
+# Small random tables: 2-3 attributes, clumpy values so co-occurrence and
+# FD groups are non-trivial.
+_values = st.sampled_from(["a", "b", "ab", "x1", ""])
+_tables = st.lists(
+    st.tuples(_values, _values, _values), min_size=1, max_size=24
+).map(lambda rows: Dataset.from_rows(["p", "q", "r"], [list(r) for r in rows]))
+_shard_rows = st.integers(min_value=1, max_value=9)
+
+
+def _sharded_twin(dataset, tmp_path, shard_rows, name="twin"):
+    return ShardedDataset.convert(dataset, tmp_path / name, shard_rows=shard_rows)
+
+
+class TestFingerprintInvariance:
+    @given(dataset=_tables, shard_rows=_shard_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_fingerprints_match_in_memory(self, dataset, shard_rows, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("shards")
+        sharded = _sharded_twin(dataset, tmp, shard_rows)
+        for attr in dataset.attributes:
+            assert sharded.column_fingerprint(attr) == dataset.column_fingerprint(attr)
+        assert sharded.fingerprint() == dataset.fingerprint()
+        rows = range(dataset.num_rows)
+        assert sharded.rows_fingerprint(rows) == dataset.rows_fingerprint(rows)
+        assert sharded == dataset
+        assert dataset == sharded
+
+    @given(dataset=_tables, a=_shard_rows, b=_shard_rows)
+    @settings(max_examples=20, deadline=None)
+    def test_shard_size_never_changes_fingerprint(
+        self, dataset, a, b, tmp_path_factory
+    ):
+        tmp = tmp_path_factory.mktemp("shards")
+        fp_a = _sharded_twin(dataset, tmp, a, "a").fingerprint()
+        fp_b = _sharded_twin(dataset, tmp, b, "b").fingerprint()
+        assert fp_a == fp_b
+
+    @given(dataset=_tables, shard_rows=_shard_rows)
+    @settings(max_examples=20, deadline=None)
+    def test_shard_digests_compose(self, dataset, shard_rows, tmp_path_factory):
+        """Per-shard digests are exactly what the in-memory backing derives
+        from the same spans, and a single-shard relation's shard
+        fingerprint degenerates to the relation fingerprint."""
+        tmp = tmp_path_factory.mktemp("shards")
+        sharded = _sharded_twin(dataset, tmp, shard_rows)
+        for span in sharded.shard_spans():
+            for attr in dataset.attributes:
+                expected = hash_column(dataset.column(attr)[span.start : span.stop])
+                assert sharded.shard_column_digest(span.index, attr) == expected
+            assert sharded.shard_fingerprint(span.index) == compose_fingerprint(
+                sharded.attributes,
+                {
+                    a: sharded.shard_column_digest(span.index, a)
+                    for a in sharded.attributes
+                },
+            )
+        if sharded.num_shards == 1:
+            assert sharded.shard_fingerprint(0) == dataset.fingerprint()
+
+    def test_in_memory_is_one_span(self, tmp_path):
+        dataset = Dataset.from_rows(["x"], [["1"], ["2"]])
+        assert dataset.shard_spans() == (ShardSpan(0, 0, 2),)
+        assert dataset.shard_fingerprint(0) == dataset.fingerprint()
+
+
+class TestPartialComposition:
+    @given(dataset=_tables, shard_rows=_shard_rows)
+    @settings(max_examples=25, deadline=None)
+    def test_cooccurrence_partials_merge_to_whole(self, dataset, shard_rows):
+        whole = cooccurrence_partial(dataset, ShardSpan(0, 0, dataset.num_rows))
+        spans = [
+            ShardSpan(i, start, min(start + shard_rows, dataset.num_rows))
+            for i, start in enumerate(range(0, dataset.num_rows, shard_rows))
+        ]
+        merged = merge_cooccurrence_partials(
+            [cooccurrence_partial(dataset, s) for s in spans]
+        )
+        assert merged == whole
+
+    @given(dataset=_tables, shard_rows=_shard_rows, split=st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_cooccurrence_merge_associative(self, dataset, shard_rows, split):
+        spans = [
+            ShardSpan(i, start, min(start + shard_rows, dataset.num_rows))
+            for i, start in enumerate(range(0, dataset.num_rows, shard_rows))
+        ]
+        partials = [cooccurrence_partial(dataset, s) for s in spans]
+        flat = merge_cooccurrence_partials(partials)
+        grouped = merge_cooccurrence_partials(
+            [
+                merge_cooccurrence_partials(partials[:split]),
+                merge_cooccurrence_partials(partials[split:]),
+            ]
+        )
+        assert flat == grouped
+
+    @given(dataset=_tables, shard_rows=_shard_rows)
+    @settings(max_examples=25, deadline=None)
+    def test_fd_partials_merge_to_whole(self, dataset, shard_rows):
+        whole = fd_group_partial(
+            dataset, ShardSpan(0, 0, dataset.num_rows), ["p"], "q"
+        )
+        spans = [
+            ShardSpan(i, start, min(start + shard_rows, dataset.num_rows))
+            for i, start in enumerate(range(0, dataset.num_rows, shard_rows))
+        ]
+        merged = merge_fd_group_partials(
+            [fd_group_partial(dataset, s, ["p"], "q") for s in spans]
+        )
+        assert merged == whole
+
+    @given(dataset=_tables)
+    @settings(max_examples=20, deadline=None)
+    def test_partials_round_trip_through_json(self, dataset):
+        span = ShardSpan(0, 0, dataset.num_rows)
+        co = cooccurrence_partial(dataset, span)
+        assert decode_cooccurrence_partial(encode_cooccurrence_partial(co)) == co
+        fd = fd_group_partial(dataset, span, ["p", "r"], "q")
+        assert decode_fd_group_partial(encode_fd_group_partial(fd)) == fd
+
+
+@pytest.fixture(scope="module")
+def hospital():
+    return load_dataset("hospital", num_rows=60, seed=3)
+
+
+class TestFeaturizerEquivalence:
+    def test_cooccurrence_fit_matches_in_memory(self, hospital, tmp_path):
+        sharded = _sharded_twin(hospital.dirty, tmp_path, 17)
+        mem = CooccurrenceFeaturizer().fit(hospital.dirty)
+        store = ArtifactStore(tmp_path / "store")
+        cold = CooccurrenceFeaturizer()
+        cold.artifact_store = store
+        cold.fit(sharded)
+        assert cold._joint == mem._joint
+        assert cold._value_counts == mem._value_counts
+        # Per-shard partial keys were recorded and the partials stored.
+        shard_keys = [k for k in cold.artifact_keys if "/shard/" in k]
+        assert len(shard_keys) == sharded.num_shards
+        # A second fit is served entirely from stored partials.
+        warm = CooccurrenceFeaturizer()
+        warm.artifact_store = store
+        warm.fit(sharded)
+        assert warm._joint == mem._joint
+
+    def test_constraint_violations_fit_matches_in_memory(self, hospital, tmp_path):
+        sharded = _sharded_twin(hospital.dirty, tmp_path, 17)
+        mem = ConstraintViolationFeaturizer(hospital.constraints).fit(hospital.dirty)
+        cold = ConstraintViolationFeaturizer(hospital.constraints)
+        cold.artifact_store = ArtifactStore(tmp_path / "store")
+        cold.fit(sharded)
+        assert np.array_equal(mem._tuple_counts, cold._tuple_counts)
+        for a, b in zip(mem._fd_indexes, cold._fd_indexes):
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a["groups"] == b["groups"]
+
+    def test_constraint_violations_without_store(self, hospital, tmp_path):
+        sharded = _sharded_twin(hospital.dirty, tmp_path, 23)
+        mem = ConstraintViolationFeaturizer(hospital.constraints).fit(hospital.dirty)
+        cold = ConstraintViolationFeaturizer(hospital.constraints).fit(sharded)
+        assert np.array_equal(mem._tuple_counts, cold._tuple_counts)
+
+
+class TestDetectorEquivalence:
+    @pytest.fixture(scope="class")
+    def fitted(self, tmp_path_factory):
+        from repro.core.detector import DetectorConfig, HoloDetect
+        from repro.evaluation.splits import make_split
+
+        bundle = load_dataset("hospital", num_rows=40, seed=5)
+        tmp = tmp_path_factory.mktemp("detector")
+        sharded = ShardedDataset.convert(bundle.dirty, tmp / "shards", shard_rows=13)
+        split = make_split(bundle, 0.2, rng=7)
+
+        def build():
+            return HoloDetect(
+                DetectorConfig(
+                    epochs=2,
+                    embedding_dim=4,
+                    embedding_epochs=1,
+                    min_training_steps=20,
+                    prediction_batch=16,
+                    artifact_dir=str(tmp / "store"),
+                    seed=0,
+                )
+            )
+
+        mem = build()
+        mem.fit(bundle.dirty, split.training, bundle.constraints)
+        ooc = build()
+        ooc.fit(sharded, split.training, bundle.constraints)
+        return mem, ooc
+
+    def test_sharded_predictions_bit_identical(self, fitted):
+        mem, ooc = fitted
+        p_mem = mem.predict()
+        p_ooc = ooc.predict(p_mem.cells)
+        assert list(p_mem.cells) == list(p_ooc.cells)
+        assert np.array_equal(p_mem.probabilities, p_ooc.probabilities)
+
+    def test_streamed_prediction_bit_identical(self, fitted):
+        mem, ooc = fitted
+        p_mem = mem.predict()
+        streamed = list(ooc.iter_predict(iter(p_mem.cells)))
+        assert [c for c, _ in streamed] == list(p_mem.cells)
+        assert np.array_equal(
+            np.array([p for _, p in streamed]), p_mem.probabilities
+        )
+
+    def test_warm_fit_reuses_artifacts(self, fitted):
+        mem, ooc = fitted
+        # The two fits shared one store and identical fingerprints, so the
+        # sharded fit reused the in-memory fit's whole-state artifacts.
+        mem_keys = {k: v for k, v in mem.artifact_keys.items() if "/shard/" not in k}
+        ooc_keys = {k: v for k, v in ooc.artifact_keys.items() if "/shard/" not in k}
+        assert mem_keys == ooc_keys
+
+
+class TestIngestion:
+    def test_from_csv_matches_read_csv(self, tmp_path):
+        dataset = Dataset.from_rows(
+            ["a", "b"], [["1", "x,y"], ['"q"', ""], ["3", "z"]]
+        )
+        csv_path = tmp_path / "data.csv"
+        write_csv(dataset, csv_path)
+        sharded = ShardedDataset.from_csv(csv_path, tmp_path / "shards", shard_rows=2)
+        assert sharded.fingerprint() == read_csv(csv_path).fingerprint()
+
+    def test_convert_refuses_existing_without_force(self, tmp_path):
+        dataset = Dataset.from_rows(["a"], [["1"]])
+        ShardedDataset.convert(dataset, tmp_path / "s")
+        with pytest.raises(FileExistsError):
+            ShardedDataset.convert(dataset, tmp_path / "s")
+        ShardedDataset.convert(dataset, tmp_path / "s", force=True)
+
+    def test_to_dataset_round_trip(self, tmp_path):
+        dataset = Dataset.from_rows(["a", "b"], [["1", "2"], ["3", "4"], ["5", "6"]])
+        sharded = _sharded_twin(dataset, tmp_path, 2)
+        assert sharded.to_dataset() == dataset
+
+    def test_verify_detects_corruption(self, tmp_path):
+        dataset = Dataset.from_rows(["a"], [["1"], ["2"], ["3"]])
+        sharded = _sharded_twin(dataset, tmp_path, 2)
+        sharded.verify()
+        shard_file = next((tmp_path / "twin" / "shards").rglob("*.npy"))
+        arr = np.load(shard_file)
+        arr[0] = "tampered"
+        np.save(shard_file, arr)
+        with pytest.raises(ValueError, match="digest"):
+            ShardedDataset(tmp_path / "twin").verify()
+
+    def test_open_relation_dispatches_on_path(self, tmp_path):
+        dataset = Dataset.from_rows(["a"], [["1"], ["2"]])
+        csv_path = tmp_path / "data.csv"
+        write_csv(dataset, csv_path)
+        assert isinstance(open_relation(csv_path), Dataset)
+        _sharded_twin(dataset, tmp_path, 1)
+        opened = open_relation(tmp_path / "twin")
+        assert isinstance(opened, ShardedDataset)
+        assert opened.fingerprint() == dataset.fingerprint()
+
+
+class TestRelationSemantics:
+    def test_mutators_raise(self, tmp_path):
+        dataset = Dataset.from_rows(["a"], [["1"], ["2"]])
+        sharded = _sharded_twin(dataset, tmp_path, 1)
+        with pytest.raises(TypeError, match="to_dataset"):
+            sharded.set_value(Cell(0, "a"), "9")
+        with pytest.raises(TypeError, match="to_dataset"):
+            sharded.apply_edits({Cell(0, "a"): "9"})
+        with pytest.raises(TypeError, match="to_dataset"):
+            sharded.append_rows([["9"]])
+
+    def test_copy_returns_self(self, tmp_path):
+        dataset = Dataset.from_rows(["a"], [["1"]])
+        sharded = _sharded_twin(dataset, tmp_path, 1)
+        assert sharded.copy() is sharded
+
+    @given(dataset=_tables, shard_rows=_shard_rows)
+    @settings(max_examples=20, deadline=None)
+    def test_column_view_indexing(self, dataset, shard_rows, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("shards")
+        sharded = _sharded_twin(dataset, tmp, shard_rows)
+        for attr in dataset.attributes:
+            expected = dataset.column(attr)
+            view = sharded.column(attr)
+            assert list(view) == list(expected)
+            assert [view[i] for i in range(len(view))] == list(expected)
+            assert view[-1] == expected[-1]
+            assert list(view[1:3]) == list(expected[1:3])
+
+    def test_statistics_match_in_memory(self, hospital, tmp_path):
+        sharded = _sharded_twin(hospital.dirty, tmp_path, 11)
+        for attr in hospital.dirty.attributes[:4]:
+            assert sharded.value_counts(attr) == hospital.dirty.value_counts(attr)
+            assert sharded.domain(attr) == hospital.dirty.domain(attr)
+
+    def test_column_chunk_spans_shards(self, hospital, tmp_path):
+        sharded = _sharded_twin(hospital.dirty, tmp_path, 7)
+        attr = hospital.dirty.attributes[0]
+        full = hospital.dirty.column(attr)
+        assert list(sharded.column_chunk(attr, 3, 25)) == list(full[3:25])
+        assert list(sharded.column_chunk(attr, 0, sharded.num_rows)) == list(full)
+
+
+class TestRegistryKind:
+    def test_sharded_dataset_kind(self, hospital, tmp_path):
+        from repro.registry import REGISTRY
+
+        _sharded_twin(hospital.dirty, tmp_path, 16)
+        bundle = REGISTRY.create("dataset", "sharded", {"dir": str(tmp_path / "twin")})
+        assert isinstance(bundle.dirty, ShardedDataset)
+        assert bundle.dirty.fingerprint() == hospital.dirty.fingerprint()
+        assert bundle.name == "twin"
+        assert len(bundle.truth) == 0
+
+    def test_rejects_resizing(self, tmp_path):
+        from repro.registry import ComponentError, REGISTRY
+
+        with pytest.raises(ComponentError):
+            REGISTRY.create(
+                "dataset", "sharded", {"dir": str(tmp_path), "num_rows": 5}
+            )

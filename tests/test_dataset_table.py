@@ -103,5 +103,51 @@ class TestDatasetStatistics:
     def test_equality(self, zip_dataset):
         assert zip_dataset == zip_dataset.copy()
 
+    def test_copy_carries_version(self, zip_dataset):
+        # Regression: copy() used to reset _version to 0, so a fingerprint
+        # memoised on the copy could be served for post-copy mutations.
+        zip_dataset.set_value(Cell(0, "city"), "Springfield")
+        zip_dataset.set_value(Cell(1, "city"), "Shelbyville")
+        assert zip_dataset.version > 0
+        copy = zip_dataset.copy()
+        assert copy.version == zip_dataset.version
+        copy.set_value(Cell(0, "city"), "Ogdenville")
+        assert copy.version > zip_dataset.version
+
     def test_repr(self, zip_dataset):
         assert "6 rows" in repr(zip_dataset)
+
+
+class TestApplyEditsNetNoop:
+    def test_duplicate_edits_netting_to_noop_excluded_from_delta(self, zip_dataset):
+        # Regression: `changed` was computed edit-by-edit, so a batch that
+        # rewrote a cell and then restored its pre-batch value still
+        # reported the cell (and its row/column) in the delta.
+        cell = Cell(0, "city")
+        original = zip_dataset.value(cell)
+        delta = zip_dataset.apply_edits([(cell, "X"), (cell, original)])
+        assert delta.is_empty
+        assert zip_dataset.value(cell) == original
+
+    def test_net_noop_does_not_bump_version(self, zip_dataset):
+        cell = Cell(0, "city")
+        version = zip_dataset.version
+        zip_dataset.apply_edits([(cell, "X"), (cell, zip_dataset.value(cell))])
+        assert zip_dataset.version == version
+
+    def test_mixed_batch_reports_only_net_changes(self, zip_dataset):
+        noop = Cell(0, "city")
+        real = Cell(1, "city")
+        delta = zip_dataset.apply_edits(
+            [(noop, "X"), (noop, zip_dataset.value(noop)), (real, "Chicago")]
+        )
+        assert set(delta.cells) == {real}
+        assert delta.columns == ("city",)
+        assert delta.rows == (1,)
+        assert zip_dataset.value(real) == "Chicago"
+
+    def test_last_write_wins_still_reported(self, zip_dataset):
+        cell = Cell(0, "city")
+        delta = zip_dataset.apply_edits([(cell, "X"), (cell, "Y")])
+        assert set(delta.cells) == {cell}
+        assert zip_dataset.value(cell) == "Y"
