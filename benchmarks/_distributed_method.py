@@ -1,0 +1,37 @@
+"""Deterministic slow method for ``bench_distributed_sweep.py``.
+
+The cooperative-sweep benchmark needs scenarios whose runtime is dominated
+by *work* (so wall-clock speedup is attributable to cooperation, not
+noise) while the results stay bit-comparable across any mix of workers,
+hosts, and crash recoveries.  ``probe`` is that stand-in for an expensive
+detector: it sleeps a configurable ``delay`` and then flags every test
+cell whose value is unique within its column — nontrivial, seed- and
+worker-independent predictions.
+
+Referenced from sweep specs as ``"_distributed_method:probe"`` (the
+registry's ``module:attr`` escape hatch), so worker subprocesses only need
+this directory on ``PYTHONPATH`` — no repo edits, exactly like a user's
+own method package.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+
+def probe(delay: float = 0.0) -> object:
+    """MethodFn factory: sleep ``delay`` seconds, then flag unique values."""
+
+    def run(bundle, split, rng):
+        if delay:
+            time.sleep(delay)
+        dirty = bundle.dirty
+        counts = {a: Counter(dirty.column(a)) for a in dirty.schema.attributes}
+        return {
+            cell
+            for cell in split.test_cells
+            if counts[cell.attr][dirty.column(cell.attr)[cell.row]] == 1
+        }
+
+    return run

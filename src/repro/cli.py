@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Nine subcommands::
+Ten subcommands::
 
     python -m repro detect    --input data.csv --labels labels.csv ...
     python -m repro rescore   --input data.csv --labels labels.csv --edits edits.csv ...
     python -m repro benchmark --dataset hospital --rows 300
     python -m repro sweep     --spec sweep.toml --workers 4 --store results.jsonl --resume
+    python -m repro report    --store results.jsonl --spec sweep.toml
     python -m repro spec      validate detector.toml   (or: describe)
     python -m repro serve     --models models/ --port 8765
     python -m repro client    detect --fingerprint ab12cd --input data.csv --tenant acme
@@ -21,7 +22,12 @@ the affected cells instead of re-predicting the whole relation.
 ``benchmark`` evaluates the detector on one of the built-in benchmark
 bundles.  ``sweep`` expands a declarative scenario matrix (datasets × error
 profiles × label budgets × methods) and executes it on a worker pool with a
-resumable on-disk result store (see ``docs/architecture.md``).  ``spec``
+resumable on-disk result store; with ``--coordinate``, N invocations on
+hosts sharing a filesystem drain one matrix cooperatively through lease
+files (:mod:`repro.coordination`).  ``report`` renders a live
+markdown/JSON dashboard — per-axis progress, in-flight leases, ETA — from
+a store other workers are still filling (see ``docs/architecture.md``).
+``spec``
 validates and pretty-prints declarative detector specs
 (``repro.spec/v1``; see :mod:`repro.spec`) — ``detect`` and ``benchmark``
 accept one via ``--spec`` in place of the individual model flags.
@@ -333,17 +339,43 @@ def cmd_benchmark(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.evaluation.matrix import MatrixSpecError, ScenarioMatrix, run_matrix
+    from repro.evaluation.matrix import (
+        CoordinateOptions,
+        MatrixSpecError,
+        ScenarioMatrix,
+        run_matrix,
+    )
     from repro.evaluation.store import ResultStore
 
     try:
         matrix = ScenarioMatrix.from_file(args.spec)
     except MatrixSpecError as exc:
         raise SystemExit(f"sweep spec error: {exc}") from exc
+    if not args.coordinate:
+        for flag, default in (("worker_id", None), ("lease_ttl", None)):
+            if getattr(args, flag) is not None:
+                raise SystemExit(
+                    f"--{flag.replace('_', '-')} only applies with --coordinate"
+                )
+    if args.compact and not args.store:
+        raise SystemExit("--compact requires --store (there is nothing to compact)")
+    coordinate = None
+    if args.coordinate:
+        if not args.store:
+            raise SystemExit(
+                "--coordinate requires --store: the store is the shared "
+                "completion ledger all workers drain against"
+            )
+        coordinate = CoordinateOptions(
+            worker_id=args.worker_id,
+            ttl=args.lease_ttl if args.lease_ttl is not None else 60.0,
+        )
     store = None
     if args.store:
         store_path = Path(args.store)
-        if store_path.exists() and not args.resume:
+        # --coordinate implies resume: cooperating workers share one store,
+        # so "already exists" is the normal case, not a mistake.
+        if store_path.exists() and not args.resume and not args.coordinate:
             raise SystemExit(
                 f"{store_path} already exists; pass --resume to serve completed "
                 "scenarios from it, or remove it for a fresh sweep"
@@ -365,7 +397,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         nonlocal done
         done += 1
         spec = record["spec"]
-        source = "cached" if record.get("cached") else "run"
+        if record.get("remote"):
+            source = "remote"
+        elif record.get("cached"):
+            source = "cached"
+        else:
+            source = "run"
         print(
             f"[{done}/{total}] {spec['dataset']}/{spec['error_profile']}"
             f"/{spec['label_budget']:g}/{spec['method']}: "
@@ -383,6 +420,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         on_result=progress,
         artifact_dir=args.artifacts,
         backend=args.backend,
+        coordinate=coordinate,
     )
     elapsed = time.perf_counter() - started
     print(report.table())
@@ -399,6 +437,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"{stats.get('puts', 0)} stored",
             file=sys.stderr,
         )
+    if report.coordination is not None:
+        coord = report.coordination
+        print(
+            f"coordination {coord['dir']}: worker {coord['worker']} executed "
+            f"{coord['executed']}, peers contributed {coord['remote']} "
+            f"({coord['initially_cached']} already stored)",
+            file=sys.stderr,
+        )
+    if args.compact and store is not None:
+        kept, dropped = store.compact()
+        print(
+            f"compacted {store.path}: kept {kept} record(s), "
+            f"dropped {dropped} superseded line(s)",
+            file=sys.stderr,
+        )
     if args.report:
         payload = report.to_json()
         payload["spec_file"] = str(args.spec)
@@ -407,6 +460,47 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
         print(f"wrote {args.report}", file=sys.stderr)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render the live sweep dashboard (``repro.report/v1``).
+
+    Read-only: safe to run against a store other hosts are appending to
+    right now — that is the point (observing a cooperative sweep's health
+    while it runs).
+    """
+    from repro.coordination import build_report, coordination_dir, render_markdown
+    from repro.evaluation.matrix import MatrixSpecError, ScenarioMatrix
+    from repro.evaluation.store import ResultStore
+
+    store_path = Path(args.store)
+    if not store_path.exists() and not args.spec:
+        raise SystemExit(
+            f"{store_path} does not exist; pass --spec to report on a sweep "
+            "that has not produced results yet"
+        )
+    store = ResultStore(store_path)
+    matrix = None
+    if args.spec:
+        try:
+            matrix = ScenarioMatrix.from_file(args.spec)
+        except MatrixSpecError as exc:
+            raise SystemExit(f"sweep spec error: {exc}") from exc
+    leases = args.leases
+    if leases is None:
+        default_dir = coordination_dir(store_path)
+        if default_dir.is_dir():
+            leases = default_dir
+    payload = build_report(
+        store, matrix=matrix, coordination=leases, ttl=args.lease_ttl
+    )
+    print(render_markdown(payload), end="")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.json}", file=sys.stderr)
     return 0
 
 
@@ -797,8 +891,57 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve scenarios already in --store from disk; run only the missing ones",
     )
+    sweep.add_argument(
+        "--coordinate",
+        action="store_true",
+        help="cooperatively drain the matrix with other 'repro sweep "
+        "--coordinate' processes (possibly on other hosts) sharing --store: "
+        "scenarios are claimed via lease files in <store>.coord/ (implies "
+        "--resume)",
+    )
+    sweep.add_argument(
+        "--worker-id",
+        help="worker name in leases and the audit log "
+        "(default: <hostname>-<pid>; requires --coordinate)",
+    )
+    sweep.add_argument(
+        "--lease-ttl",
+        type=float,
+        help="seconds without a heartbeat before another worker may reclaim "
+        "a lease (default: 60; requires --coordinate)",
+    )
+    sweep.add_argument(
+        "--compact",
+        action="store_true",
+        help="after the sweep, rewrite --store keeping only latest-wins "
+        "records (long cooperative sweeps grow the append-only log unboundedly)",
+    )
     sweep.add_argument("--report", help="write the full sweep summary as JSON")
     sweep.set_defaults(func=cmd_sweep)
+
+    report = sub.add_parser(
+        "report",
+        help="render a live dashboard from a (partially filled) sweep store",
+    )
+    report.add_argument("--store", required=True, help="sweep result store (JSONL)")
+    report.add_argument(
+        "--spec",
+        help="matrix spec file: adds grid totals, per-axis progress, and ETA "
+        "for scenarios not yet run",
+    )
+    report.add_argument(
+        "--leases",
+        help="coordination directory with live leases "
+        "(default: <store>.coord when it exists)",
+    )
+    report.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        help="TTL used to label in-flight leases as stale (default: 60)",
+    )
+    report.add_argument("--json", help="write the repro.report/v1 payload here")
+    report.set_defaults(func=cmd_report)
 
     spec = sub.add_parser(
         "spec", help="validate / describe a declarative detector spec"

@@ -1,0 +1,54 @@
+"""Multi-host cooperative sweep coordination over a shared filesystem.
+
+``repro.coordination`` lets N independent ``repro sweep --coordinate``
+invocations — on different hosts sharing one directory tree — drain a
+single :class:`~repro.evaluation.matrix.ScenarioMatrix` with **no central
+coordinator**.  The protocol rests on three pre-existing invariants:
+
+1. scenarios are pure functions of their fingerprinted spec (PR 3), so
+   *who* runs one is irrelevant to the result;
+2. the :class:`~repro.evaluation.store.ResultStore` is append-only
+   latest-wins, so concurrent (even duplicated) completions converge;
+3. the artifact store is a shared cache with atomic writes (PR 5), so
+   fits are shared across hosts for free.
+
+On top of those, this package adds exactly what distribution needs:
+race-free work *claiming* (:class:`WorkQueue`, ``O_CREAT|O_EXCL`` lease
+files keyed by scenario fingerprint), *liveness* (heartbeat renewal from
+:class:`HeartbeatThread`, stale-lease reclaim with a TTL), and
+*observability* (the shared audit log plus :func:`build_report`, the
+``repro report`` dashboard).
+
+See ``docs/architecture.md`` ("Distributed sweeps") for the lease
+lifecycle, TTL guidance, and the shared-filesystem assumptions.
+"""
+
+from repro.coordination.heartbeat import HeartbeatThread
+from repro.coordination.leases import (
+    DEFAULT_TTL,
+    LEASE_SCHEMA,
+    CoordinationError,
+    LeaseInfo,
+    WorkQueue,
+    coordination_dir,
+    default_worker_id,
+    iter_leases,
+    read_audit,
+)
+from repro.coordination.report import REPORT_SCHEMA, build_report, render_markdown
+
+__all__ = [
+    "DEFAULT_TTL",
+    "LEASE_SCHEMA",
+    "REPORT_SCHEMA",
+    "CoordinationError",
+    "HeartbeatThread",
+    "LeaseInfo",
+    "WorkQueue",
+    "build_report",
+    "coordination_dir",
+    "default_worker_id",
+    "iter_leases",
+    "read_audit",
+    "render_markdown",
+]

@@ -1,0 +1,73 @@
+"""Background heartbeat renewal for held leases.
+
+A worker's drain loop spends its time executing scenarios; if it also had
+to renew leases between scenarios, a single scenario longer than the TTL
+would get its lease reclaimed mid-run.  The heartbeat therefore runs on a
+daemon thread, renewing *every* currently-held lease on a fixed interval —
+the drain loop never thinks about liveness, and a ``kill -9`` stops the
+heartbeats exactly when it stops the work, which is what makes the TTL a
+truthful death signal.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.coordination.leases import CoordinationError, WorkQueue
+
+
+class HeartbeatThread(threading.Thread):
+    """Renews the queue's held leases every ``interval`` seconds.
+
+    ``interval`` defaults to a quarter of the queue's TTL, so a worker
+    must miss four consecutive renewals before anyone may reclaim it —
+    one slow filesystem round-trip never looks like a death.
+
+    Leases that could not be renewed because another worker reclaimed
+    them accumulate in :attr:`lost`; the drain loop treats those
+    scenarios as no longer its own (results stay correct either way —
+    scenarios are pure and the store is latest-wins — so a lost lease
+    only risks duplicated effort, never corruption).
+
+    Usable as a context manager::
+
+        with HeartbeatThread(queue):
+            ...drain...
+    """
+
+    def __init__(self, queue: WorkQueue, interval: float | None = None):
+        if interval is None:
+            interval = queue.ttl / 4.0
+        if not 0 < interval:
+            raise CoordinationError(
+                f"heartbeat interval must be positive, got {interval!r}"
+            )
+        if interval >= queue.ttl:
+            raise CoordinationError(
+                f"heartbeat interval {interval!r} must be below the lease "
+                f"TTL {queue.ttl!r}, or every lease goes stale between beats"
+            )
+        super().__init__(daemon=True, name=f"lease-heartbeat-{queue.worker_id}")
+        self.queue = queue
+        self.interval = float(interval)
+        self.lost: set[str] = set()
+        self.renewals = 0
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            self.lost.update(self.queue.renew_held())
+            self.renewals += 1
+
+    def stop(self) -> None:
+        """Signal the thread and wait for the in-flight beat to finish."""
+        self._stop_event.set()
+        if self.is_alive():
+            self.join(timeout=max(5.0, 2 * self.interval))
+
+    def __enter__(self) -> "HeartbeatThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

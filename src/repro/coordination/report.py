@@ -1,0 +1,239 @@
+"""Live sweep dashboard: progress, leases, and ETA from a partial store.
+
+A cooperative sweep has no coordinator process to ask "how far along are
+we?" — but all of its state lives in two shared places: the result store
+(completed scenarios) and the coordination directory (in-flight leases).
+:func:`build_report` reads both *without writing anything*, so it is safe
+to point ``repro report`` at a sweep that other hosts are draining right
+now.
+
+The payload (schema ``repro.report/v1``) carries:
+
+- overall counts: total / completed / in-flight / pending;
+- per-axis progress (datasets, error profiles, label budgets, methods) —
+  which slice of the grid is lagging;
+- the live lease table: worker, claim age, heartbeat age, staleness
+  against the TTL;
+- per-worker completion counts replayed from the audit log;
+- an ETA extrapolated from completed scenarios' wall-clocks and the
+  currently observed parallelism (in-flight lease count).
+
+Without a matrix spec the report still works, but the grid total is
+unknowable — it degrades to "what the store has seen so far" plus live
+leases.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Mapping
+
+from repro.coordination.leases import DEFAULT_TTL, iter_leases, read_audit
+from repro.evaluation.report import markdown_table
+from repro.evaluation.store import ResultStore
+
+#: JSON schema identifier for dashboard payloads.
+REPORT_SCHEMA = "repro.report/v1"
+
+#: The spec axes the progress breakdown groups by, in display order.
+_AXES = ("dataset", "error_profile", "label_budget", "method")
+
+
+def _axis_value(spec: Mapping[str, object], axis: str) -> str:
+    value = spec.get(axis)
+    if axis == "label_budget" and isinstance(value, (int, float)):
+        return f"{float(value):g}"
+    return str(value)
+
+
+def build_report(
+    store: ResultStore,
+    matrix=None,
+    coordination: str | Path | None = None,
+    ttl: float = DEFAULT_TTL,
+    now: float | None = None,
+) -> dict:
+    """Assemble the ``repro.report/v1`` dashboard payload.
+
+    ``matrix`` is a :class:`~repro.evaluation.matrix.ScenarioMatrix` (or
+    anything with a compatible ``expand()``); when given, progress is
+    measured against the full grid and scenarios the store holds from
+    *other* sweeps are reported separately rather than inflating the
+    counts.  ``coordination`` is the lease directory; ``ttl`` is only used
+    to label leases as stale (reclaim is the workers' job, not the
+    report's).
+    """
+    if now is None:
+        now = time.time()
+    store.refresh()
+
+    if matrix is not None:
+        specs = matrix.expand()
+        fingerprints = [spec.fingerprint() for spec in specs]
+        spec_dicts = {fp: spec.to_dict() for fp, spec in zip(fingerprints, specs)}
+        completed = [fp for fp in fingerprints if fp in store]
+        unrelated = len(store.fingerprints - set(fingerprints))
+        total = len(fingerprints)
+    else:
+        spec_dicts = {
+            record["fingerprint"]: record.get("spec", {}) for record in store
+        }
+        fingerprints = list(spec_dicts)
+        completed = list(fingerprints)
+        unrelated = 0
+        total = None  # unknowable without the grid
+
+    completed_set = set(completed)
+
+    leases = []
+    if coordination is not None:
+        scope = fingerprints if matrix is not None else None
+        for info in iter_leases(coordination, scope):
+            if info.fingerprint in completed_set:
+                continue  # completed between the store scan and the lease scan
+            leases.append(
+                {
+                    "fingerprint": info.fingerprint,
+                    "worker": info.worker,
+                    "age": round(info.age(now), 3),
+                    "heartbeat_age": round(info.heartbeat_age(now), 3),
+                    "stale": info.is_stale(ttl, now),
+                }
+            )
+
+    in_flight = len(leases)
+    pending = None if total is None else max(0, total - len(completed) - in_flight)
+
+    # Per-axis progress over the grid (or over what the store has seen).
+    progress: dict[str, dict[str, dict[str, int]]] = {}
+    for axis in _AXES:
+        tally: dict[str, dict[str, int]] = {}
+        for fp in fingerprints:
+            value = _axis_value(spec_dicts.get(fp, {}), axis)
+            bucket = tally.setdefault(value, {"done": 0, "total": 0})
+            bucket["total"] += 1
+            if fp in completed_set:
+                bucket["done"] += 1
+        progress[axis] = tally
+
+    # Per-worker completions, replayed from the audit trail when present.
+    workers: dict[str, int] = {}
+    if coordination is not None:
+        for event in read_audit(coordination):
+            if event.get("event") == "complete":
+                worker = str(event.get("worker"))
+                workers[worker] = workers.get(worker, 0) + 1
+
+    # ETA: mean completed wall-clock × remaining ÷ observed parallelism.
+    elapsed = [
+        float(record["elapsed"])
+        for fp in completed
+        if isinstance((record := store.get(fp)), dict)
+        and isinstance(record.get("elapsed"), (int, float))
+    ]
+    eta = None
+    if elapsed and total is not None and total > len(completed):
+        mean = sum(elapsed) / len(elapsed)
+        remaining = total - len(completed)
+        parallelism = max(1, in_flight)
+        eta = {
+            "mean_scenario_seconds": mean,
+            "remaining": remaining,
+            "assumed_parallelism": parallelism,
+            "eta_seconds": mean * remaining / parallelism,
+        }
+
+    return {
+        "schema": REPORT_SCHEMA,
+        "generated_at": now,
+        "store": str(store.path),
+        "total": total,
+        "completed": len(completed),
+        "in_flight": in_flight,
+        "pending": pending,
+        "unrelated_records": unrelated,
+        "progress": progress,
+        "leases": leases,
+        "workers": workers,
+        "eta": eta,
+    }
+
+
+def render_markdown(report: Mapping[str, object]) -> str:
+    """Render a dashboard payload as the ``repro report`` markdown page."""
+    lines: list[str] = ["# Sweep report", ""]
+
+    total = report.get("total")
+    completed = report.get("completed", 0)
+    in_flight = report.get("in_flight", 0)
+    if total is None:
+        lines.append(
+            f"**{completed}** scenario(s) completed, **{in_flight}** in "
+            "flight (no matrix spec given — grid total unknown)."
+        )
+    else:
+        pending = report.get("pending", 0)
+        pct = 100.0 * completed / total if total else 100.0
+        lines.append(
+            f"**{completed}/{total}** scenarios completed ({pct:.0f}%), "
+            f"**{in_flight}** in flight, **{pending}** unclaimed."
+        )
+    if report.get("unrelated_records"):
+        lines.append(
+            f"(store also holds {report['unrelated_records']} record(s) "
+            "outside this matrix)"
+        )
+
+    eta = report.get("eta")
+    if isinstance(eta, Mapping):
+        lines.append(
+            f"ETA: ~{float(eta['eta_seconds']):.0f}s "
+            f"({eta['remaining']} remaining × "
+            f"{float(eta['mean_scenario_seconds']):.1f}s mean ÷ "
+            f"{eta['assumed_parallelism']} in-flight worker slot(s))."
+        )
+
+    progress = report.get("progress")
+    if isinstance(progress, Mapping):
+        for axis, tally in progress.items():
+            if not tally:
+                continue
+            lines += ["", f"## Progress by {axis}", ""]
+            rows = [
+                [value, str(bucket["done"]), str(bucket["total"]),
+                 f"{100.0 * bucket['done'] / bucket['total']:.0f}%"
+                 if bucket["total"] else "100%"]
+                for value, bucket in sorted(tally.items())
+            ]
+            lines.append(markdown_table([axis, "done", "total", "%"], rows))
+
+    leases = report.get("leases")
+    if leases:
+        lines += ["", "## In-flight leases", ""]
+        rows = [
+            [
+                lease["fingerprint"][:12],
+                lease["worker"],
+                f"{lease['age']:.1f}s",
+                f"{lease['heartbeat_age']:.1f}s",
+                "STALE" if lease["stale"] else "live",
+            ]
+            for lease in leases
+        ]
+        lines.append(
+            markdown_table(
+                ["fingerprint", "worker", "age", "heartbeat", "state"], rows
+            )
+        )
+
+    workers = report.get("workers")
+    if workers:
+        lines += ["", "## Completions by worker", ""]
+        rows = [
+            [worker, str(count)]
+            for worker, count in sorted(workers.items(), key=lambda kv: -kv[1])
+        ]
+        lines.append(markdown_table(["worker", "completed"], rows))
+
+    return "\n".join(lines) + "\n"

@@ -15,6 +15,7 @@ from repro.evaluation.splits import EvaluationSplit, make_split
 from repro.evaluation.runner import ExperimentResult, run_trials
 from repro.evaluation.report import markdown_table, metrics_table, sweep_table
 from repro.evaluation.matrix import (
+    CoordinateOptions,
     MatrixSpecError,
     ScenarioMatrix,
     ScenarioSpec,
@@ -35,6 +36,7 @@ __all__ = [
     "markdown_table",
     "metrics_table",
     "sweep_table",
+    "CoordinateOptions",
     "MatrixSpecError",
     "ScenarioMatrix",
     "ScenarioSpec",

@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+import time
+from concurrent.futures import FIRST_COMPLETED, Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from functools import partial
@@ -409,6 +410,22 @@ def _run_with_artifact_stats(runner: Callable[["ScenarioSpec"], dict], spec) -> 
     }
 
 
+def _ambient_store(artifact_dir: str | None):
+    """Context installing the in-process ambient artifact store, if any."""
+    if artifact_dir is None:
+        return nullcontext(None)
+    return use_store(ArtifactStore(directory=artifact_dir))
+
+
+def _ambient_backend(backend: str | None):
+    """Context installing the in-process ambient compute backend, if any."""
+    if backend is None:
+        return nullcontext(None)
+    from repro.nn.backend import use_backend
+
+    return use_backend(backend)
+
+
 #: Absolute ceiling on pool size — beyond this, worker startup cost
 #: dominates any timesharing benefit.
 MAX_WORKERS = 64
@@ -440,6 +457,10 @@ class SweepReport:
     #: Stats cover freshly executed scenarios only — records themselves
     #: stay pure functions of their spec (the resume contract).
     artifacts: dict | None = None
+    #: Cooperative-mode summary (``{"dir", "worker", "ttl", "executed",
+    #: "remote", ...}``) when the sweep ran with ``coordinate=``; ``None``
+    #: for single-host sweeps.
+    coordination: dict | None = None
 
     @property
     def total(self) -> int:
@@ -487,6 +508,8 @@ class SweepReport:
         }
         if self.artifacts is not None:
             payload["artifacts"] = self.artifacts
+        if self.coordination is not None:
+            payload["coordination"] = self.coordination
         return payload
 
 
@@ -514,6 +537,7 @@ def run_matrix(
     scenario_runner: Callable[[ScenarioSpec], dict] = run_scenario,
     artifact_dir: str | Path | None = None,
     backend: str | None = None,
+    coordinate: "CoordinateOptions | None" = None,
 ) -> SweepReport:
     """Run every scenario in ``matrix``, fanning out over a worker pool.
 
@@ -543,10 +567,30 @@ def run_matrix(
     scenario's detector trains and scores on it without the name appearing
     in any scenario fingerprint — metrics at float64 are bit-identical
     across backends, so cached records stay valid.
+
+    ``coordinate`` switches to the cooperative claim-loop executor mode:
+    instead of partitioning the matrix up front, this invocation becomes
+    one of N independent workers (possibly on other hosts sharing the
+    store's filesystem) that *claim* scenarios one at a time through lease
+    files (:mod:`repro.coordination`) and drain the matrix together.
+    Requires a ``store`` (the shared completion ledger) and implies
+    ``resume`` — work already in the store is never re-claimed.
     """
     if executor not in _EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; choose from {_EXECUTORS}")
     artifact_dir = str(artifact_dir) if artifact_dir is not None else None
+    if coordinate is not None:
+        return _run_coordinated(
+            matrix,
+            store,
+            workers=workers,
+            executor=executor,
+            on_result=on_result,
+            scenario_runner=scenario_runner,
+            artifact_dir=artifact_dir,
+            backend=backend,
+            coordinate=coordinate,
+        )
     specs = matrix.expand()
     fingerprints = [spec.fingerprint() for spec in specs]
     records: dict[str, dict] = {}
@@ -597,23 +641,11 @@ def run_matrix(
     if wrap_stats:
         task = partial(_run_with_artifact_stats, scenario_runner)
 
-    def in_process_store():
-        if artifact_dir is None:
-            return nullcontext(None)
-        return use_store(ArtifactStore(directory=artifact_dir))
-
-    def in_process_backend():
-        if backend is None:
-            return nullcontext(None)
-        from repro.nn.backend import use_backend
-
-        return use_backend(backend)
-
     effective = clamp_workers(workers, len(pending))
     if pending:
         if effective == 1 or executor == "serial":
             effective = 1
-            with in_process_store() as shared, in_process_backend():
+            with _ambient_store(artifact_dir) as shared, _ambient_backend(backend):
                 for spec in pending:
                     try:
                         result = task(spec)
@@ -625,7 +657,7 @@ def run_matrix(
                     artifact_totals = shared.stats.as_dict()
         else:
             coordinator_store = (
-                in_process_store() if executor == "thread" else nullcontext(None)
+                _ambient_store(artifact_dir) if executor == "thread" else nullcontext(None)
             )
             with coordinator_store as shared, _make_pool(
                 executor, effective, artifact_dir, backend
@@ -678,4 +710,268 @@ def run_matrix(
             if artifact_dir is None
             else {"dir": artifact_dir, "stats": artifact_totals}
         ),
+    )
+
+
+@dataclass(frozen=True)
+class CoordinateOptions:
+    """Knobs for the cooperative claim-loop executor mode of
+    :func:`run_matrix` (``repro sweep --coordinate``).
+
+    ``directory`` is the shared coordination directory (lease files +
+    audit log); it defaults to ``<store path>.coord/`` so every worker and
+    ``repro report`` agree on it with no extra configuration.  ``ttl`` is
+    the stale-lease reclaim threshold: a worker silent for longer than
+    this forfeits its in-flight scenarios to the survivors.  Size it to a
+    small multiple of the longest expected scenario *claim-to-heartbeat*
+    gap — i.e. filesystem latency, not scenario runtime (heartbeats renew
+    during execution) — 60 s is comfortable on NFS.  ``heartbeat_interval``
+    defaults to ``ttl / 4``; ``poll_interval`` is the idle re-scan period
+    while other workers hold the remaining scenarios.
+    """
+
+    directory: str | Path | None = None
+    worker_id: str | None = None
+    ttl: float = 60.0
+    heartbeat_interval: float | None = None
+    poll_interval: float | None = None
+
+
+def _coordinated_error(spec: ScenarioSpec, exc: BaseException) -> RuntimeError:
+    return RuntimeError(
+        f"scenario {spec.dataset}/{spec.error_profile}/{spec.label_budget:g}"
+        f"/{spec.method} (fingerprint {spec.fingerprint()[:12]}) failed: {exc}"
+    )
+
+
+def _run_coordinated(
+    matrix: ScenarioMatrix,
+    store: ResultStore | None,
+    workers: int,
+    executor: str,
+    on_result: Callable[[dict], None] | None,
+    scenario_runner: Callable[[ScenarioSpec], dict],
+    artifact_dir: str | None,
+    backend: str | None,
+    coordinate: CoordinateOptions,
+) -> SweepReport:
+    """The claim-loop executor: drain the matrix as one cooperating worker.
+
+    Control flow per slot: *completion scan* (only fingerprints missing
+    from the store are candidates — finished work is never re-claimed,
+    even across restarts) → *claim* (atomic lease create; losing the race
+    just moves on) → *execute* → *append to the store* → *release*.  When
+    nothing is claimable but the matrix is not drained, the worker polls:
+    other workers' completions arrive via :meth:`ResultStore.refresh`, and
+    leases whose heartbeat exceeded the TTL are reclaimed so a killed
+    worker's scenarios re-enter the pool.  The invocation returns only
+    when the *whole* matrix is complete, with records for every scenario —
+    locally executed or not.
+    """
+    from repro.coordination import HeartbeatThread, WorkQueue, coordination_dir
+
+    if store is None:
+        raise ValueError(
+            "coordinated sweeps need a store: it is the shared completion ledger"
+        )
+    specs = matrix.expand()
+    fingerprints = [spec.fingerprint() for spec in specs]
+    by_fp = dict(zip(fingerprints, specs))
+    directory = (
+        Path(coordinate.directory)
+        if coordinate.directory is not None
+        else coordination_dir(store.path)
+    )
+    queue = WorkQueue(directory, worker_id=coordinate.worker_id, ttl=coordinate.ttl)
+    poll = (
+        coordinate.poll_interval
+        if coordinate.poll_interval is not None
+        else min(1.0, queue.ttl / 4.0)
+    )
+
+    store.refresh()
+    initially_cached = sum(1 for fp in fingerprints if fp in store)
+    executed_local: set[str] = set()
+    reported: set[str] = set()
+
+    def report(fingerprint: str, record: dict) -> None:
+        reported.add(fingerprint)
+        if on_result is not None:
+            on_result(record)
+
+    def stored_record(fingerprint: str, remote: bool) -> dict:
+        record = dict(store.get(fingerprint) or {})
+        record["cached"] = True
+        if remote:
+            record["remote"] = True
+        return record
+
+    for fp in fingerprints:
+        if fp in store:
+            report(fp, stored_record(fp, remote=False))
+
+    wrap_stats = artifact_dir is not None and executor == "process"
+    artifact_totals: dict[str, int] = {}
+
+    def unwrap(result: dict) -> dict:
+        if not wrap_stats:
+            return result
+        delta = result.get("artifact_stats")
+        if delta:
+            for counter, value in delta.items():
+                artifact_totals[counter] = artifact_totals.get(counter, 0) + value
+        return result["record"]
+
+    task: Callable[[ScenarioSpec], dict] = scenario_runner
+    if wrap_stats:
+        task = partial(_run_with_artifact_stats, scenario_runner)
+
+    def claim_next(busy: set[str]) -> str | None:
+        """Claim the next runnable scenario; None when nothing claimable.
+
+        After winning a claim the store is re-scanned: the lease may have
+        been absent because another worker *finished* the scenario between
+        our completion scan and the claim — then the claim is released
+        unused (``skip``) instead of re-executing done work.
+        """
+        for fp in store.missing(fingerprints):
+            if fp in busy:
+                continue
+            if not queue.claim(fp):
+                continue
+            store.refresh()
+            if fp in store:
+                queue.release(fp, event="skip")
+                continue
+            queue.audit("execute", fp)
+            return fp
+        return None
+
+    def finish_local(fingerprint: str, result: dict) -> None:
+        record = unwrap(result)
+        record["cached"] = False
+        store.put(record)
+        executed_local.add(fingerprint)
+        queue.release(fingerprint, event="complete")
+        report(fingerprint, dict(record))
+
+    def note_remote() -> None:
+        """Report scenarios other workers completed since the last scan."""
+        for fp in fingerprints:
+            if fp not in reported and fp in store:
+                report(fp, stored_record(fp, remote=True))
+
+    def idle_step() -> bool:
+        """One poll iteration; True when the matrix has fully drained."""
+        store.refresh()
+        note_remote()
+        missing = store.missing(fingerprints)
+        if not missing:
+            return True
+        if not queue.reclaim_stale(missing):
+            time.sleep(poll)
+        return False
+
+    effective = clamp_workers(workers, max(len(store.missing(fingerprints)), 1))
+    heartbeat = HeartbeatThread(queue, coordinate.heartbeat_interval)
+
+    if effective == 1 or executor == "serial":
+        effective = 1
+        with _ambient_store(artifact_dir) as shared, _ambient_backend(backend), heartbeat:
+            while True:
+                fp = claim_next(set())
+                if fp is None:
+                    if idle_step():
+                        break
+                    continue
+                try:
+                    result = task(by_fp[fp])
+                except BaseException as exc:
+                    queue.release(fp, event="failed")
+                    if isinstance(exc, Exception):
+                        raise _coordinated_error(by_fp[fp], exc) from exc
+                    raise
+                finish_local(fp, result)
+            if shared is not None:
+                artifact_totals = shared.stats.as_dict()
+    else:
+        coordinator_store = (
+            _ambient_store(artifact_dir) if executor == "thread" else nullcontext(None)
+        )
+        with coordinator_store as shared, heartbeat, _make_pool(
+            executor, effective, artifact_dir, backend
+        ) as pool:
+            in_flight: dict[Future, str] = {}
+            try:
+                while True:
+                    while len(in_flight) < effective:
+                        fp = claim_next(set(in_flight.values()))
+                        if fp is None:
+                            break
+                        in_flight[pool.submit(task, by_fp[fp])] = fp
+                    if not in_flight:
+                        if idle_step():
+                            break
+                        continue
+                    done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+                    failed: tuple[str, Future] | None = None
+                    for future in done:
+                        fp = in_flight.pop(future)
+                        if future.exception() is not None:
+                            # Free the lease: another worker may retry.
+                            queue.release(fp, event="failed")
+                            failed = failed or (fp, future)
+                        else:
+                            finish_local(fp, future.result())
+                    if failed is not None:
+                        # Flush finished siblings, free unstarted claims,
+                        # then raise — mirrors run_matrix's contract that a
+                        # failure never discards completed work.
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        for future in list(in_flight):
+                            fp = in_flight.pop(future)
+                            if future.cancelled():
+                                queue.release(fp)
+                            elif future.exception() is not None:
+                                queue.release(fp, event="failed")
+                            else:
+                                finish_local(fp, future.result())
+                        exc = failed[1].exception()
+                        raise _coordinated_error(by_fp[failed[0]], exc) from exc
+            except BaseException:
+                # Interrupted: free every lease still held so surviving
+                # workers pick the scenarios up without waiting for the
+                # TTL (our discarded in-flight results don't count —
+                # whoever re-runs them lands the same bits anyway).
+                pool.shutdown(wait=False, cancel_futures=True)
+                for fp in queue.held():
+                    queue.release(fp, event="abort")
+                raise
+            if shared is not None:
+                artifact_totals = shared.stats.as_dict()
+
+    records = []
+    for fp in fingerprints:
+        record = dict(store.get(fp) or {})
+        record["cached"] = fp not in executed_local
+        records.append(record)
+    return SweepReport(
+        matrix=matrix,
+        records=records,
+        executed=len(executed_local),
+        cached=len(specs) - len(executed_local),
+        workers=effective,
+        artifacts=(
+            None
+            if artifact_dir is None
+            else {"dir": artifact_dir, "stats": artifact_totals}
+        ),
+        coordination={
+            "dir": str(queue.directory),
+            "worker": queue.worker_id,
+            "ttl": queue.ttl,
+            "executed": len(executed_local),
+            "remote": len(specs) - len(executed_local) - initially_cached,
+            "initially_cached": initially_cached,
+        },
     )

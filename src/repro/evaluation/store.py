@@ -2,25 +2,38 @@
 
 One JSONL file, one scenario record per line, keyed by the scenario's
 content fingerprint.  Appending is the only write operation, and every
-append is flushed, so a sweep killed mid-run loses at most the in-flight
-scenarios (up to the worker count — records are flushed by the
-coordinating process as workers hand results back); on restart,
-:meth:`ResultStore.get` serves every completed scenario from disk and only
-the missing fingerprints re-execute.
+append is a **single ``O_APPEND`` ``write()``** of one whole line — the
+kernel picks the offset atomically per write, so any number of concurrent
+appenders (worker processes on one host, or cooperative sweep workers on
+many hosts sharing a filesystem) interleave whole records, never sheared
+ones.  A sweep killed mid-run loses at most the in-flight scenarios; on
+restart, :meth:`ResultStore.get` serves every completed scenario from disk
+and only the missing fingerprints re-execute.
+
+For cooperative sweeps the store doubles as the *completion ledger*:
+:meth:`refresh` tails the file for records appended by other workers since
+the last scan (consuming only newline-terminated lines, so a record
+another process is mid-append is never mis-parsed), and :meth:`missing`
+is the completion scan a claim loop runs before claiming work.
 
 Robustness rules:
 
 - a truncated or otherwise unparseable line (the tail of a killed run) is
-  skipped on load rather than poisoning the whole store;
+  skipped on load rather than poisoning the whole store; an unterminated
+  tail found at load time is *healed* (newline-terminated) so future
+  appends start on a fresh line;
 - duplicate fingerprints are legal — the *latest* record wins, so a store
-  can simply be appended to across resumed runs.
+  can simply be appended to across resumed runs and by concurrent
+  workers; :meth:`compact` rewrites the log keeping only the winners when
+  a long-lived store's history outgrows its content.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Iterator, Mapping
+from typing import Iterable, Iterator, Mapping
 
 
 class ResultStore:
@@ -29,23 +42,82 @@ class ResultStore:
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self._records: dict[str, dict] = {}
+        self._offset = 0  # bytes of the file consumed so far
+        self._lines_read = 0  # complete lines consumed (parseable or not)
         self.skipped_lines = 0
         if self.path.exists():
             self._load()
 
+    # -- reading ----------------------------------------------------------
+
+    def _consume_line(self, line: bytes) -> None:
+        self._lines_read += 1
+        text = line.strip()
+        if not text:
+            return
+        try:
+            record = json.loads(text.decode("utf-8"))
+            fingerprint = record["fingerprint"]
+            if not isinstance(fingerprint, str):
+                raise TypeError("fingerprint must be a string")
+        except (json.JSONDecodeError, UnicodeDecodeError, TypeError, KeyError):
+            self.skipped_lines += 1
+            return
+        self._records[fingerprint] = record
+
     def _load(self) -> None:
-        with self.path.open("r", encoding="utf-8") as f:
-            for line in f:
-                line = line.strip()
+        """Initial scan: consume every complete line, then heal the tail.
+
+        A non-empty unterminated tail is the signature of a run killed
+        mid-append.  It is counted as one skipped line (it cannot hold a
+        whole record) and a ``\\n`` is appended so that the *next* append —
+        from this or any other process — starts on a fresh line instead of
+        merging into garbage.
+        """
+        with self.path.open("rb") as f:
+            tail = b""
+            while True:
+                line = f.readline()
                 if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                    fingerprint = record["fingerprint"]
-                except (json.JSONDecodeError, TypeError, KeyError):
-                    self.skipped_lines += 1
-                    continue
-                self._records[fingerprint] = record
+                    break
+                if not line.endswith(b"\n"):
+                    tail = line
+                    break
+                self._offset += len(line)
+                self._consume_line(line)
+        if tail:
+            self._offset += len(tail)
+            self._lines_read += 1
+            self.skipped_lines += 1
+            fd = os.open(self.path, os.O_WRONLY | os.O_APPEND)
+            try:
+                os.write(fd, b"\n")
+            finally:
+                os.close(fd)
+            self._offset += 1
+
+    def refresh(self) -> int:
+        """Consume records appended since the last scan; returns the count.
+
+        Only newline-terminated lines are consumed: a line that another
+        worker is mid-append stays unread until its terminator lands, so a
+        live cooperative sweep can be re-scanned at any moment without
+        ever mis-parsing an in-flight record.  Cheap when nothing changed
+        (one ``seek`` past the consumed prefix).
+        """
+        if not self.path.exists():
+            return 0
+        consumed = 0
+        with self.path.open("rb") as f:
+            f.seek(self._offset)
+            while True:
+                line = f.readline()
+                if not line or not line.endswith(b"\n"):
+                    break
+                self._offset += len(line)
+                self._consume_line(line)
+                consumed += 1
+        return consumed
 
     def __len__(self) -> int:
         return len(self._records)
@@ -64,13 +136,61 @@ class ResultStore:
         """The stored record for ``fingerprint``, or None."""
         return self._records.get(fingerprint)
 
+    def missing(self, fingerprints: Iterable[str]) -> list[str]:
+        """The given fingerprints not yet completed, in the given order.
+
+        The completion scan of a cooperative claim loop: run before
+        claiming so finished work is never re-claimed, even across worker
+        restarts (the store, not any process, is the source of truth).
+        """
+        return [fp for fp in fingerprints if fp not in self._records]
+
+    # -- writing ----------------------------------------------------------
+
     def put(self, record: Mapping[str, object]) -> None:
-        """Append ``record`` (must carry a ``"fingerprint"`` key) and flush."""
+        """Append ``record`` (must carry a ``"fingerprint"`` key).
+
+        The whole line goes down in one ``O_APPEND`` ``write()``: records
+        from concurrent appenders interleave but never shear.
+        """
         fingerprint = record.get("fingerprint")
         if not isinstance(fingerprint, str) or not fingerprint:
             raise ValueError("record needs a non-empty string 'fingerprint'")
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as f:
-            f.write(json.dumps(record, sort_keys=True) + "\n")
-            f.flush()
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
         self._records[fingerprint] = dict(record)
+
+    def compact(self) -> tuple[int, int]:
+        """Rewrite the log keeping only latest-wins records.
+
+        Returns ``(kept_records, dropped_lines)``.  The rewrite is atomic
+        (temp sibling + ``os.replace``), so concurrent *readers* always see
+        a complete file.  Concurrent **appenders** are another matter: a
+        record appended between this store's snapshot and the replace is
+        lost, so compact only a quiescent store — cooperative sweeps do it
+        after the matrix has fully drained (``repro sweep --compact``).
+        """
+        self.refresh()
+        dropped = self._lines_read - len(self._records)
+        payload = b"".join(
+            (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+            for record in self._records.values()
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f"{self.path.name}.compact-{os.getpid()}")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, self.path)
+        self._offset = len(payload)
+        self._lines_read = len(self._records)
+        self.skipped_lines = 0
+        return len(self._records), max(dropped, 0)

@@ -58,4 +58,31 @@ def heavy_typos(error_rate: float = 0.2) -> ErrorProfile:
     return ErrorProfile(error_rate=error_rate, typo_fraction=1.0)
 
 
+def slow_unique_flagger(delay: float = 0.0) -> object:
+    """A deterministic but deliberately slow MethodFn factory.
+
+    Sleeps ``delay`` seconds, then flags every test cell whose value is
+    unique within its column — nontrivial, seed-independent predictions,
+    which is exactly what the coordination tests need: scenarios that stay
+    in flight long enough to observe (or ``SIGKILL``) a worker holding
+    their lease, while the results stay bit-comparable across any mix of
+    workers, hosts, and crash recoveries.
+    """
+    import time
+    from collections import Counter
+
+    def run(bundle, split, rng):
+        if delay:
+            time.sleep(delay)
+        dirty = bundle.dirty
+        counts = {a: Counter(dirty.column(a)) for a in dirty.schema.attributes}
+        return {
+            cell
+            for cell in split.test_cells
+            if counts[cell.attr][dirty.column(cell.attr)[cell.row]] == 1
+        }
+
+    return run
+
+
 NOT_A_FEATURIZER = object()

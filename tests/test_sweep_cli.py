@@ -143,3 +143,53 @@ class TestSweepExecution:
         for ra, rb in zip(a["scenarios"], b["scenarios"]):
             assert ra["metrics"] == rb["metrics"]
             assert ra["trials"] == rb["trials"]
+
+
+class TestCoordinationFlags:
+    def test_worker_id_requires_coordinate(self, spec_path):
+        with pytest.raises(SystemExit, match="--worker-id only applies with --coordinate"):
+            run_sweep("--spec", spec_path, "--worker-id", "w1")
+
+    def test_lease_ttl_requires_coordinate(self, spec_path):
+        with pytest.raises(SystemExit, match="--lease-ttl only applies with --coordinate"):
+            run_sweep("--spec", spec_path, "--lease-ttl", "30")
+
+    def test_coordinate_requires_store(self, spec_path):
+        with pytest.raises(SystemExit, match="--coordinate requires --store"):
+            run_sweep("--spec", spec_path, "--coordinate")
+
+    def test_compact_requires_store(self, spec_path):
+        with pytest.raises(SystemExit, match="--compact requires --store"):
+            run_sweep("--spec", spec_path, "--compact")
+
+    def test_coordinated_sweep_tolerates_existing_store(self, spec_path, tmp_path, capsys):
+        """--coordinate implies --resume: a shared store already being
+        drained by peers is the normal case, not an error."""
+        store = tmp_path / "store.jsonl"
+        run_sweep("--spec", spec_path, "--executor", "serial",
+                  "--store", store, "--coordinate", "--worker-id", "first")
+        err = capsys.readouterr().err
+        assert "2 scenarios (2 run, 0 cached)" in err
+        assert "worker first executed 2" in err
+        # Second worker, same store, no --resume flag: nothing left to do.
+        run_sweep("--spec", spec_path, "--executor", "serial",
+                  "--store", store, "--coordinate", "--worker-id", "second")
+        err = capsys.readouterr().err
+        assert "2 scenarios (0 run, 2 cached)" in err
+        assert "worker second executed 0" in err
+        assert "(2 already stored)" in err
+
+    def test_compact_rewrites_superseded_records(self, spec_path, tmp_path, capsys):
+        store = tmp_path / "store.jsonl"
+        run_sweep("--spec", spec_path, "--executor", "serial", "--store", store, "--resume")
+        capsys.readouterr()
+        # Duplicate both records, as accumulated re-runs would.
+        lines = store.read_text().splitlines()
+        with store.open("a") as f:
+            for line in lines:
+                f.write(line + "\n")
+        run_sweep("--spec", spec_path, "--executor", "serial",
+                  "--store", store, "--resume", "--compact")
+        err = capsys.readouterr().err
+        assert "kept 2 record(s), dropped 2 superseded line(s)" in err
+        assert len(store.read_text().splitlines()) == 2

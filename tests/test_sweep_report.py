@@ -1,0 +1,273 @@
+"""Tests for the live sweep dashboard (:mod:`repro.coordination.report`
+and the ``repro report`` CLI)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.coordination import WorkQueue, build_report, render_markdown
+from repro.evaluation.matrix import ScenarioMatrix
+from repro.evaluation.store import ResultStore
+
+SPEC = {
+    "datasets": [{"name": "hospital", "rows": 60}],
+    "error_profiles": ["native"],
+    "label_budgets": [0.1, 0.2],
+    "methods": ["cv", "od"],
+    "trials": 1,
+    "seed": 7,
+}
+
+SPEC_TOML = """\
+[matrix]
+seed = 7
+trials = 1
+datasets = [{ name = "hospital", rows = 60 }]
+label_budgets = [0.1, 0.2]
+methods = ["cv", "od"]
+"""
+
+
+@pytest.fixture(scope="module")
+def matrix() -> ScenarioMatrix:
+    return ScenarioMatrix.from_dict(SPEC)
+
+
+def fake_record(spec, elapsed: float = 2.0) -> dict:
+    """A store record with exactly what the dashboard reads."""
+    return {
+        "fingerprint": spec.fingerprint(),
+        "spec": spec.to_dict(),
+        "metrics": {"precision": 1.0, "recall": 1.0, "f1": 1.0},
+        "elapsed": elapsed,
+    }
+
+
+@pytest.fixture
+def partial(tmp_path, matrix):
+    """A half-drained sweep: 2 of 4 completed, 1 lease in flight.
+
+    Returns ``(store, coord_dir, specs)``; the lease (held by worker
+    ``w1``, claimed at t=100) covers ``specs[2]``.
+    """
+    specs = matrix.expand()
+    store = ResultStore(tmp_path / "store.jsonl")
+    store.put(fake_record(specs[0], elapsed=2.0))
+    store.put(fake_record(specs[1], elapsed=4.0))
+    coord = tmp_path / "store.jsonl.coord"
+    queue = WorkQueue(coord, worker_id="w1", ttl=60.0, clock=lambda: 100.0)
+    assert queue.claim(specs[2].fingerprint())
+    return store, coord, specs
+
+
+class TestBuildReport:
+    def test_counts_and_schema(self, partial, matrix):
+        store, coord, specs = partial
+        report = build_report(
+            store, matrix=matrix, coordination=coord, ttl=60.0, now=150.0
+        )
+        assert report["schema"] == "repro.report/v1"
+        assert report["total"] == 4
+        assert report["completed"] == 2
+        assert report["in_flight"] == 1
+        assert report["pending"] == 1
+        assert report["unrelated_records"] == 0
+        assert report["generated_at"] == 150.0
+
+    def test_lease_table(self, partial, matrix):
+        store, coord, specs = partial
+        report = build_report(
+            store, matrix=matrix, coordination=coord, ttl=60.0, now=150.0
+        )
+        (lease,) = report["leases"]
+        assert lease["fingerprint"] == specs[2].fingerprint()
+        assert lease["worker"] == "w1"
+        assert lease["age"] == 50.0
+        assert lease["heartbeat_age"] == 50.0
+        assert lease["stale"] is False
+
+    def test_stale_lease_labelled(self, partial, matrix):
+        store, coord, _ = partial
+        report = build_report(
+            store, matrix=matrix, coordination=coord, ttl=60.0, now=200.0
+        )
+        assert report["leases"][0]["stale"] is True
+        # Staleness depends on the TTL the observer passes, nothing else.
+        relaxed = build_report(
+            store, matrix=matrix, coordination=coord, ttl=500.0, now=200.0
+        )
+        assert relaxed["leases"][0]["stale"] is False
+
+    def test_lease_on_completed_scenario_is_hidden(self, partial, matrix):
+        store, coord, specs = partial
+        # The worker finished but its release hasn't landed yet: the store
+        # wins, so the scenario is counted completed, not in-flight.
+        queue = WorkQueue(coord, worker_id="w2", ttl=60.0, clock=lambda: 100.0)
+        queue.claim(specs[0].fingerprint())
+        report = build_report(
+            store, matrix=matrix, coordination=coord, ttl=60.0, now=150.0
+        )
+        assert report["completed"] == 2
+        assert report["in_flight"] == 1  # still only specs[2]
+        assert {l["fingerprint"] for l in report["leases"]} == {
+            specs[2].fingerprint()
+        }
+
+    def test_per_axis_progress(self, partial, matrix):
+        store, coord, specs = partial
+        report = build_report(
+            store, matrix=matrix, coordination=coord, ttl=60.0, now=150.0
+        )
+        progress = report["progress"]
+        assert progress["dataset"] == {"hospital": {"done": 2, "total": 4}}
+        # specs[0]/specs[1] are budget 0.1 (cv, od); 0.2 is untouched.
+        assert progress["label_budget"] == {
+            "0.1": {"done": 2, "total": 2},
+            "0.2": {"done": 0, "total": 2},
+        }
+        assert progress["method"] == {
+            "cv": {"done": 1, "total": 2},
+            "od": {"done": 1, "total": 2},
+        }
+
+    def test_eta_extrapolates_from_completed_wall_clocks(self, partial, matrix):
+        store, coord, _ = partial
+        report = build_report(
+            store, matrix=matrix, coordination=coord, ttl=60.0, now=150.0
+        )
+        eta = report["eta"]
+        assert eta["mean_scenario_seconds"] == 3.0  # (2.0 + 4.0) / 2
+        assert eta["remaining"] == 2
+        assert eta["assumed_parallelism"] == 1  # one live lease
+        assert eta["eta_seconds"] == 6.0
+
+    def test_eta_absent_when_done_or_unstarted(self, tmp_path, matrix):
+        store = ResultStore(tmp_path / "store.jsonl")
+        # Nothing completed: no wall-clocks to extrapolate from.
+        assert build_report(store, matrix=matrix, now=1.0)["eta"] is None
+        for spec in matrix.expand():
+            store.put(fake_record(spec))
+        # Everything completed: nothing remaining.
+        assert build_report(store, matrix=matrix, now=1.0)["eta"] is None
+
+    def test_unrelated_records_counted_separately(self, partial, matrix):
+        store, coord, _ = partial
+        store.put({"fingerprint": "f" * 64, "spec": {}, "elapsed": 1.0})
+        report = build_report(
+            store, matrix=matrix, coordination=coord, ttl=60.0, now=150.0
+        )
+        assert report["completed"] == 2  # the stray record doesn't inflate
+        assert report["unrelated_records"] == 1
+
+    def test_degraded_mode_without_matrix(self, partial):
+        store, coord, specs = partial
+        report = build_report(store, coordination=coord, ttl=60.0, now=150.0)
+        assert report["total"] is None
+        assert report["pending"] is None
+        assert report["completed"] == 2
+        assert report["in_flight"] == 1
+        assert report["eta"] is None
+
+    def test_worker_completions_from_audit(self, partial, matrix):
+        store, coord, specs = partial
+        scribe = WorkQueue(coord, worker_id="w9", ttl=60.0, clock=lambda: 110.0)
+        for spec in specs[:2]:
+            scribe.claim(spec.fingerprint())  # no-op for specs[2]'s holder
+            scribe.release(spec.fingerprint(), event="complete")
+        report = build_report(
+            store, matrix=matrix, coordination=coord, ttl=60.0, now=150.0
+        )
+        assert report["workers"] == {"w9": 2}
+
+    def test_sees_records_appended_after_store_open(self, partial, matrix):
+        store, coord, specs = partial
+        # Another worker appends behind this handle's back; build_report
+        # refresh()es, so the dashboard is live, not load-time stale.
+        other = ResultStore(store.path)
+        other.put(fake_record(specs[3]))
+        report = build_report(
+            store, matrix=matrix, coordination=coord, ttl=60.0, now=150.0
+        )
+        assert report["completed"] == 3
+
+
+class TestRenderMarkdown:
+    def test_full_dashboard(self, partial, matrix):
+        store, coord, specs = partial
+        queue = WorkQueue(coord, worker_id="w1", ttl=60.0, clock=lambda: 120.0)
+        queue.release(specs[2].fingerprint(), event="complete")
+        queue2 = WorkQueue(coord, worker_id="w2", ttl=60.0, clock=lambda: 130.0)
+        queue2.claim(specs[3].fingerprint())
+        store.put(fake_record(specs[2], elapsed=3.0))
+        page = render_markdown(
+            build_report(
+                store, matrix=matrix, coordination=coord, ttl=60.0, now=1000.0
+            )
+        )
+        assert "**3/4** scenarios completed (75%)" in page
+        assert "**1** in flight" in page
+        assert "ETA:" in page
+        assert "## Progress by method" in page
+        assert "## In-flight leases" in page
+        assert "STALE" in page  # w2's heartbeat is 870s old at now=1000
+        assert "## Completions by worker" in page
+        assert "| w1" in page
+
+    def test_degraded_page_without_matrix(self, partial):
+        store, coord, _ = partial
+        page = render_markdown(
+            build_report(store, coordination=coord, ttl=60.0, now=150.0)
+        )
+        assert "grid total unknown" in page
+        assert "**2** scenario(s) completed" in page
+
+
+class TestReportCli:
+    def test_missing_store_without_spec_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["report", "--store", str(tmp_path / "nope.jsonl")])
+
+    def test_missing_store_with_spec_reports_zero(self, tmp_path, capsys):
+        spec = tmp_path / "spec.toml"
+        spec.write_text(SPEC_TOML)
+        assert (
+            main(
+                [
+                    "report",
+                    "--store", str(tmp_path / "nope.jsonl"),
+                    "--spec", str(spec),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "**0/4** scenarios completed (0%)" in out
+
+    def test_dashboard_and_json_payload(self, partial, tmp_path, capsys):
+        store, coord, _ = partial
+        spec = tmp_path / "spec.toml"
+        spec.write_text(SPEC_TOML)
+        json_path = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "report",
+                    "--store", str(store.path),
+                    "--spec", str(spec),
+                    "--json", str(json_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "# Sweep report" in out
+        assert "**2/4** scenarios completed (50%)" in out
+        assert "## In-flight leases" in out  # <store>.coord auto-discovered
+        payload = json.loads(json_path.read_text())
+        assert payload["schema"] == "repro.report/v1"
+        assert payload["total"] == 4
+        assert payload["completed"] == 2
+        assert payload["in_flight"] == 1
