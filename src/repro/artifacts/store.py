@@ -24,6 +24,19 @@ A corrupt or truncated object file (a killed worker mid-write outside the
 atomic path, disk trouble) is treated as a miss: the file is dropped,
 ``stats.corrupt_dropped`` is bumped, and the caller refits.
 
+**Fault handling** (see ``docs/architecture.md`` → Fault model): disk I/O
+is classified through :mod:`repro.faults.taxonomy` and retried through a
+:class:`~repro.faults.retry.RetryPolicy` at the ``artifacts.object_write``
+/ ``artifacts.object_read`` / ``artifacts.index_append`` fault points.
+Transient faults (``EAGAIN``, ``ESTALE``, ``EIO``-on-read, ...) are
+retried with backoff; *fatal* faults (``ENOSPC``, ``EROFS``, ``EACCES``)
+are never retried — a write hitting one warns once, flips
+``stats.degraded``, and is swallowed (the store is a wall-clock
+accelerator: the fit that produced the payload must not fail because it
+could not be memoised), while a persistent *read* fault reports a miss
+without deleting the object (the bytes may be intact; only *corrupt
+content* is unlinked).
+
 Payloads returned by :meth:`ArtifactStore.get` are shared with the LRU —
 treat them as read-only (the codec copies arrays into fresh models).
 """
@@ -34,12 +47,17 @@ import json
 import os
 import tempfile
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Iterator, Mapping
 
 import numpy as np
+
+from repro.faults.inject import trip
+from repro.faults.retry import RetryPolicy, resolve_policy
+from repro.faults.taxonomy import is_fatal
 
 #: JSON state entry inside each ``.npz`` object file.
 _STATE_KEY = "__state__"
@@ -56,6 +74,13 @@ class ArtifactStats:
     evictions: int = 0
     corrupt_dropped: int = 0
     write_errors: int = 0
+    read_errors: int = 0
+    fatal_errors: int = 0
+    #: Set when a *fatal* disk fault (``ENOSPC``, ``EROFS``, ``EACCES``)
+    #: was observed: the disk tier is compromised, the memory tier still
+    #: serves.  Surfaced through ``HoloDetect.artifact_stats`` and serve
+    #: health reports.
+    degraded: bool = False
 
     @property
     def hits(self) -> int:
@@ -78,11 +103,14 @@ class ArtifactStats:
         return payload
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.hits} hits / {self.lookups} lookups ({self.hit_rate:.0%}; "
             f"{self.memory_hits} memory, {self.disk_hits} disk), "
             f"{self.puts} stored, {self.corrupt_dropped} corrupt dropped"
         )
+        if self.degraded:
+            text += f" [DEGRADED: {self.fatal_errors} fatal disk faults]"
+        return text
 
 
 def _flatten(payload: object, arrays: dict[str, np.ndarray]) -> object:
@@ -118,7 +146,12 @@ class ArtifactStore:
     The directory is created lazily on the first write.
     """
 
-    def __init__(self, directory: str | Path | None = None, max_entries: int = 64):
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        max_entries: int = 64,
+        retry_policy: RetryPolicy | None = None,
+    ):
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self.directory = Path(directory) if directory is not None else None
@@ -126,6 +159,15 @@ class ArtifactStore:
         self.stats = ArtifactStats()
         self._entries: OrderedDict[str, dict] = OrderedDict()
         self._lock = threading.Lock()
+        # None = resolve the process-ambient default at each use, so a
+        # test's use_policy() context reaches stores built before it.
+        self._retry_policy = retry_policy
+        self._warned_fatal = False
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The policy disk I/O retries through (ambient default if unset)."""
+        return resolve_policy(self._retry_policy)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -187,17 +229,44 @@ class ArtifactStore:
         disk write (full disk, lost permissions) is counted and swallowed:
         the store is a wall-clock accelerator, and the fit that just
         produced the payload must never fail because it could not be
-        memoised — the memory tier still serves it in-process.
+        memoised — the memory tier still serves it in-process.  Transient
+        faults are retried through the policy first; a *fatal* fault
+        additionally warns once and marks the store degraded.
         """
         if self.directory is not None:
             try:
-                self._write_object(key, payload, kind, meta)
+                self.retry_policy.call(
+                    lambda: self._write_object(key, payload, kind, meta),
+                    point="artifacts.object_write",
+                    op="write",
+                )
+            except OSError as exc:
+                self._note_write_fault(exc)
             except Exception:
                 with self._lock:
                     self.stats.write_errors += 1
         with self._lock:
             self.stats.puts += 1
             self._insert(key, payload)
+
+    def _note_write_fault(self, exc: OSError) -> None:
+        fatal = is_fatal(exc, op="write")
+        with self._lock:
+            self.stats.write_errors += 1
+            if fatal:
+                self.stats.fatal_errors += 1
+                self.stats.degraded = True
+                if self._warned_fatal:
+                    return
+                self._warned_fatal = True
+        if fatal:
+            warnings.warn(
+                f"artifact store at {self.directory} hit a fatal disk fault "
+                f"({exc}); disk tier degraded, memory tier still serves "
+                f"(further fatal faults are counted silently)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def _insert(self, key: str, payload: dict) -> None:
         # Caller holds the lock.
@@ -220,14 +289,32 @@ class ArtifactStore:
         path = self.object_path(key)
         if path is None or not path.exists():
             return None
-        try:
+
+        def load() -> dict:
+            trip("artifacts.object_read")
             with np.load(path, allow_pickle=False) as npz:
                 state = json.loads(str(npz[_STATE_KEY]))
                 arrays = {k: npz[k] for k in npz.files if k != _STATE_KEY}
             return _restore(state, arrays)
+
+        try:
+            return self.retry_policy.call(
+                load, point="artifacts.object_read", op="read"
+            )
+        except FileNotFoundError:
+            # Raced a concurrent unlink between exists() and load: a miss.
+            return None
+        except OSError:
+            # A persistent disk fault, not provably-corrupt content: report
+            # a miss but keep the file — the bytes may be intact once the
+            # fault clears.
+            with self._lock:
+                self.stats.read_errors += 1
+            return None
         except Exception:
-            # Truncated/corrupt object (killed writer, disk trouble): drop
-            # it and report a miss — the caller refits and re-stores.
+            # Truncated/corrupt object (killed writer outside the atomic
+            # path): drop it and report a miss — the caller refits and
+            # re-stores.
             with self._lock:
                 self.stats.corrupt_dropped += 1
             try:
@@ -238,6 +325,7 @@ class ArtifactStore:
 
     def _write_object(self, key: str, payload: dict, kind: str,
                       meta: Mapping[str, object] | None) -> None:
+        trip("artifacts.object_write")
         path = self.object_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         arrays: dict[str, np.ndarray] = {}
@@ -266,9 +354,21 @@ class ArtifactStore:
         }
         if meta:
             record["meta"] = dict(meta)
-        with self.index_path.open("a", encoding="utf-8") as f:
-            f.write(json.dumps(record, sort_keys=True) + "\n")
-            f.flush()
+
+        def append() -> None:
+            trip("artifacts.index_append")
+            with self.index_path.open("a", encoding="utf-8") as f:
+                f.write(json.dumps(record, sort_keys=True) + "\n")
+                f.flush()
+
+        # The manifest is informational — a persistently failing append
+        # must not fail the put (the object itself already landed).
+        try:
+            self.retry_policy.call(
+                append, point="artifacts.index_append", op="write"
+            )
+        except OSError:
+            pass
 
     def index(self) -> Iterator[dict]:
         """Manifest records (latest per key wins, corrupt lines skipped)."""

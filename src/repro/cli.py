@@ -545,6 +545,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             batch_window=args.batch_window,
             max_batch_cells=args.max_batch_cells,
             backend=args.backend,
+            max_inflight=args.max_inflight,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
         )
     except ValueError as exc:
         raise SystemExit(f"invalid server configuration: {exc}") from exc
@@ -993,6 +996,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="compute backend every served detector scores on (numpy, "
         "reference, torch, or module:attr)",
     )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="shed connections with a 503 beyond this many in flight",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive model-load failures that open a fingerprint's circuit",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=30.0,
+        help="seconds an open circuit fast-fails before admitting a probe load",
+    )
     serve.set_defaults(func=cmd_serve)
 
     client = sub.add_parser(
@@ -1067,6 +1082,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    # Chaos harness hook: a REPRO_FAULTS spec in the environment installs a
+    # deterministic fault injector for this process (and, via inheritance,
+    # every worker subprocess a sweep spawns).  No-op when unset.
+    from repro.faults.inject import install_from_env
+
+    install_from_env()
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -52,11 +52,18 @@ class HeartbeatThread(threading.Thread):
         self.interval = float(interval)
         self.lost: set[str] = set()
         self.renewals = 0
+        self.errors = 0
         self._stop_event = threading.Event()
 
     def run(self) -> None:
         while not self._stop_event.wait(self.interval):
-            self.lost.update(self.queue.renew_held())
+            # The heartbeat must outlive any single bad beat: a dead
+            # heartbeat thread silently turns every held lease stale, so a
+            # surprise exception is counted and the next beat tries again.
+            try:
+                self.lost.update(self.queue.renew_held())
+            except Exception:
+                self.errors += 1
             self.renewals += 1
 
     def stop(self) -> None:

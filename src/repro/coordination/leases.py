@@ -24,6 +24,15 @@ Every state transition is appended to ``audit.jsonl`` (single-``write()``
 ``O_APPEND`` records, so concurrent workers cannot shear a line), which is
 what the CI smoke and :mod:`benchmarks.bench_distributed_sweep` replay to
 prove no scenario executed twice.
+
+Transient filesystem faults (``ESTALE`` from an NFS export, ``EAGAIN``,
+``EINTR``) are retried through a :class:`~repro.faults.retry.RetryPolicy`
+at the ``lease.claim`` / ``lease.renew`` / ``lease.release`` /
+``lease.audit`` fault points.  The fault *boundaries* respect the
+protocol: a ``FileExistsError`` on claim is an answer (lost the race),
+never a fault; a persistently unrenewable lease is still believed held
+(the TTL arbitrates); a persistently unreleasable lease is audited and
+left for reclaim.
 """
 
 from __future__ import annotations
@@ -36,6 +45,9 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
+
+from repro.faults.inject import checked_write, trip
+from repro.faults.retry import RetryPolicy, resolve_policy
 
 #: Lease payload schema identifier.
 LEASE_SCHEMA = "repro.lease/v1"
@@ -145,19 +157,42 @@ def iter_leases(
             yield info
 
 
-def append_jsonl(path: Path, payload: dict) -> None:
+def append_jsonl(
+    path: Path,
+    payload: dict,
+    point: str = "lease.audit",
+    policy: RetryPolicy | None = None,
+) -> None:
     """Append one record as a single ``O_APPEND`` ``write()``.
 
     ``O_APPEND`` makes the kernel pick the offset atomically per write, so
     concurrent appenders from different processes/hosts interleave whole
-    lines, never sheared ones.
+    lines, never sheared ones.  Transient faults — including a torn write,
+    whose partial fragment is newline-terminated before the line is
+    reissued — retry through ``policy`` at fault point ``point``.
     """
     line = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
-    try:
-        os.write(fd, line)
-    finally:
-        os.close(fd)
+
+    def append() -> None:
+        fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            checked_write(point, fd, line)
+        finally:
+            os.close(fd)
+
+    def heal(_exc: BaseException, _attempt: int) -> None:
+        # Terminate a possible torn fragment so the reissued line starts
+        # fresh; readers skip the resulting blank/partial line.
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        except OSError:
+            return
+        try:
+            os.write(fd, b"\n")
+        finally:
+            os.close(fd)
+
+    resolve_policy(policy).call(append, point=point, op="write", on_retry=heal)
 
 
 def read_audit(directory: str | Path) -> list[dict]:
@@ -198,6 +233,7 @@ class WorkQueue:
         worker_id: str | None = None,
         ttl: float = DEFAULT_TTL,
         clock: Callable[[], float] = time.time,
+        retry_policy: RetryPolicy | None = None,
     ):
         if ttl <= 0:
             raise CoordinationError(f"lease TTL must be positive, got {ttl!r}")
@@ -209,7 +245,16 @@ class WorkQueue:
         self._clock = clock
         self._lock = threading.Lock()
         self._held: dict[str, float] = {}  # fingerprint -> claimed_at
+        # None = resolve the process-ambient default at each use.
+        self._retry_policy = retry_policy
+        self.renew_errors = 0  # persistent renewal faults (lease still held)
+        self.release_errors = 0  # leases we could not unlink (left to reclaim)
         self.lease_dir.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The policy lease I/O retries through (ambient default if unset)."""
+        return resolve_policy(self._retry_policy)
 
     # -- paths and payloads ----------------------------------------------
 
@@ -236,15 +281,31 @@ class WorkQueue:
         The ``O_CREAT | O_EXCL`` open *is* the claim — the payload write
         that follows is informational (readers of a not-yet-written lease
         fall back to the file's mtime, see :func:`_decode_lease`).
+
+        Transient faults on the open are retried; ``FileExistsError`` is
+        *not* a fault (the taxonomy classes it UNKNOWN, never retried) —
+        it is the answer "another worker won", including the edge where
+        our own earlier attempt created the file before faulting, which
+        the TTL reclaim eventually resolves.
         """
         path = self.lease_path(fingerprint)
+
+        def create() -> int:
+            trip("lease.claim")
+            return os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+
         try:
-            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            fd = self.retry_policy.call(create, point="lease.claim", op="write")
         except FileExistsError:
+            return False
+        except OSError:
+            # A persistent fault: indistinguishable from losing the race.
             return False
         now = self._clock()
         try:
             os.write(fd, self._payload(fingerprint, now, now))
+        except OSError:
+            pass  # readers fall back to the file's mtime
         finally:
             os.close(fd)
         with self._lock:
@@ -271,8 +332,23 @@ class WorkQueue:
             self.audit("lost", fingerprint, new_worker=None if current is None else current.worker)
             return False
         tmp = self.lease_dir / f".renew-{self.worker_id}-{fingerprint[:16]}.tmp"
-        tmp.write_bytes(self._payload(fingerprint, claimed_at, self._clock()))
-        os.replace(tmp, self.lease_path(fingerprint))
+
+        def publish() -> None:
+            trip("lease.renew")
+            tmp.write_bytes(self._payload(fingerprint, claimed_at, self._clock()))
+            os.replace(tmp, self.lease_path(fingerprint))
+
+        try:
+            self.retry_policy.call(publish, point="lease.renew", op="write")
+        except OSError:
+            # A persistently unrefreshable heartbeat is not a lost lease —
+            # the on-disk file still names this worker.  Count it and keep
+            # the claim; if the fault outlasts the TTL, reclaim arbitrates.
+            self.renew_errors += 1
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
         return True
 
     def renew_held(self) -> list[str]:
@@ -282,13 +358,36 @@ class WorkQueue:
         return [fp for fp in held if not self.renew(fp)]
 
     def release(self, fingerprint: str, event: str = "release") -> None:
-        """Drop a held lease (scenario finished, skipped, or failed)."""
+        """Drop a held lease (scenario finished, skipped, or failed).
+
+        Ownership is re-verified before the unlink: if this worker slept
+        past its TTL, was reclaimed, and the scenario was re-claimed by a
+        peer, the on-disk lease is *theirs* — unlinking it would strip the
+        live owner's claim.  A lease that cannot be unlinked through the
+        retry budget is audited and left behind; its heartbeat stops with
+        this release, so peers reclaim it after the TTL.
+        """
         with self._lock:
             self._held.pop(fingerprint, None)
+        path = self.lease_path(fingerprint)
+        current = _decode_lease(path)
+        if current is not None and current.worker not in (self.worker_id, "(claiming)"):
+            self.audit("lost", fingerprint, new_worker=current.worker)
+            return
+
+        def unlink() -> None:
+            trip("lease.release")
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+
         try:
-            os.unlink(self.lease_path(fingerprint))
-        except FileNotFoundError:
-            pass
+            self.retry_policy.call(unlink, point="lease.release", op="write")
+        except OSError:
+            self.release_errors += 1
+            self.audit(event, fingerprint, unlink_failed=True)
+            return
         self.audit(event, fingerprint)
 
     def held(self) -> set[str]:
@@ -327,6 +426,8 @@ class WorkQueue:
                 os.unlink(info.path)
             except FileNotFoundError:
                 continue  # another reclaimer got there first
+            except OSError:
+                continue  # transient trouble: the next sweep retries
             self.audit(
                 "reclaim",
                 info.fingerprint,
@@ -339,14 +440,23 @@ class WorkQueue:
     # -- audit trail ------------------------------------------------------
 
     def audit(self, event: str, fingerprint: str, **extra: object) -> None:
-        """Append one event to the shared audit log (atomic per record)."""
-        append_jsonl(
-            self.audit_path,
-            {
-                "time": self._clock(),
-                "worker": self.worker_id,
-                "event": event,
-                "fingerprint": fingerprint,
-                **extra,
-            },
-        )
+        """Append one event to the shared audit log (atomic per record).
+
+        Best-effort under persistent faults: the audit trail is evidence,
+        not a lock — losing a record must not wedge the lease protocol.
+        """
+        try:
+            append_jsonl(
+                self.audit_path,
+                {
+                    "time": self._clock(),
+                    "worker": self.worker_id,
+                    "event": event,
+                    "fingerprint": fingerprint,
+                    **extra,
+                },
+                point="lease.audit",
+                policy=self._retry_policy,
+            )
+        except OSError:
+            pass

@@ -28,6 +28,15 @@ alongside and key mergeable fit partials
 The backing is immutable: mutators raise, ``version`` stays 0, and
 ``copy()`` returns ``self``.  Edit workflows convert to the in-memory
 backing first (``repro shard`` CLI, :func:`to_dataset`).
+
+**Fault handling.**  Chunk reads pass through the ``shard.read`` fault
+point and retry transient faults (``EIO``-on-read, ``ESTALE``, ...)
+through a :class:`~repro.faults.retry.RetryPolicy`.  A shard whose read
+faults persist through the budget is **quarantined**: the structured
+:class:`ShardQuarantinedError` (shard index, path, errno) is raised, and
+every later read of that shard fails fast with the same error — no
+retry storm against a dead disk region.  ``clear_quarantine()`` re-admits
+shards once the operator believes the fault cleared.
 """
 
 from __future__ import annotations
@@ -50,6 +59,27 @@ from repro.dataset.relation import (
     column_hasher,
     compose_fingerprint,
 )
+from repro.faults.inject import trip
+from repro.faults.retry import RetryPolicy, resolve_policy
+
+
+class ShardQuarantinedError(RuntimeError):
+    """A shard's reads fault persistently; it is quarantined.
+
+    Carries the shard index, the failing path and the last errno so
+    callers (and operators reading the traceback) know exactly which
+    region of the dataset is unreadable — instead of a bare ``OSError``
+    bubbling out of numpy internals.
+    """
+
+    def __init__(self, shard: int, path: Path, errno_value: int | None, cause: str):
+        super().__init__(
+            f"shard {shard} quarantined after persistent read faults "
+            f"(path={path}, errno={errno_value}): {cause}"
+        )
+        self.shard = shard
+        self.path = path
+        self.errno = errno_value
 
 #: Manifest format tag; bump when the layout changes meaning.
 SHARD_SCHEMA = "repro.shards/v1"
@@ -227,7 +257,12 @@ class ShardedDataset(Relation):
     the streaming window, not the relation.
     """
 
-    def __init__(self, directory: str | Path, max_open_arrays: int = 64):
+    def __init__(
+        self,
+        directory: str | Path,
+        max_open_arrays: int = 64,
+        retry_policy: RetryPolicy | None = None,
+    ):
         self.directory = Path(directory)
         manifest_path = self.directory / _MANIFEST
         if not manifest_path.exists():
@@ -252,6 +287,25 @@ class ShardedDataset(Relation):
             raise ValueError("max_open_arrays must be positive")
         self._max_open = max_open_arrays
         self._open: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+        # None = resolve the process-ambient default at each use.
+        self._retry_policy = retry_policy
+        self._quarantined: dict[int, ShardQuarantinedError] = {}
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The policy shard reads retry through (ambient default if unset)."""
+        return resolve_policy(self._retry_policy)
+
+    @property
+    def quarantined(self) -> dict[int, ShardQuarantinedError]:
+        """Quarantined shards: ``{shard index: the error that sealed it}``."""
+        return dict(self._quarantined)
+
+    def clear_quarantine(self) -> list[int]:
+        """Re-admit all quarantined shards; returns their indices."""
+        cleared = sorted(self._quarantined)
+        self._quarantined.clear()
+        return cleared
 
     # ------------------------------------------------------------------ #
     # Construction / conversion
@@ -389,8 +443,25 @@ class ShardedDataset(Relation):
         if arr is not None:
             self._open.move_to_end(key)
             return arr
+        sealed = self._quarantined.get(shard)
+        if sealed is not None:
+            raise sealed  # fail fast: no retry storm against a dead shard
         path = self.directory / "shards" / self._shards[shard]["dir"] / f"c{col}.npy"
-        arr = np.load(path, mmap_mode="r")
+
+        def load() -> np.ndarray:
+            trip("shard.read")
+            return np.load(path, mmap_mode="r")
+
+        try:
+            arr = self.retry_policy.call(load, point="shard.read", op="read")
+        except FileNotFoundError:
+            raise  # a missing shard file is a broken dataset, not a fault
+        except OSError as exc:
+            error = ShardQuarantinedError(
+                shard, path, getattr(exc, "errno", None), str(exc)
+            )
+            self._quarantined[shard] = error
+            raise error from exc
         self._open[key] = arr
         while len(self._open) > self._max_open:
             self._open.popitem(last=False)

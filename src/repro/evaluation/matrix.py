@@ -848,6 +848,17 @@ def _run_coordinated(
         return None
 
     def finish_local(fingerprint: str, result: dict) -> None:
+        # Check the lease *before* the put: a worker that slept past its
+        # TTL was reclaimed, and the scenario now belongs to whoever
+        # re-claimed it.  Writing our record anyway would double-write the
+        # store (latest-wins keeps it correct, but the audit would show a
+        # completion from a worker that no longer held the lease).  The
+        # "lost" audit event was already appended at detection time by
+        # renew(); here we abandon the record and let note_remote() report
+        # the new owner's result.
+        if fingerprint in heartbeat.lost or fingerprint not in queue.held():
+            queue.audit("abandoned", fingerprint)
+            return
         record = unwrap(result)
         record["cached"] = False
         store.put(record)

@@ -25,28 +25,71 @@ Robustness rules:
 - duplicate fingerprints are legal — the *latest* record wins, so a store
   can simply be appended to across resumed runs and by concurrent
   workers; :meth:`compact` rewrites the log keeping only the winners when
-  a long-lived store's history outgrows its content.
+  a long-lived store's history outgrows its content;
+- transient disk faults (``EAGAIN``, ``ESTALE``, ...) on append, scan and
+  compact are retried through a :class:`~repro.faults.retry.RetryPolicy`
+  at the ``store.append`` / ``store.read`` / ``store.compact`` fault
+  points.  A *torn* append (a signal landing mid-``write(2)``) is healed
+  before the retry: the partial fragment is newline-terminated so the
+  reissued full line starts fresh instead of merging into garbage, and the
+  fragment is later skipped as one unparseable line;
+- stale ``*.compact-<pid>`` temp siblings (a compactor killed between the
+  temp write and the ``os.replace``) are removed at load time.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping
 
+from repro.faults.inject import checked_write, trip
+from repro.faults.retry import RetryPolicy, resolve_policy
+
 
 class ResultStore:
     """Append-only JSONL store of scenario records, keyed by fingerprint."""
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, retry_policy: RetryPolicy | None = None):
         self.path = Path(path)
         self._records: dict[str, dict] = {}
         self._offset = 0  # bytes of the file consumed so far
         self._lines_read = 0  # complete lines consumed (parseable or not)
         self.skipped_lines = 0
+        # None = resolve the process-ambient default at each use.
+        self._retry_policy = retry_policy
+        self.stale_tmp_removed = self._clean_stale_tmp()
         if self.path.exists():
             self._load()
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The policy disk I/O retries through (ambient default if unset)."""
+        return resolve_policy(self._retry_policy)
+
+    def _clean_stale_tmp(self) -> int:
+        """Remove orphaned compaction temp files; returns the count.
+
+        A compactor killed between its temp write and the ``os.replace``
+        leaves a ``<name>.compact-<pid>`` sibling behind.  Any such file
+        found at load time is stale by construction (this store has not
+        compacted yet, and compactions are only run on quiescent stores),
+        so it is garbage — delete it rather than letting orphans
+        accumulate next to long-lived stores.
+        """
+        parent = self.path.parent
+        if not parent.is_dir():
+            return 0
+        removed = 0
+        for tmp in parent.glob(f"{self.path.name}.compact-*"):
+            try:
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
 
     # -- reading ----------------------------------------------------------
 
@@ -74,17 +117,23 @@ class ResultStore:
         from this or any other process — starts on a fresh line instead of
         merging into garbage.
         """
-        with self.path.open("rb") as f:
+        def scan() -> bytes:
+            trip("store.read")
             tail = b""
-            while True:
-                line = f.readline()
-                if not line:
-                    break
-                if not line.endswith(b"\n"):
-                    tail = line
-                    break
-                self._offset += len(line)
-                self._consume_line(line)
+            with self.path.open("rb") as f:
+                f.seek(self._offset)  # no-op first time; makes retries resume
+                while True:
+                    line = f.readline()
+                    if not line:
+                        break
+                    if not line.endswith(b"\n"):
+                        tail = line
+                        break
+                    self._offset += len(line)
+                    self._consume_line(line)
+            return tail
+
+        tail = self.retry_policy.call(scan, point="store.read", op="read")
         if tail:
             self._offset += len(tail)
             self._lines_read += 1
@@ -108,15 +157,23 @@ class ResultStore:
         if not self.path.exists():
             return 0
         consumed = 0
-        with self.path.open("rb") as f:
-            f.seek(self._offset)
-            while True:
-                line = f.readline()
-                if not line or not line.endswith(b"\n"):
-                    break
-                self._offset += len(line)
-                self._consume_line(line)
-                consumed += 1
+
+        def scan() -> None:
+            # The offset only advances past fully-consumed lines, so a
+            # fault mid-scan retries from exactly where it stopped.
+            nonlocal consumed
+            trip("store.read")
+            with self.path.open("rb") as f:
+                f.seek(self._offset)
+                while True:
+                    line = f.readline()
+                    if not line or not line.endswith(b"\n"):
+                        break
+                    self._offset += len(line)
+                    self._consume_line(line)
+                    consumed += 1
+
+        self.retry_policy.call(scan, point="store.read", op="read")
         return consumed
 
     def __len__(self) -> int:
@@ -151,18 +208,45 @@ class ResultStore:
         """Append ``record`` (must carry a ``"fingerprint"`` key).
 
         The whole line goes down in one ``O_APPEND`` ``write()``: records
-        from concurrent appenders interleave but never shear.
+        from concurrent appenders interleave but never shear.  A transient
+        fault (including a torn/short write) is healed and retried; see
+        the module docstring.
         """
         fingerprint = record.get("fingerprint")
         if not isinstance(fingerprint, str) or not fingerprint:
             raise ValueError("record needs a non-empty string 'fingerprint'")
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
-        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
-        try:
-            os.write(fd, line)
-        finally:
-            os.close(fd)
+
+        def append() -> None:
+            fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+            try:
+                written = checked_write("store.append", fd, line)
+            finally:
+                os.close(fd)
+            if written != len(line):
+                raise OSError(
+                    errno.EAGAIN,
+                    f"short write to {self.path}: {written}/{len(line)} bytes",
+                )
+
+        def heal(_exc: BaseException, _attempt: int) -> None:
+            # A failed attempt may have landed a partial fragment (torn
+            # write).  Terminate it so the reissued full line starts on a
+            # fresh line; an unnecessary lone "\n" is just a blank line,
+            # which every reader skips.
+            try:
+                fd = os.open(self.path, os.O_WRONLY | os.O_APPEND)
+            except OSError:
+                return
+            try:
+                os.write(fd, b"\n")
+            finally:
+                os.close(fd)
+
+        self.retry_policy.call(
+            append, point="store.append", op="write", on_retry=heal
+        )
         self._records[fingerprint] = dict(record)
 
     def compact(self) -> tuple[int, int]:
@@ -183,13 +267,28 @@ class ResultStore:
         )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_name(f"{self.path.name}.compact-{os.getpid()}")
-        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+
+        def rewrite() -> None:
+            fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+            try:
+                os.write(fd, payload)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            # The window a killed compactor orphans its temp file in.
+            trip("store.compact")
+            os.replace(tmp, self.path)
+
         try:
-            os.write(fd, payload)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
-        os.replace(tmp, self.path)
+            self.retry_policy.call(rewrite, point="store.compact", op="write")
+        except BaseException:
+            # Don't leave the temp sibling behind on a persistent fault
+            # (a crash can't run this; _clean_stale_tmp covers that case).
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         self._offset = len(payload)
         self._lines_read = len(self._records)
         self.skipped_lines = 0

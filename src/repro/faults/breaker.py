@@ -1,0 +1,130 @@
+"""A minimal circuit breaker: closed → open → half-open → closed.
+
+Wraps an operation that is failing *persistently* (a corrupt saved model,
+a dead NFS export) so callers stop paying the full failure cost on every
+request:
+
+- **closed** — calls pass through; ``failure_threshold`` consecutive
+  failures open the circuit;
+- **open** — calls fail fast with :class:`BreakerOpen` (the serving layer
+  maps it to a structured 503 with ``Retry-After``) until ``cooldown``
+  seconds have passed;
+- **half-open** — the first call after the cooldown is admitted as a
+  *probe*: success closes the circuit (the fault healed — e.g. the model
+  directory was repaired on disk), failure re-opens it for another
+  cooldown.
+
+The clock is injectable so breaker lifecycles are testable without real
+sleeps.  Instances are not thread-safe by design: the serving layer drives
+them from a single event loop.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class BreakerOpen(Exception):
+    """The circuit is open: fail fast instead of re-attempting the call."""
+
+    def __init__(self, name: str, retry_after: float, last_error: str):
+        super().__init__(
+            f"circuit {name!r} is open after repeated failures "
+            f"(retry in {retry_after:.1f}s): {last_error}"
+        )
+        self.name = name
+        self.retry_after = retry_after
+        self.last_error = last_error
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker around one named operation."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be positive, got {cooldown}")
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = float(cooldown)
+        self.clock = clock
+        self.failures = 0  # consecutive failures while closed/half-open
+        self.opened_at: float | None = None
+        self.last_error = ""
+        self.trips = 0  # closed→open transitions, cumulative
+        self._probing = False
+
+    # -- state ------------------------------------------------------------- #
+
+    @property
+    def state(self) -> str:
+        if self.opened_at is None:
+            return self.CLOSED
+        if self._probing or self.clock() - self.opened_at >= self.cooldown:
+            return self.HALF_OPEN
+        return self.OPEN
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe is admitted (0 when not open)."""
+        if self.opened_at is None:
+            return 0.0
+        return max(0.0, self.cooldown - (self.clock() - self.opened_at))
+
+    # -- lifecycle --------------------------------------------------------- #
+
+    def before_call(self) -> None:
+        """Admit or reject the next call; raises :class:`BreakerOpen`.
+
+        In half-open state the first caller through becomes the probe;
+        anyone else arriving before the probe resolves is rejected (one
+        probe at a time keeps a broken backend from being hammered the
+        instant the cooldown lapses).
+        """
+        state = self.state
+        if state == self.CLOSED:
+            return
+        if state == self.HALF_OPEN and not self._probing:
+            self._probing = True
+            return
+        raise BreakerOpen(self.name, self.retry_after() or self.cooldown, self.last_error)
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+        self.last_error = ""
+        self._probing = False
+
+    def record_failure(self, error: BaseException | str) -> None:
+        self.last_error = str(error)
+        if self._probing:
+            # Failed probe: straight back to open, fresh cooldown.
+            self._probing = False
+            self.opened_at = self.clock()
+            return
+        self.failures += 1
+        if self.opened_at is None and self.failures >= self.failure_threshold:
+            self.opened_at = self.clock()
+            self.trips += 1
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "trips": self.trips,
+            "retry_after": round(self.retry_after(), 3),
+            "last_error": self.last_error,
+        }

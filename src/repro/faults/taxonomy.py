@@ -1,0 +1,102 @@
+"""The errno taxonomy: which I/O faults are worth retrying.
+
+The split follows what a retry can actually fix:
+
+- **Transient** faults are the filesystem having a moment — a signal
+  interrupted the syscall (``EINTR``), the resource was briefly busy
+  (``EAGAIN``/``EWOULDBLOCK``), an NFS file handle went stale between a
+  lookup and the operation (``ESTALE``), the network filesystem timed out
+  (``ETIMEDOUT``), or a *read* hit a transient device error (``EIO``).
+  Retrying with backoff routinely succeeds.
+- **Fatal** faults are states no retry changes on its own timescale: the
+  disk is full (``ENOSPC``), over quota (``EDQUOT``), mounted read-only
+  (``EROFS``), or permissions are wrong (``EACCES``/``EPERM``).  Retrying
+  only delays the inevitable and hides the condition from the operator —
+  fail fast and surface it.
+- ``EIO`` on a **write** is classified fatal: unlike a read (where a
+  re-read often lands on a healthy replica or a repaired page), a failed
+  write may have left the medium in an unknown state, and hammering a
+  dying device makes things worse.
+
+Everything not named in either set is *unknown* and treated as fatal by
+:func:`is_transient` — the safe default is to not retry faults we cannot
+reason about.
+"""
+
+from __future__ import annotations
+
+import errno
+from enum import Enum
+
+#: Errnos a bounded retry with backoff is expected to clear.
+TRANSIENT_ERRNOS = frozenset(
+    {
+        errno.EAGAIN,
+        errno.EWOULDBLOCK,  # == EAGAIN on Linux; distinct on some platforms
+        errno.EINTR,
+        errno.ESTALE,
+        errno.ETIMEDOUT,
+        errno.EBUSY,
+    }
+)
+
+#: Errnos no retry fixes: surface them immediately.
+FATAL_ERRNOS = frozenset(
+    {
+        errno.ENOSPC,
+        errno.EDQUOT,
+        errno.EROFS,
+        errno.EACCES,
+        errno.EPERM,
+        errno.ENAMETOOLONG,
+    }
+)
+
+
+class FaultClass(Enum):
+    """How a fault should be handled by the retry engine."""
+
+    TRANSIENT = "transient"  # retry with backoff
+    FATAL = "fatal"  # fail fast, surface to the operator
+    UNKNOWN = "unknown"  # unclassified: treated as fatal (no retry)
+
+
+def classify_errno(err: int | None, op: str = "read") -> FaultClass:
+    """Classify a raw errno for an operation of kind ``op``.
+
+    ``op`` is ``"read"`` or ``"write"`` — the only errno whose class
+    depends on it is ``EIO`` (transient on reads, fatal on writes).
+    """
+    if err is None:
+        return FaultClass.UNKNOWN
+    if err == errno.EIO:
+        return FaultClass.TRANSIENT if op == "read" else FaultClass.FATAL
+    if err in TRANSIENT_ERRNOS:
+        return FaultClass.TRANSIENT
+    if err in FATAL_ERRNOS:
+        return FaultClass.FATAL
+    return FaultClass.UNKNOWN
+
+
+def classify_exception(exc: BaseException, op: str = "read") -> FaultClass:
+    """Classify any exception: only ``OSError`` carries an errno.
+
+    ``FileNotFoundError`` and ``FileExistsError`` are deliberately
+    UNKNOWN (never retried): they are *answers*, not faults — a missing
+    object is a cache miss, an existing lease file is a lost claim race.
+    """
+    if isinstance(exc, (FileNotFoundError, FileExistsError)):
+        return FaultClass.UNKNOWN
+    if isinstance(exc, OSError):
+        return classify_errno(exc.errno, op)
+    return FaultClass.UNKNOWN
+
+
+def is_transient(exc: BaseException, op: str = "read") -> bool:
+    """True when a bounded retry is the right response to ``exc``."""
+    return classify_exception(exc, op) is FaultClass.TRANSIENT
+
+
+def is_fatal(exc: BaseException, op: str = "read") -> bool:
+    """True when ``exc`` names a state no retry fixes (disk full, ...)."""
+    return classify_exception(exc, op) is FaultClass.FATAL

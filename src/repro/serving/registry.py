@@ -23,16 +23,29 @@ version mismatch) raises :class:`RegistryError` with ``code =
 "corrupt_model"`` and is *not* cached: the registry never holds a poisoned
 entry, and a later request retries the load from disk — so repairing the
 directory (or re-saving the model) heals the server without a restart.
+
+**Degradation.**  Transient disk faults during a load retry through a
+:class:`~repro.faults.retry.RetryPolicy` at the ``serve.load`` fault
+point.  Repeated load failures for one fingerprint trip a per-fingerprint
+:class:`~repro.faults.breaker.CircuitBreaker`: further requests fail fast
+with ``code = "circuit_open"`` (the server maps it to a 503 with
+``Retry-After``) instead of re-paying the full load cost, and after the
+cooldown a single probe request re-attempts the load — success closes the
+circuit, so a repaired directory heals the server without a restart.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
+from repro.faults.breaker import BreakerOpen, CircuitBreaker
+from repro.faults.inject import trip
+from repro.faults.retry import RetryPolicy, resolve_policy
 from repro.persistence import detector_index, load_detector
 from repro.spec import SpecError, resolve_fingerprint
 
@@ -45,13 +58,15 @@ class RegistryError(Exception):
     """A fingerprint cannot be served.
 
     ``code`` is a stable machine-readable discriminator used by the wire
-    protocol: ``unknown_fingerprint``, ``ambiguous_fingerprint``, or
-    ``corrupt_model``.
+    protocol: ``unknown_fingerprint``, ``ambiguous_fingerprint``,
+    ``corrupt_model``, or ``circuit_open`` (which also carries
+    ``retry_after`` — seconds until the breaker admits a probe).
     """
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str, retry_after: float | None = None):
         super().__init__(message)
         self.code = code
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -63,6 +78,7 @@ class RegistryStats:
     evictions: int = 0
     load_failures: int = 0
     checkouts: int = 0
+    fast_failures: int = 0  # requests rejected by an open circuit
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -71,6 +87,7 @@ class RegistryStats:
             "evictions": self.evictions,
             "load_failures": self.load_failures,
             "checkouts": self.checkouts,
+            "fast_failures": self.fast_failures,
         }
 
 
@@ -81,6 +98,10 @@ class DetectorRegistry:
     model_root: Path
     capacity: int = 8
     stats: RegistryStats = field(default_factory=RegistryStats)
+    retry_policy: RetryPolicy | None = None
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 30.0
+    clock: Callable[[], float] = time.monotonic
 
     def __post_init__(self) -> None:
         self.model_root = Path(self.model_root)
@@ -88,7 +109,35 @@ class DetectorRegistry:
             raise ValueError(f"capacity must be >= 1, got {self.capacity}")
         self._hot: "OrderedDict[str, HoloDetect]" = OrderedDict()
         self._index: dict[str, Path] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
         self.refresh_index()
+
+    def _breaker(self, fingerprint: str) -> CircuitBreaker:
+        breaker = self._breakers.get(fingerprint)
+        if breaker is None:
+            breaker = self._breakers[fingerprint] = CircuitBreaker(
+                f"load:{fingerprint[:16]}",
+                failure_threshold=self.breaker_threshold,
+                cooldown=self.breaker_cooldown,
+                clock=self.clock,
+            )
+        return breaker
+
+    def breaker_states(self) -> dict[str, dict[str, object]]:
+        """Breakers whose circuit is open or half-open, keyed by fingerprint
+        — the health endpoint's raw material.  A closed breaker still
+        accumulating failures is not degraded: loads are still attempted.
+        """
+        return {
+            fp: breaker.as_dict()
+            for fp, breaker in self._breakers.items()
+            if breaker.state != CircuitBreaker.CLOSED
+        }
+
+    @property
+    def retry_policy_resolved(self) -> RetryPolicy:
+        """The policy loads retry through (ambient default if unset)."""
+        return resolve_policy(self.retry_policy)
 
     # -- the on-disk index ------------------------------------------------ #
 
@@ -132,8 +181,26 @@ class DetectorRegistry:
 
     def _load(self, fingerprint: str, dataset: "Dataset") -> "HoloDetect":
         path = self._index[fingerprint]
+        breaker = self._breaker(fingerprint)
         try:
-            detector = load_detector(path, dataset)
+            breaker.before_call()
+        except BreakerOpen as exc:
+            self.stats.fast_failures += 1
+            raise RegistryError(
+                "circuit_open", str(exc), retry_after=exc.retry_after
+            ) from exc
+
+        def load() -> "HoloDetect":
+            trip("serve.load")
+            return load_detector(path, dataset)
+
+        try:
+            # Transient disk faults retry inside this call; what escapes
+            # is either fatal, exhausted (RetryExhausted is an OSError),
+            # or genuinely corrupt state.
+            detector = self.retry_policy_resolved.call(
+                load, point="serve.load", op="read"
+            )
         except (
             json.JSONDecodeError,
             KeyError,
@@ -142,11 +209,13 @@ class DetectorRegistry:
             OSError,
         ) as exc:
             self.stats.load_failures += 1
+            breaker.record_failure(exc)
             raise RegistryError(
                 "corrupt_model",
                 f"saved detector at {path} failed to load: "
                 f"{type(exc).__name__}: {exc}",
             ) from exc
+        breaker.record_success()
         # Served detectors score whatever relation a request attaches; the
         # fit-time training-cell exclusion belongs to the original relation.
         detector._train_cells = set()

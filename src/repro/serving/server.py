@@ -74,23 +74,30 @@ _REASONS = {
     409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
 class HttpError(Exception):
     """A request that must be answered with a structured error payload."""
 
-    def __init__(self, status: int, code: str, message: str):
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after: float | None = None):
         super().__init__(message)
         self.status = status
         self.code = code
+        self.retry_after = retry_after
 
 
-def error_payload(code: str, message: str) -> dict:
+def error_payload(code: str, message: str,
+                  retry_after: float | None = None) -> dict:
+    error: dict = {"code": code, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = round(float(retry_after), 3)
     return {
         "schema": SERVE_SCHEMA,
         "kind": "error",
-        "error": {"code": code, "message": message},
+        "error": error,
     }
 
 
@@ -119,6 +126,15 @@ class ServeConfig:
     #: Compute backend every served detector scores on (ambient for the
     #: whole server process; ``None`` = the fused-numpy default).
     backend: str | None = None
+    #: Admission control: connections handled concurrently beyond this are
+    #: shed with a structured 503 instead of queueing unboundedly.
+    max_inflight: int = 64
+    #: The ``Retry-After`` hint on overload 503s, seconds.
+    retry_after: float = 1.0
+    #: Consecutive load failures that trip a fingerprint's circuit open.
+    breaker_threshold: int = 3
+    #: Seconds an open circuit fast-fails before admitting a probe load.
+    breaker_cooldown: float = 30.0
 
     def __post_init__(self) -> None:
         if self.max_body < 1:
@@ -128,6 +144,20 @@ class ServeConfig:
         if self.backend is not None and not isinstance(self.backend, str):
             raise ValueError(
                 f"backend must be a registry key string or None, got {self.backend!r}"
+            )
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be positive, got {self.max_inflight}"
+            )
+        if self.retry_after <= 0:
+            raise ValueError(f"retry_after must be positive, got {self.retry_after}")
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be positive, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown <= 0:
+            raise ValueError(
+                f"breaker_cooldown must be positive, got {self.breaker_cooldown}"
             )
 
 
@@ -174,7 +204,10 @@ class DetectionServer:
     def __init__(self, config: ServeConfig):
         self.config = config
         self.registry = DetectorRegistry(
-            Path(config.model_root), capacity=config.capacity
+            Path(config.model_root),
+            capacity=config.capacity,
+            breaker_threshold=config.breaker_threshold,
+            breaker_cooldown=config.breaker_cooldown,
         )
         self.batcher = ScoreBatcher(
             window=config.batch_window, max_cells=config.max_batch_cells
@@ -182,6 +215,8 @@ class DetectionServer:
         self.tenants: dict[str, Tenant] = {}
         self.requests_handled = 0
         self.errors_returned = 0
+        self.requests_shed = 0
+        self._inflight = 0
         self._server: asyncio.base_events.Server | None = None
         self._started = time.monotonic()
 
@@ -233,7 +268,36 @@ class DetectionServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         """One connection, one request, one response; never raises."""
+        # Admission control before any read: a server already at its
+        # in-flight cap sheds the connection with a structured 503 rather
+        # than queueing unboundedly behind slow scoring passes.
+        if self._inflight >= self.config.max_inflight:
+            self.requests_shed += 1
+            self.errors_returned += 1
+            await self._write_response(
+                writer,
+                503,
+                error_payload(
+                    "overloaded",
+                    f"server at its in-flight cap of "
+                    f"{self.config.max_inflight} requests",
+                    retry_after=self.config.retry_after,
+                ),
+                JSON_CONTENT_TYPE,
+                retry_after=self.config.retry_after,
+            )
+            return
+        self._inflight += 1
+        try:
+            await self._handle_admitted(reader, writer)
+        finally:
+            self._inflight -= 1
+
+    async def _handle_admitted(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         content_type = JSON_CONTENT_TYPE
+        retry_after: float | None = None
         try:
             request = await self._read_request(reader)
             if request is None:  # client vanished before sending anything
@@ -241,14 +305,20 @@ class DetectionServer:
             content_type = request.response_content_type
             status, payload = await self._dispatch(request)
         except HttpError as exc:
-            status, payload = exc.status, error_payload(exc.code, str(exc))
+            retry_after = exc.retry_after
+            status, payload = exc.status, error_payload(
+                exc.code, str(exc), retry_after=retry_after
+            )
         except WireError as exc:
             status, payload = 400, error_payload("bad_request", str(exc))
         except RegistryError as exc:
-            status = {"corrupt_model": 500, "ambiguous_fingerprint": 400}.get(
-                exc.code, 404
-            )
-            payload = error_payload(exc.code, str(exc))
+            status = {
+                "corrupt_model": 500,
+                "ambiguous_fingerprint": 400,
+                "circuit_open": 503,
+            }.get(exc.code, 404)
+            retry_after = getattr(exc, "retry_after", None)
+            payload = error_payload(exc.code, str(exc), retry_after=retry_after)
         except (ConnectionError, asyncio.IncompleteReadError):
             # Mid-request disconnect: nothing to answer, nobody to answer to.
             self._close_quietly(writer)
@@ -260,7 +330,9 @@ class DetectionServer:
         self.requests_handled += 1
         if status != 200:
             self.errors_returned += 1
-        await self._write_response(writer, status, payload, content_type)
+        await self._write_response(
+            writer, status, payload, content_type, retry_after=retry_after
+        )
 
     async def _read_request(self, reader: asyncio.StreamReader) -> _Request | None:
         timeout = self.config.read_timeout
@@ -324,6 +396,7 @@ class DetectionServer:
         status: int,
         payload: dict,
         content_type: str,
+        retry_after: float | None = None,
     ) -> None:
         try:
             body = encode_payload(payload, content_type)
@@ -335,10 +408,15 @@ class DetectionServer:
             )
             status = 500
         reason = _REASONS.get(status, "Unknown")
+        extra = ""
+        if retry_after is not None:
+            # Integer seconds, minimum 1: the header grammar is delta-seconds.
+            extra = f"Retry-After: {max(1, round(retry_after))}\r\n"
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n"
         ).encode("latin-1")
         try:
@@ -391,15 +469,39 @@ class DetectionServer:
     # ------------------------------------------------------------------ #
 
     async def _handle_health(self, request: _Request) -> tuple[int, dict]:
+        components = self._degraded_components()
         return 200, {
             "schema": SERVE_SCHEMA,
             "kind": "health",
-            "status": "ok",
+            "status": "degraded" if components else "ok",
             "models": len(self.registry.fingerprints),
             "hot": len(self.registry.hot_fingerprints),
             "tenants": len(self.tenants),
             "uptime_s": round(time.monotonic() - self._started, 3),
+            "components": components,
+            "inflight": self._inflight,
+            "shed": self.requests_shed,
         }
+
+    def _degraded_components(self) -> dict[str, object]:
+        """The currently degraded components (empty dict = healthy).
+
+        ``circuits`` — per-fingerprint load breakers that are open or
+        accumulating failures; ``artifact_stores`` — tenants whose
+        artifact store saw a fatal disk fault (memory tier still serves).
+        """
+        components: dict[str, object] = {}
+        circuits = self.registry.breaker_states()
+        if circuits:
+            components["circuits"] = circuits
+        degraded_stores = sorted(
+            name
+            for name, tenant in self.tenants.items()
+            if getattr(tenant.detector.artifact_stats, "degraded", False)
+        )
+        if degraded_stores:
+            components["artifact_stores"] = degraded_stores
+        return components
 
     async def _handle_registry(self, request: _Request) -> tuple[int, dict]:
         return 200, {

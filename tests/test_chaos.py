@@ -1,0 +1,193 @@
+"""Chaos suite: coordinated sweeps under injected I/O faults.
+
+Each case installs a deterministic fault schedule (``repro.faults.inject``)
+and drives the full cooperative matrix — three claim-loop workers sharing
+one result ledger — straight through it.  The invariants are absolute, not
+statistical:
+
+- every scenario executes **exactly once** globally (the audit log has no
+  duplicate ``execute`` events),
+- the shared store reloads cleanly afterwards (torn appends healed, never
+  corrupted),
+- the accuracy records are **bit-identical** to a fault-free sequential
+  run,
+- and the schedule actually fired (a chaos case that injected nothing
+  proves nothing).
+
+Schedules are chosen so faults always clear within the retry budget
+(``first:N``/``torn:N`` with N < attempts; ``rate`` seeds verified to have
+no fire-run ≥ the attempt count), which is what makes bit-identity a fair
+demand.  Exhaustion paths are covered by tests/test_faults_callsites.py.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.coordination import iter_leases, read_audit
+from repro.evaluation.matrix import CoordinateOptions, ScenarioMatrix, run_matrix
+from repro.evaluation.store import ResultStore
+from repro.faults import RetryPolicy, inject, use_policy
+
+MATRIX_SPEC = {
+    "datasets": [{"name": "hospital", "rows": 60}],
+    "error_profiles": ["native"],
+    "label_budgets": [0.1, 0.2],
+    "methods": ["cv", "od"],
+    "trials": 2,
+    "seed": 5,
+}
+
+ACCURACY_FIELDS = ("fingerprint", "spec", "metrics", "trials", "mean_f1", "std_f1")
+
+#: point × schedule sweep.  Every schedule here clears within one call's
+#: 4-attempt retry budget, so the sweep must finish perfectly.
+CHAOS_CASES = {
+    "append-transient": "store.append=first:2:EAGAIN",
+    "append-torn": "store.append=torn:2",
+    "append-seeded-rate": "store.append=rate:0.5:EAGAIN",  # seed 0: max run 3
+    "read-transient": "store.read=first:3:EIO",
+    "claim-contended": "lease.claim=first:6:EAGAIN",
+    "release-flaky": "lease.release=first:2:ESTALE",
+    "audit-torn": "lease.audit=torn:3",
+    "audit-transient": "lease.audit=first:3:EBUSY",
+    "storm": (
+        "store.append=torn:1;store.read=first:2:EINTR;"
+        "lease.claim=first:2:EAGAIN;lease.audit=torn:1;"
+        "lease.release=first:1:EBUSY"
+    ),
+}
+
+
+def accuracy_view(records: list[dict]) -> list[dict]:
+    return [{k: r[k] for k in ACCURACY_FIELDS} for r in records]
+
+
+@pytest.fixture(scope="module")
+def matrix() -> ScenarioMatrix:
+    return ScenarioMatrix.from_dict(MATRIX_SPEC)
+
+
+@pytest.fixture(scope="module")
+def sequential(matrix) -> list[dict]:
+    """The fault-free ground truth every chaos run must reproduce."""
+    return run_matrix(matrix, workers=1).records
+
+
+def run_chaos_sweep(matrix, store_path, spec: str, seed: int = 0):
+    """Three cooperating claim-loop workers under an installed fault schedule.
+
+    Returns ``(reports, snapshot)``: the per-worker reports and the
+    injector's per-point counters after the sweep.
+    """
+    reports: dict[str, object] = {}
+    errors: list[BaseException] = []
+
+    def worker(name: str) -> None:
+        try:
+            reports[name] = run_matrix(
+                matrix,
+                store=ResultStore(store_path),
+                executor="serial",
+                coordinate=CoordinateOptions(
+                    worker_id=name, ttl=30.0, poll_interval=0.05
+                ),
+            )
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    policy = RetryPolicy(max_attempts=4, base_delay=0.01, sleep=lambda s: None)
+    with use_policy(policy), inject(spec, seed=seed) as injector:
+        threads = [
+            threading.Thread(target=worker, args=(name,))
+            for name in ("w1", "w2", "w3")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        snapshot = injector.snapshot()
+    assert not errors, f"workers crashed under {spec!r}: {errors}"
+    assert set(reports) == {"w1", "w2", "w3"}
+    return reports, snapshot
+
+
+@pytest.mark.parametrize("name", sorted(CHAOS_CASES))
+def test_cooperative_sweep_survives_fault_schedule(
+    name, matrix, sequential, tmp_path
+):
+    spec = CHAOS_CASES[name]
+    store_path = tmp_path / "store.jsonl"
+    reports, snapshot = run_chaos_sweep(matrix, store_path, spec)
+
+    # The schedule actually fired: this was a chaos run, not a clean one.
+    fired = sum(point["fired"] for point in snapshot.values())
+    assert fired > 0, f"{spec!r} never fired: {snapshot}"
+
+    # Invariant 1: every scenario executed exactly once globally.
+    assert sum(r.executed for r in reports.values()) == 4
+    executes = [
+        e["fingerprint"]
+        for e in read_audit(str(store_path) + ".coord")
+        if e["event"] == "execute"
+    ]
+    assert len(executes) == len(set(executes)) == 4
+
+    # Invariant 2: the store reloads cleanly (healed tails are skippable
+    # blanks or fragments, never corrupted records).
+    reloaded = ResultStore(store_path)
+    assert reloaded.fingerprints == {s.fingerprint() for s in matrix.expand()}
+
+    # Invariant 3: results bit-identical to the fault-free run, from both
+    # workers' points of view.
+    for report in reports.values():
+        assert accuracy_view(report.records) == accuracy_view(sequential)
+        assert report.total == 4
+
+
+def test_flaky_release_leaves_no_stuck_work(matrix, sequential, tmp_path):
+    """Release faults may leave lease files behind — they must never block
+    a later sweep or duplicate work."""
+    store_path = tmp_path / "store.jsonl"
+    run_chaos_sweep(matrix, store_path, "lease.release=first:8:EBUSY")
+    coord = str(store_path) + ".coord"
+    leftovers = list(iter_leases(coord))
+    # A later worker over the same ledger finds only cached work, whether
+    # or not unlink faults stranded lease files.
+    report = run_matrix(
+        matrix,
+        store=ResultStore(store_path),
+        executor="serial",
+        coordinate=CoordinateOptions(worker_id="late", ttl=30.0),
+    )
+    assert report.executed == 0
+    assert report.cached == 4
+    assert accuracy_view(report.records) == accuracy_view(sequential)
+    executes = [e for e in read_audit(coord) if e["event"] == "execute"]
+    assert len(executes) == 4, f"leftover leases {leftovers} caused rework"
+
+
+def test_chaos_run_is_reproducible(matrix, tmp_path):
+    """Same spec + seed ⇒ the same faults fire at the same invocations.
+
+    The schedule targets ``store.append`` only: the sweep makes exactly one
+    put per scenario, so the tick stream is interleaving-independent.
+    (Audit traffic is not — racy claim/skip decisions may add events.)
+    """
+    spec = "store.append=rate:0.5:EAGAIN"
+    snapshots = []
+    for round_ in ("a", "b"):
+        store_path = tmp_path / f"store-{round_}.jsonl"
+        _, snapshot = run_chaos_sweep(matrix, store_path, spec)
+        snapshots.append(snapshot)
+    first, second = snapshots
+    assert first.keys() == second.keys()
+    for point in first:
+        assert first[point]["rule"] == second[point]["rule"]
+        # Thread interleaving may shift *which* invocation a worker owns,
+        # but the invocation count and the fired count are schedule
+        # properties, reproducible run to run.
+        assert first[point]["invocations"] == second[point]["invocations"]
+        assert first[point]["fired"] == second[point]["fired"]

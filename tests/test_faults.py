@@ -1,0 +1,429 @@
+"""Unit tests for the repro.faults package: taxonomy, retry, injector, breaker."""
+
+from __future__ import annotations
+
+import errno
+import os
+
+import pytest
+
+from repro.faults import (
+    BreakerOpen,
+    CircuitBreaker,
+    FAULT_POINTS,
+    FaultClass,
+    FaultInjector,
+    FaultSpecError,
+    RetryExhausted,
+    RetryPolicy,
+    active_injector,
+    checked_write,
+    classify_exception,
+    get_default_policy,
+    inject,
+    install_from_env,
+    is_fatal,
+    is_transient,
+    set_default_policy,
+    trip,
+    use_policy,
+)
+from repro.faults.inject import parse_spec
+from repro.faults.taxonomy import classify_errno
+
+
+def oserror(name: str) -> OSError:
+    return OSError(getattr(errno, name), f"synthetic {name}")
+
+
+@pytest.fixture(autouse=True)
+def _reset_ambient():
+    """Every test starts and ends with a pristine ambient policy."""
+    set_default_policy(None)
+    yield
+    set_default_policy(None)
+
+
+# --------------------------------------------------------------------------- #
+# Taxonomy
+# --------------------------------------------------------------------------- #
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize(
+        "name", ["EAGAIN", "EWOULDBLOCK", "EINTR", "ESTALE", "ETIMEDOUT", "EBUSY"]
+    )
+    def test_transient_errnos(self, name):
+        assert classify_errno(getattr(errno, name), "read") is FaultClass.TRANSIENT
+        assert classify_errno(getattr(errno, name), "write") is FaultClass.TRANSIENT
+
+    @pytest.mark.parametrize(
+        "name", ["ENOSPC", "EDQUOT", "EROFS", "EACCES", "EPERM", "ENAMETOOLONG"]
+    )
+    def test_fatal_errnos(self, name):
+        assert classify_errno(getattr(errno, name), "read") is FaultClass.FATAL
+        assert classify_errno(getattr(errno, name), "write") is FaultClass.FATAL
+
+    def test_eio_is_transient_on_read_fatal_on_write(self):
+        assert classify_errno(errno.EIO, "read") is FaultClass.TRANSIENT
+        assert classify_errno(errno.EIO, "write") is FaultClass.FATAL
+
+    def test_unknown_errno_is_unknown(self):
+        assert classify_errno(None, "read") is FaultClass.UNKNOWN
+
+    def test_file_existence_exceptions_are_answers_not_faults(self):
+        # A missing file is a cache miss; an existing file is a lost claim
+        # race.  Retrying either would loop on the *answer*.
+        assert classify_exception(FileNotFoundError(2, "x"), "read") is FaultClass.UNKNOWN
+        assert classify_exception(FileExistsError(17, "x"), "write") is FaultClass.UNKNOWN
+
+    def test_non_oserror_is_unknown(self):
+        assert classify_exception(ValueError("nope"), "read") is FaultClass.UNKNOWN
+
+    def test_predicates(self):
+        assert is_transient(oserror("EAGAIN"), "write")
+        assert not is_transient(oserror("ENOSPC"), "write")
+        assert is_fatal(oserror("ENOSPC"), "write")
+        assert not is_fatal(oserror("EAGAIN"), "write")
+        assert not is_fatal(ValueError("x"), "write")  # unknown, not fatal
+
+
+# --------------------------------------------------------------------------- #
+# RetryPolicy
+# --------------------------------------------------------------------------- #
+
+
+def recording_policy(**overrides) -> tuple[RetryPolicy, list[float]]:
+    sleeps: list[float] = []
+    kwargs = dict(max_attempts=4, base_delay=0.05, seed=7, sleep=sleeps.append)
+    kwargs.update(overrides)
+    return RetryPolicy(**kwargs), sleeps
+
+
+class TestRetryPolicy:
+    def test_transient_fault_retries_to_success(self):
+        policy, sleeps = recording_policy()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise oserror("EAGAIN")
+            return "done"
+
+        assert policy.call(flaky, point="store.append", op="write") == "done"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2  # one backoff per failed attempt
+        assert policy.stats.retries == 2
+        assert policy.stats.by_point == {"store.append": 2}
+
+    def test_fatal_fault_never_retries(self):
+        policy, sleeps = recording_policy()
+        with pytest.raises(OSError) as excinfo:
+            policy.call(lambda: (_ for _ in ()).throw(oserror("ENOSPC")),
+                        point="store.append", op="write")
+        assert excinfo.value.errno == errno.ENOSPC
+        assert not isinstance(excinfo.value, RetryExhausted)
+        assert sleeps == []
+        assert policy.stats.fatal == 1
+
+    def test_unknown_fault_never_retries(self):
+        policy, sleeps = recording_policy()
+        with pytest.raises(ValueError):
+            policy.call(lambda: (_ for _ in ()).throw(ValueError("corrupt")),
+                        point="store.read")
+        assert sleeps == []
+
+    def test_exhaustion_raises_retry_exhausted_with_errno(self):
+        policy, sleeps = recording_policy(max_attempts=3)
+
+        def always():
+            raise oserror("ESTALE")
+
+        with pytest.raises(RetryExhausted) as excinfo:
+            policy.call(always, point="lease.renew", op="write")
+        exc = excinfo.value
+        assert isinstance(exc, OSError)  # call sites catching OSError still work
+        assert exc.errno == errno.ESTALE
+        assert exc.point == "lease.renew"
+        assert exc.attempts == 3
+        assert len(sleeps) == 2  # no sleep after the final attempt
+        assert policy.stats.exhausted == 1
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        a = RetryPolicy(max_attempts=6, base_delay=0.05, max_delay=0.4, seed=3)
+        b = RetryPolicy(max_attempts=6, base_delay=0.05, max_delay=0.4, seed=3)
+        assert list(a.delays("shard.read")) == list(b.delays("shard.read"))
+        # Jitter stays within the fractional spread around each raw delay.
+        for attempt in range(1, 6):
+            raw = min(0.4, 0.05 * 2 ** (attempt - 1))
+            d = a.delay("shard.read", attempt)
+            assert raw * 0.75 <= d <= raw * 1.25
+        # A different seed gives a different schedule.
+        c = RetryPolicy(max_attempts=6, base_delay=0.05, max_delay=0.4, seed=4)
+        assert list(c.delays("shard.read")) != list(a.delays("shard.read"))
+
+    def test_zero_base_delay_never_sleeps_nonzero(self):
+        policy, sleeps = recording_policy(base_delay=0.0, max_delay=0.0)
+        with pytest.raises(RetryExhausted):
+            policy.call(lambda: (_ for _ in ()).throw(oserror("EAGAIN")),
+                        point="store.append", op="write")
+        assert all(s == 0.0 for s in sleeps)
+
+    def test_on_retry_hook_runs_before_each_backoff(self):
+        policy, _ = recording_policy(max_attempts=3)
+        seen: list[int] = []
+
+        def always():
+            raise oserror("EINTR")
+
+        with pytest.raises(RetryExhausted):
+            policy.call(always, point="store.append", op="write",
+                        on_retry=lambda exc, attempt: seen.append(attempt))
+        assert seen == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_ambient_policy_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_BASE_DELAY", "0")
+        monkeypatch.setenv("REPRO_RETRY_ATTEMPTS", "2")
+        set_default_policy(None)  # force a re-read of the environment
+        policy = get_default_policy()
+        assert policy.base_delay == 0.0
+        assert policy.max_attempts == 2
+
+    def test_use_policy_scopes_the_ambient_default(self):
+        inner, _ = recording_policy()
+        before = get_default_policy()
+        with use_policy(inner):
+            assert get_default_policy() is inner
+        assert get_default_policy() is before
+
+
+# --------------------------------------------------------------------------- #
+# FaultInjector
+# --------------------------------------------------------------------------- #
+
+
+class TestFaultSpec:
+    def test_parse_roundtrip(self):
+        spec = "store.append=first:2:EAGAIN;lease.renew=every:3:ESTALE"
+        injector = FaultInjector(spec)
+        assert injector.spec() == spec
+
+    def test_comma_separator_and_defaults(self):
+        rules = parse_spec("store.append=first:1,shard.read=torn:2")
+        assert rules[0].errno_name == "EAGAIN"
+        assert rules[1].errno_name == "EINTR"  # torn default: interrupted write
+        assert rules[1].torn
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "nonsense",
+            "unknown.point=first:1",
+            "store.append=sometimes:1",
+            "store.append=first:0",
+            "store.append=first:1.5",
+            "store.append=rate:2.0",
+            "store.append=first:1:ENOTANERRNO",
+            "store.append=first:1:EAGAIN:extra",
+            "",
+            "  ;  ",
+        ],
+    )
+    def test_malformed_specs_fail_loudly(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_spec(bad)
+
+    def test_every_known_point_parses(self):
+        for point in FAULT_POINTS:
+            assert parse_spec(f"{point}=first:1")[0].point == point
+
+
+class TestFaultInjector:
+    def test_first_n_schedule(self):
+        injector = FaultInjector("store.append=first:2:EAGAIN")
+        for _ in range(2):
+            with pytest.raises(OSError) as excinfo:
+                injector.fire("store.append")
+            assert excinfo.value.errno == errno.EAGAIN
+        injector.fire("store.append")  # third invocation passes
+        snap = injector.snapshot()["store.append"]
+        assert snap == {"invocations": 3, "fired": 2,
+                        "rule": "store.append=first:2:EAGAIN"}
+
+    def test_every_kth_schedule(self):
+        injector = FaultInjector("lease.renew=every:3:ESTALE")
+        outcomes = []
+        for _ in range(9):
+            try:
+                injector.fire("lease.renew")
+                outcomes.append("ok")
+            except OSError:
+                outcomes.append("fail")
+        assert outcomes == ["ok", "ok", "fail"] * 3
+
+    def test_rate_schedule_is_seed_deterministic(self):
+        def fired_pattern(seed: int) -> list[bool]:
+            injector = FaultInjector("shard.read=rate:0.5:EIO", seed=seed)
+            pattern = []
+            for _ in range(64):
+                try:
+                    injector.fire("shard.read")
+                    pattern.append(False)
+                except OSError:
+                    pattern.append(True)
+            return pattern
+
+        assert fired_pattern(1) == fired_pattern(1)
+        assert fired_pattern(1) != fired_pattern(2)
+        assert 10 < sum(fired_pattern(1)) < 54  # roughly half
+
+    def test_unnamed_points_never_fire(self):
+        injector = FaultInjector("store.append=first:99")
+        for _ in range(5):
+            injector.fire("lease.claim")
+
+    def test_torn_write_lands_partial_bytes(self, tmp_path):
+        path = tmp_path / "log"
+        injector = FaultInjector("store.append=torn:1")
+        data = b"0123456789"
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND)
+        try:
+            with pytest.raises(OSError) as excinfo:
+                injector.write("store.append", fd, data)
+            assert excinfo.value.errno == errno.EINTR
+            assert injector.write("store.append", fd, data) == len(data)
+        finally:
+            os.close(fd)
+        assert path.read_bytes() == data[:5] + data
+
+    def test_inject_context_installs_and_restores(self):
+        assert active_injector() is None
+        with inject("store.append=first:1") as injector:
+            assert active_injector() is injector
+            with pytest.raises(OSError):
+                trip("store.append")
+        assert active_injector() is None
+        trip("store.append")  # no-op with nothing installed
+
+    def test_inject_contexts_nest(self):
+        with inject("store.append=first:9") as outer:
+            with inject("lease.claim=first:9") as inner:
+                assert active_injector() is inner
+            assert active_injector() is outer
+
+    def test_install_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "lease.claim=first:1:ESTALE")
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "9")
+        installed = install_from_env()
+        try:
+            assert installed is not None
+            assert installed.seed == 9
+            assert installed is install_from_env()  # idempotent per process
+            with pytest.raises(OSError):
+                trip("lease.claim")
+        finally:
+            # Scrub the process-global installation for later tests.
+            monkeypatch.delenv("REPRO_FAULTS")
+            import repro.faults.inject as inj
+
+            inj._installed = None
+            inj._env_checked = False
+
+    def test_checked_write_clean_path(self, tmp_path):
+        path = tmp_path / "clean"
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT)
+        try:
+            assert checked_write("store.append", fd, b"abc") == 3
+        finally:
+            os.close(fd)
+        assert path.read_bytes() == b"abc"
+
+
+# --------------------------------------------------------------------------- #
+# CircuitBreaker
+# --------------------------------------------------------------------------- #
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCircuitBreaker:
+    def make(self, **overrides):
+        clock = FakeClock()
+        kwargs = dict(failure_threshold=3, cooldown=30.0, clock=clock)
+        kwargs.update(overrides)
+        return CircuitBreaker("load:test", **kwargs), clock
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _ = self.make()
+        for _ in range(2):
+            breaker.before_call()
+            breaker.record_failure(RuntimeError("boom"))
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.before_call()
+        breaker.record_failure(RuntimeError("boom"))
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+        with pytest.raises(BreakerOpen) as excinfo:
+            breaker.before_call()
+        assert excinfo.value.retry_after == pytest.approx(30.0)
+        assert "boom" in excinfo.value.last_error
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = self.make()
+        breaker.record_failure("x")
+        breaker.record_failure("x")
+        breaker.record_success()
+        breaker.record_failure("x")
+        breaker.record_failure("x")
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_heals_the_circuit(self):
+        breaker, clock = self.make(failure_threshold=1)
+        breaker.record_failure("dead disk")
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.now += 30.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.before_call()  # the probe is admitted
+        with pytest.raises(BreakerOpen):
+            breaker.before_call()  # but only one probe at a time
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.retry_after() == 0.0
+
+    def test_failed_probe_reopens_with_fresh_cooldown(self):
+        breaker, clock = self.make(failure_threshold=1)
+        breaker.record_failure("dead")
+        clock.now += 31.0
+        breaker.before_call()
+        breaker.record_failure("still dead")
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.retry_after() == pytest.approx(30.0)
+
+    def test_as_dict(self):
+        breaker, _ = self.make(failure_threshold=1)
+        breaker.record_failure("why")
+        snapshot = breaker.as_dict()
+        assert snapshot["state"] == "open"
+        assert snapshot["trips"] == 1
+        assert snapshot["last_error"] == "why"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", cooldown=0)

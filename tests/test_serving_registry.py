@@ -219,7 +219,7 @@ class TestDetectorRegistry:
     def test_stats_dict_keys(self):
         assert RegistryStats().as_dict() == {
             "hits": 0, "loads": 0, "evictions": 0,
-            "load_failures": 0, "checkouts": 0,
+            "load_failures": 0, "checkouts": 0, "fast_failures": 0,
         }
 
 

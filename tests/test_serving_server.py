@@ -101,6 +101,7 @@ class TestBasics:
         assert info["tenants"] == []
         assert set(info["registry"]) == {
             "hits", "loads", "evictions", "load_failures", "checkouts",
+            "fast_failures",
         }
         assert set(info["batcher"]) == {
             "requests", "batches", "coalesced_requests", "max_batch_cells",
